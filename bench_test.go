@@ -1,0 +1,215 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per artifact. Each benchmark wraps
+// the corresponding internal/exp regeneration function (the same code the
+// deepdive-exp command runs), so `go test -bench=.` re-measures the whole
+// evaluation. DESIGN.md maps benchmarks to paper artifacts; see
+// EXPERIMENTS.md for recorded paper-vs-measured values.
+package deepdive_test
+
+import (
+	"testing"
+	"time"
+
+	"deepdive/internal/exp"
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+	"deepdive/internal/inc"
+)
+
+// BenchmarkFig4Semantics re-verifies the Figure 4 / Example 2.5 closed
+// forms (trivial but kept for completeness of the per-figure index).
+func BenchmarkFig4Semantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig4()
+	}
+}
+
+// BenchmarkFig5aSize sweeps the graph-size axis of the tradeoff space.
+func BenchmarkFig5aSize(b *testing.B) {
+	sizes := []int{2, 10, 17, 100, 1000}
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig5a(sizes, 1)
+	}
+}
+
+// BenchmarkFig5bAcceptance sweeps the amount-of-change axis.
+func BenchmarkFig5bAcceptance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig5b(300, []float64{0, 0.3, 3.0}, 1)
+	}
+}
+
+// BenchmarkFig5cSparsity sweeps the correlation-sparsity axis.
+func BenchmarkFig5cSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig5c(300, []float64{0.1, 0.5, 1.0}, 1)
+	}
+}
+
+// BenchmarkFig6Lambda sweeps the variational regularization parameter on
+// the News system.
+func BenchmarkFig6Lambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig6(exp.Quick, []float64{0.01, 1}, 1)
+	}
+}
+
+// BenchmarkFig7Stats grounds all five systems with the full rule
+// inventory and reports the statistics table.
+func BenchmarkFig7Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig7(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig9Incremental reruns the Rerun-vs-Incremental table.
+func BenchmarkFig9Incremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig9(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig10aQualityOverTime replays the development sequence on
+// News, both from scratch and incrementally.
+func BenchmarkFig10aQualityOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig10a(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig10bSemantics measures F1 for the three semantics across
+// the five systems.
+func BenchmarkFig10bSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig10b(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig11Lesion disables each materialization strategy in turn.
+func BenchmarkFig11Lesion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig11(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig13Voting measures Gibbs convergence of the voting program
+// under the three semantics (Appendix A / Figure 13).
+func BenchmarkFig13Voting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig13([]int{4, 16, 64}, 1)
+	}
+}
+
+// BenchmarkFig14Decomposition compares decomposed and monolithic
+// incremental inference (Appendix B.1 / Figure 14).
+func BenchmarkFig14Decomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig14(exp.Quick, 1)
+	}
+}
+
+// BenchmarkFig15Budget measures samples materialized within a small
+// wall-clock budget (Figure 15, scaled from the paper's 8 hours).
+func BenchmarkFig15Budget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig15(exp.Quick, 50*time.Millisecond, 1)
+	}
+}
+
+// BenchmarkFig16Learning compares the incremental learning strategies
+// (Appendix B.3 / Figure 16).
+func BenchmarkFig16Learning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig16(1)
+	}
+}
+
+// BenchmarkFig17Drift measures warmstart learning under concept drift
+// (Appendix B.4 / Figure 17).
+func BenchmarkFig17Drift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig17(1)
+	}
+}
+
+// BenchmarkGroundingIncremental measures DRed delta grounding against
+// full re-grounding (the up-to-360× claim of Sections 1 and 4.2).
+func BenchmarkGroundingIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.Grounding(exp.Quick, 1)
+	}
+}
+
+// ---- Micro-benchmarks of the core machinery -------------------------
+
+// benchGraph builds a pairwise graph for sampler micro-benchmarks.
+func benchGraph(n int) *factor.Graph {
+	b := factor.NewBuilder()
+	vars := make([]factor.VarID, n)
+	for i := range vars {
+		vars[i] = b.AddVar()
+	}
+	w := b.AddWeight(0.4)
+	for i := 0; i+1 < n; i++ {
+		b.AddGroup(vars[i], w, factor.Ratio,
+			[]factor.Grounding{{Lits: []factor.Literal{{Var: vars[i+1]}}}})
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkGibbsSweep measures raw Gibbs throughput (the DimmWitted
+// substrate's hot loop).
+func BenchmarkGibbsSweep(b *testing.B) {
+	g := benchGraph(1000)
+	s := gibbs.New(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "vars/s")
+}
+
+// BenchmarkSamplingAcceptanceTest measures the per-proposal cost of the
+// incremental Metropolis-Hastings acceptance test — the quantity the
+// paper's cost model calls C(nf, f′).
+func BenchmarkSamplingAcceptanceTest(b *testing.B) {
+	g := benchGraph(1000)
+	store := gibbs.New(g, 2).CollectSamples(10, 200)
+	newG := factor.NewBuilderFrom(g).MustBuild()
+	newG.SetWeight(0, 0.6)
+	changed := make([]int32, newG.NumGroups())
+	for i := range changed {
+		changed[i] = int32(i)
+	}
+	cs := inc.ChangeSet{ChangedOld: changed, ChangedNew: changed}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Reset()
+		inc.SamplingInfer(g, newG, store, cs, 100, 3)
+	}
+}
+
+// BenchmarkVariationalMaterialize measures Algorithm 1 end to end on a
+// moderately sized graph.
+func BenchmarkVariationalMaterialize(b *testing.B) {
+	g := benchGraph(300)
+	store := gibbs.New(g, 4).CollectSamples(20, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.MaterializeVariational(g, store, inc.VariationalOptions{Lambda: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrawmanMaterialize measures complete materialization at its
+// feasibility edge.
+func BenchmarkStrawmanMaterialize(b *testing.B) {
+	g := benchGraph(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.MaterializeStrawman(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

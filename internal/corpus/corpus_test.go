@@ -1,0 +1,212 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Genomics())
+	b := Generate(Genomics())
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatalf("doc counts differ: %d vs %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i] != b.Docs[i] {
+			t.Fatalf("doc %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateGroundTruthShape(t *testing.T) {
+	s := Generate(Genomics())
+	if len(s.Truth) != 3 {
+		t.Fatalf("relations = %d, want 3", len(s.Truth))
+	}
+	for rel, truth := range s.Truth {
+		if len(truth) != s.Spec.TruePairsPerRel {
+			t.Fatalf("%s: %d true pairs, want %d", rel, len(truth), s.Spec.TruePairsPerRel)
+		}
+		// KB is a strict subset of the truth.
+		for _, p := range s.KB[rel] {
+			if !truth[p] {
+				t.Fatalf("%s: KB pair %v not in truth", rel, p)
+			}
+		}
+		wantKB := int(float64(len(truth)) * s.Spec.KBFraction)
+		if len(s.KB[rel]) != wantKB {
+			t.Fatalf("%s: KB size %d, want %d", rel, len(s.KB[rel]), wantKB)
+		}
+		// NegKB pairs are never true.
+		for _, p := range s.NegKB[rel] {
+			if truth[p] || truth[Pair{p.E2, p.E1}] {
+				t.Fatalf("%s: NegKB pair %v is actually true", rel, p)
+			}
+		}
+		// Seeds are correctly labeled.
+		for _, lp := range s.Seeds[rel] {
+			if lp.Label != truth[lp.Pair] {
+				t.Fatalf("%s: seed %v labeled %v but truth is %v", rel, lp.Pair, lp.Label, truth[lp.Pair])
+			}
+		}
+	}
+}
+
+func TestSurfacesResolveInDocs(t *testing.T) {
+	s := Generate(Paleontology())
+	// Every true pair should have at least one document mentioning both
+	// surfaces (possibly across relations, but at least its own planted
+	// sentences — Paleontology has Malformed=0 so surfaces are intact).
+	found := 0
+	total := 0
+	for rel, truth := range s.Truth {
+		for p := range truth {
+			total++
+			s1, s2 := s.Surface[p.E1], s.Surface[p.E2]
+			for _, d := range s.Docs {
+				if strings.Contains(d, s1) && strings.Contains(d, s2) {
+					found++
+					break
+				}
+			}
+		}
+		_ = rel
+	}
+	if found < total*9/10 {
+		t.Fatalf("only %d/%d true pairs co-occur in some document", found, total)
+	}
+}
+
+func TestIsTrueSymmetry(t *testing.T) {
+	s := Generate(News())
+	var symRel, asymRel string
+	for _, r := range s.Spec.Relations {
+		if r.Symmetric && symRel == "" {
+			symRel = r.Name
+		}
+		if !r.Symmetric && asymRel == "" {
+			asymRel = r.Name
+		}
+	}
+	for p := range s.Truth[symRel] {
+		if !s.IsTrue(symRel, p.E2, p.E1) {
+			t.Fatalf("symmetric relation %s not symmetric for %v", symRel, p)
+		}
+		break
+	}
+	for p := range s.Truth[asymRel] {
+		if s.IsTrue(asymRel, p.E2, p.E1) && !s.Truth[asymRel][Pair{p.E2, p.E1}] {
+			t.Fatalf("asymmetric relation %s reported reversed truth for %v", asymRel, p)
+		}
+		break
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	systems := AllSystems()
+	if len(systems) != 5 {
+		t.Fatalf("systems = %d", len(systems))
+	}
+	byName := map[string]*System{}
+	for _, s := range systems {
+		byName[s.Spec.Name] = s
+	}
+	// Relative document counts follow Figure 7's ordering:
+	// Adversarial > News > Pharma > Paleontology > Genomics.
+	order := []string{"Adversarial", "News", "Pharma", "Paleontology", "Genomics"}
+	for i := 0; i+1 < len(order); i++ {
+		a, b := byName[order[i]], byName[order[i+1]]
+		if len(a.Docs) <= len(b.Docs) {
+			t.Fatalf("doc ordering violated: %s(%d) <= %s(%d)",
+				order[i], len(a.Docs), order[i+1], len(b.Docs))
+		}
+	}
+	// Relation counts: News ≫ others; Adversarial = 1.
+	if n := len(byName["News"].Spec.Relations); n < 10 {
+		t.Fatalf("News relations = %d, want many", n)
+	}
+	if n := len(byName["Adversarial"].Spec.Relations); n != 1 {
+		t.Fatalf("Adversarial relations = %d, want 1", n)
+	}
+	// Adversarial docs are short.
+	if byName["Adversarial"].Spec.SentencesPerDoc[1] > 2 {
+		t.Fatal("Adversarial docs should be 1-2 sentences")
+	}
+}
+
+func TestSystemByName(t *testing.T) {
+	for _, name := range []string{"Adversarial", "News", "Genomics", "Pharma", "Paleontology"} {
+		s, err := SystemByName(name)
+		if err != nil || s.Spec.Name == "" {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := SystemByName("Astrology"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestCorruptionOnlyWhereConfigured(t *testing.T) {
+	clean := Generate(Paleontology())
+	for _, d := range clean.Docs {
+		if strings.Contains(d, "  ") {
+			t.Fatal("clean corpus has corrupted spacing")
+		}
+	}
+	adv := Generate(Adversarial())
+	// At least some sentences should differ from any template rendering
+	// (dropout shortens them); just check the corpus is non-empty and has
+	// short docs.
+	if len(adv.Docs) < 600 {
+		t.Fatalf("Adversarial docs = %d", len(adv.Docs))
+	}
+}
+
+func TestGenerateSpamStream(t *testing.T) {
+	emails := GenerateSpamStream(SpamStreamSpec{Seed: 9})
+	if len(emails) != 1200 {
+		t.Fatalf("emails = %d", len(emails))
+	}
+	spam := 0
+	for _, e := range emails {
+		if e.Spam {
+			spam++
+		}
+		if len(e.Words) == 0 {
+			t.Fatal("empty email")
+		}
+	}
+	if spam < 300 || spam > 700 {
+		t.Fatalf("spam count = %d out of 1200", spam)
+	}
+	// Drift: early spam vocabulary should be absent from late spam.
+	half := len(emails) / 2
+	lateEarlyWords := 0
+	earlySet := map[string]bool{}
+	for _, w := range earlySpamWords {
+		earlySet[w] = true
+	}
+	for _, e := range emails[half+50:] {
+		if !e.Spam {
+			continue
+		}
+		for _, w := range e.Words {
+			if earlySet[w] {
+				lateEarlyWords++
+			}
+		}
+	}
+	if lateEarlyWords != 0 {
+		t.Fatalf("late spam still uses %d early vocabulary words", lateEarlyWords)
+	}
+}
+
+func TestSpamStreamDeterministic(t *testing.T) {
+	a := GenerateSpamStream(SpamStreamSpec{Seed: 4})
+	b := GenerateSpamStream(SpamStreamSpec{Seed: 4})
+	for i := range a {
+		if a[i].Spam != b[i].Spam || strings.Join(a[i].Words, " ") != strings.Join(b[i].Words, " ") {
+			t.Fatal("spam stream not deterministic")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Email is one message of the concept-drift stream (Appendix B.4): a bag
+// of word features and a spam label. The stream is chronological; the
+// spam vocabulary drifts partway through, so a model trained on the early
+// prefix degrades unless retrained.
+type Email struct {
+	Words []string
+	Spam  bool
+}
+
+// SpamStreamSpec parameterizes GenerateSpamStream.
+type SpamStreamSpec struct {
+	N          int     // number of emails (paper: 9,324; scaled default 1,200)
+	DriftAt    float64 // position (fraction of the stream) where spam vocabulary shifts
+	SpamRate   float64 // fraction of spam messages
+	WordsPer   int     // words per email
+	NoiseWords int     // size of the shared innocuous vocabulary
+	Seed       int64
+}
+
+func (s SpamStreamSpec) fill() SpamStreamSpec {
+	if s.N <= 0 {
+		s.N = 1200
+	}
+	if s.DriftAt <= 0 || s.DriftAt >= 1 {
+		s.DriftAt = 0.5
+	}
+	if s.SpamRate <= 0 {
+		s.SpamRate = 0.4
+	}
+	if s.WordsPer <= 0 {
+		s.WordsPer = 12
+	}
+	if s.NoiseWords <= 0 {
+		s.NoiseWords = 150
+	}
+	return s
+}
+
+var earlySpamWords = []string{
+	"winner", "prize", "lottery", "viagra", "unclaimed", "transfer",
+	"urgent", "millions", "deposit", "guarantee",
+}
+var lateSpamWords = []string{
+	"crypto", "airdrop", "token", "exclusive", "investment", "wallet",
+	"giveaway", "staking", "presale", "doubling",
+}
+var hamTopicWords = []string{
+	"meeting", "agenda", "report", "schedule", "review", "project",
+	"invoice", "draft", "minutes", "deadline", "budget", "notes",
+}
+
+// GenerateSpamStream builds the chronological email stream. Before the
+// drift point spam uses the early vocabulary; after it, the late one.
+// Ham vocabulary is stable throughout.
+func GenerateSpamStream(spec SpamStreamSpec) []Email {
+	s := spec.fill()
+	rng := rand.New(rand.NewSource(s.Seed))
+	noise := make([]string, s.NoiseWords)
+	for i := range noise {
+		noise[i] = fmt.Sprintf("w%d", i)
+	}
+	out := make([]Email, s.N)
+	driftIdx := int(float64(s.N) * s.DriftAt)
+	for i := 0; i < s.N; i++ {
+		spam := rng.Float64() < s.SpamRate
+		var words []string
+		topical := earlySpamWords
+		if i >= driftIdx {
+			topical = lateSpamWords
+		}
+		if !spam {
+			topical = hamTopicWords
+		}
+		for k := 0; k < s.WordsPer; k++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.25:
+				words = append(words, topical[rng.Intn(len(topical))])
+			case r < 0.33:
+				// Cross-talk: the other class's vocabulary leaks in, so a
+				// perfect classifier is impossible and loss curves stay
+				// informative (Figures 16/17).
+				other := hamTopicWords
+				if !spam {
+					if i >= driftIdx {
+						other = lateSpamWords
+					} else {
+						other = earlySpamWords
+					}
+				}
+				words = append(words, other[rng.Intn(len(other))])
+			default:
+				words = append(words, noise[rng.Intn(len(noise))])
+			}
+		}
+		out[i] = Email{Words: words, Spam: spam}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package corpus
+
+import "fmt"
+
+// The five KBC systems of Figure 7, scaled ~2000× down. The relative
+// document counts (5M : 1.8M : 0.2M : 0.6M : 0.3M), relation counts, and
+// text-quality properties described in Section 4.1 are preserved:
+// Adversarial is 1-2 broken sentences per document; News has slightly
+// degraded writing and many ambiguous relations; Genomics and Pharma have
+// precise text but ambiguous relations; Paleontology is clean and precise.
+
+var neutralGeneric = []string{
+	"{A} appeared alongside {B} at the annual meeting",
+	"{A} was discussed in the same report as {B}",
+	"{A} and separately {B} were mentioned by the committee",
+	"the study cited both {A} and {B} without further detail",
+	"{A} was listed near {B} in the registry",
+}
+
+// News builds persons/organizations/locations relations (the TAC-KBP
+// style workload; the paper's News has 34 relations — we scale to 16,
+// keeping it the largest relation inventory by far).
+func News() Spec {
+	rels := []RelationSpec{
+		{Name: "HasSpouse", Type1: "Person", Type2: "Person", Symmetric: true, PosTemplates: []string{
+			"{A} and his wife {B} were married",
+			"{A} married {B} in a small ceremony",
+			"{A} and {B} celebrated their wedding anniversary",
+		}},
+		{Name: "Sibling", Type1: "Person", Type2: "Person", Symmetric: true, PosTemplates: []string{
+			"{A} and her brother {B} grew up together",
+			"{A} is a sibling of {B}",
+		}},
+		{Name: "MemberOf", Type1: "Person", Type2: "Org", PosTemplates: []string{
+			"{A} is a member of {B}",
+			"{A} joined {B} last spring",
+			"{A} serves on the board of {B}",
+		}},
+		{Name: "WorksFor", Type1: "Person", Type2: "Org", PosTemplates: []string{
+			"{A} works for {B}",
+			"{A} was hired by {B}",
+		}},
+		{Name: "CEOOf", Type1: "Person", Type2: "Org", PosTemplates: []string{
+			"{A} is the chief executive of {B}",
+			"{A} leads {B} as its top executive",
+		}},
+		{Name: "FoundedBy", Type1: "Org", Type2: "Person", PosTemplates: []string{
+			"{A} was founded by {B}",
+			"{B} established {A} decades ago",
+		}},
+		{Name: "LivesIn", Type1: "Person", Type2: "Loc", PosTemplates: []string{
+			"{A} lives in {B}",
+			"{A} has resided in {B} for years",
+		}},
+		{Name: "BornIn", Type1: "Person", Type2: "Loc", PosTemplates: []string{
+			"{A} was born in {B}",
+		}},
+		{Name: "DiedIn", Type1: "Person", Type2: "Loc", PosTemplates: []string{
+			"{A} died in {B}",
+		}},
+		{Name: "VisitedPlace", Type1: "Person", Type2: "Loc", PosTemplates: []string{
+			"{A} visited {B} last month",
+			"{A} traveled to {B} for talks",
+		}},
+		{Name: "HeadquarteredIn", Type1: "Org", Type2: "Loc", PosTemplates: []string{
+			"{A} is headquartered in {B}",
+			"{A} opened its main office in {B}",
+		}},
+		{Name: "SubsidiaryOf", Type1: "Org", Type2: "Org", PosTemplates: []string{
+			"{A} is a subsidiary of {B}",
+			"{B} acquired {A} in a merger",
+		}},
+		{Name: "PartnerOrg", Type1: "Org", Type2: "Org", Symmetric: true, PosTemplates: []string{
+			"{A} announced a partnership with {B}",
+		}},
+		{Name: "Mentor", Type1: "Person", Type2: "Person", PosTemplates: []string{
+			"{A} mentored {B} early in her career",
+		}},
+		{Name: "Rival", Type1: "Person", Type2: "Person", Symmetric: true, PosTemplates: []string{
+			"{A} and {B} have been rivals for years",
+		}},
+		{Name: "CapitalOf", Type1: "Loc", Type2: "Loc", PosTemplates: []string{
+			"{A} is the capital of {B}",
+		}},
+	}
+	return Spec{
+		Name:             "News",
+		Seed:             1801,
+		NumDocs:          360,
+		SentencesPerDoc:  [2]int{4, 7},
+		EntitiesPerType:  40,
+		Relations:        rels,
+		TruePairsPerRel:  14,
+		KBFraction:       0.35,
+		NegPairsPerRel:   8,
+		SeedPairsPerRel:  6,
+		ExpressProb:      0.55, // degraded writing: relations often implicit
+		PatternNoise:     0.18, // ambiguous phrasing ("member of")
+		MentionsPerPair:  2.2,
+		FalsePairsPerRel: 42,
+		Malformed:        0.05,
+		NeutralTemplates: neutralGeneric,
+	}
+}
+
+// Adversarial models advertisement text: one relation, huge document
+// count, 1-2 sentences each, heavy corruption — but a distinctive
+// pattern, so quality stays moderate (the paper reports F1 ≈ 0.72
+// across all semantics).
+func Adversarial() Spec {
+	rels := []RelationSpec{
+		{Name: "AdvertisesService", Type1: "Vendor", Type2: "Service", PosTemplates: []string{
+			"{A} offers {B} call now",
+			"{A} best {B} available tonight",
+			"{B} by {A} satisfaction guaranteed",
+		}},
+	}
+	return Spec{
+		Name:             "Adversarial",
+		Seed:             5001,
+		NumDocs:          1000,
+		SentencesPerDoc:  [2]int{1, 2},
+		EntitiesPerType:  60,
+		Relations:        rels,
+		TruePairsPerRel:  120,
+		KBFraction:       0.3,
+		NegPairsPerRel:   30,
+		SeedPairsPerRel:  12,
+		ExpressProb:      0.8,
+		PatternNoise:     0.1,
+		MentionsPerPair:  3.2,
+		FalsePairsPerRel: 200,
+		Malformed:        0.55,
+		NeutralTemplates: []string{
+			"{A} new listing near {B} area",
+			"contact {A} about {B} anytime",
+		},
+	}
+}
+
+// Genomics extracts gene relations from precise text with linguistically
+// ambiguous relationships.
+func Genomics() Spec {
+	rels := []RelationSpec{
+		{Name: "GenePhenotype", Type1: "Gene", Type2: "Phenotype", PosTemplates: []string{
+			"mutations in {A} are associated with {B}",
+			"{A} variants were linked to {B} in the cohort",
+			"loss of {A} causes {B}",
+		}},
+		{Name: "GeneGeneInteraction", Type1: "Gene", Type2: "Gene", Symmetric: true, PosTemplates: []string{
+			"{A} interacts with {B} in the signaling pathway",
+			"{A} and {B} form a regulatory complex",
+		}},
+		{Name: "GeneExpressedIn", Type1: "Gene", Type2: "Tissue", PosTemplates: []string{
+			"{A} is expressed in {B}",
+			"expression of {A} was detected in {B}",
+		}},
+	}
+	return Spec{
+		Name:             "Genomics",
+		Seed:             2001,
+		NumDocs:          50,
+		SentencesPerDoc:  [2]int{6, 10},
+		EntitiesPerType:  30,
+		Relations:        rels,
+		TruePairsPerRel:  18,
+		KBFraction:       0.35,
+		NegPairsPerRel:   10,
+		SeedPairsPerRel:  6,
+		ExpressProb:      0.6,
+		PatternNoise:     0.12,
+		MentionsPerPair:  2.0,
+		FalsePairsPerRel: 54,
+		Malformed:        0,
+		NeutralTemplates: []string{
+			"{A} was assayed together with {B} in the screen",
+			"both {A} and {B} appeared in the differential analysis",
+			"the panel included {A} as well as {B}",
+		},
+	}
+}
+
+// Pharmacogenomics relates drugs, genes, and diseases.
+func Pharma() Spec {
+	rels := []RelationSpec{
+		{Name: "DrugTargetsGene", Type1: "Drug", Type2: "Gene", PosTemplates: []string{
+			"{A} inhibits {B}",
+			"{A} binds {B} with high affinity",
+		}},
+		{Name: "DrugTreatsDisease", Type1: "Drug", Type2: "Disease", PosTemplates: []string{
+			"{A} is indicated for {B}",
+			"{A} reduced symptoms of {B}",
+		}},
+		{Name: "GeneDiseaseAssoc", Type1: "Gene", Type2: "Disease", PosTemplates: []string{
+			"{A} is associated with {B}",
+			"variants of {A} predispose to {B}",
+		}},
+		{Name: "DrugInteraction", Type1: "Drug", Type2: "Drug", Symmetric: true, PosTemplates: []string{
+			"{A} interacts adversely with {B}",
+		}},
+		{Name: "DrugMetabolizedBy", Type1: "Drug", Type2: "Gene", PosTemplates: []string{
+			"{A} is metabolized by {B}",
+		}},
+		{Name: "GeneRegulatesGene", Type1: "Gene", Type2: "Gene", PosTemplates: []string{
+			"{A} upregulates {B}",
+			"{A} suppresses transcription of {B}",
+		}},
+		{Name: "DrugSideEffect", Type1: "Drug", Type2: "Disease", PosTemplates: []string{
+			"{A} can induce {B} in rare cases",
+		}},
+		{Name: "DiseaseSubtype", Type1: "Disease", Type2: "Disease", PosTemplates: []string{
+			"{A} is a subtype of {B}",
+		}},
+		{Name: "DrugContraindicated", Type1: "Drug", Type2: "Disease", PosTemplates: []string{
+			"{A} is contraindicated in patients with {B}",
+		}},
+	}
+	return Spec{
+		Name:             "Pharma",
+		Seed:             3001,
+		NumDocs:          130,
+		SentencesPerDoc:  [2]int{5, 8},
+		EntitiesPerType:  32,
+		Relations:        rels,
+		TruePairsPerRel:  15,
+		KBFraction:       0.35,
+		NegPairsPerRel:   8,
+		SeedPairsPerRel:  6,
+		ExpressProb:      0.62,
+		PatternNoise:     0.12,
+		MentionsPerPair:  2.0,
+		FalsePairsPerRel: 45,
+		Malformed:        0,
+		NeutralTemplates: []string{
+			"{A} and {B} were both included in the trial arm",
+			"the review discusses {A} in the context of {B}",
+			"{A} appeared in the same pathway figure as {B}",
+		},
+	}
+}
+
+// Paleontology: clean curated journal prose, precise unambiguous writing,
+// simple relationships (the paper's highest-quality system).
+func Paleontology() Spec {
+	rels := []RelationSpec{
+		{Name: "TaxonInFormation", Type1: "Taxon", Type2: "Formation", PosTemplates: []string{
+			"specimens of {A} were recovered from the {B}",
+			"{A} occurs in the {B}",
+		}},
+		{Name: "FormationInPeriod", Type1: "Formation", Type2: "Period", PosTemplates: []string{
+			"the {A} is assigned to the {B}",
+			"the {A} dates to the {B}",
+		}},
+		{Name: "TaxonSynonym", Type1: "Taxon", Type2: "Taxon", Symmetric: true, PosTemplates: []string{
+			"{A} is a junior synonym of {B}",
+		}},
+		{Name: "TaxonParent", Type1: "Taxon", Type2: "Taxon", PosTemplates: []string{
+			"{A} is classified within {B}",
+		}},
+		{Name: "FormationAtLocation", Type1: "Formation", Type2: "Site", PosTemplates: []string{
+			"the {A} crops out near {B}",
+		}},
+		{Name: "TaxonDiet", Type1: "Taxon", Type2: "Diet", PosTemplates: []string{
+			"dental wear indicates {A} was {B}",
+		}},
+		{Name: "TaxonPeriod", Type1: "Taxon", Type2: "Period", PosTemplates: []string{
+			"{A} lived during the {B}",
+		}},
+		{Name: "SiteInPeriodStudy", Type1: "Site", Type2: "Period", PosTemplates: []string{
+			"deposits at {B} near {A} were dated", // note: deliberately the weakest pattern
+		}},
+	}
+	return Spec{
+		Name:             "Paleontology",
+		Seed:             4001,
+		NumDocs:          80,
+		SentencesPerDoc:  [2]int{4, 8},
+		EntitiesPerType:  26,
+		Relations:        rels,
+		TruePairsPerRel:  14,
+		KBFraction:       0.4,
+		NegPairsPerRel:   8,
+		SeedPairsPerRel:  6,
+		ExpressProb:      0.8, // precise, unambiguous writing
+		PatternNoise:     0.04,
+		MentionsPerPair:  1.8,
+		FalsePairsPerRel: 32,
+		Malformed:        0,
+		NeutralTemplates: []string{
+			"{A} is figured on the same plate as {B}",
+			"the monograph lists {A} and {B} among the material examined",
+		},
+	}
+}
+
+// AllSystems returns generated instances of all five systems in the
+// order of Figure 7.
+func AllSystems() []*System {
+	specs := []Spec{Adversarial(), News(), Genomics(), Pharma(), Paleontology()}
+	out := make([]*System, len(specs))
+	for i, sp := range specs {
+		out[i] = Generate(sp)
+	}
+	return out
+}
+
+// SystemByName generates one system by its Figure 7 name.
+func SystemByName(name string) (*System, error) {
+	switch name {
+	case "Adversarial":
+		return Generate(Adversarial()), nil
+	case "News":
+		return Generate(News()), nil
+	case "Genomics":
+		return Generate(Genomics()), nil
+	case "Pharma", "Pharmacogenomics":
+		return Generate(Pharma()), nil
+	case "Paleontology":
+		return Generate(Paleontology()), nil
+	default:
+		return nil, fmt.Errorf("corpus: unknown system %q", name)
+	}
+}

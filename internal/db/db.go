@@ -1,0 +1,350 @@
+// Package db is the relational substrate DeepDive runs on — the role
+// Postgres/Greenplum play in the paper. It provides named relations with
+// counted multiset semantics (the derivation counts DRed incremental view
+// maintenance needs), hash indexes, and conjunctive-query evaluation used
+// by grounding.
+//
+// Counted semantics: every distinct tuple carries a derivation count. A
+// tuple is *visible* while its count is positive. Inserting an existing
+// tuple increments the count; deleting decrements it. The boolean returns
+// of Insert/Delete report visibility transitions, which is exactly the
+// delta stream downstream rules consume.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single column value. DeepDive stores everything as strings
+// (identifiers, text spans, feature keys); numeric experiments encode
+// numbers with strconv.
+type Value = string
+
+// Tuple is one row.
+type Tuple []Value
+
+// Key returns the canonical map key of a tuple. Column values may contain
+// any bytes except the 0x1f unit separator.
+func (t Tuple) Key() string { return strings.Join(t, "\x1f") }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// String renders the tuple for debugging.
+func (t Tuple) String() string { return "(" + strings.Join(t, ", ") + ")" }
+
+// TupleFromKey reverses Tuple.Key.
+func TupleFromKey(k string) Tuple { return strings.Split(k, "\x1f") }
+
+// Row is a stored tuple with its derivation count.
+type Row struct {
+	Tuple Tuple
+	Count int
+}
+
+// Relation is a named, counted multiset of tuples with lazily built hash
+// indexes. Iteration order is insertion order of first appearance, which
+// keeps every downstream computation deterministic.
+type Relation struct {
+	name    string
+	cols    []string
+	rows    map[string]*Row
+	order   []string // first-insertion order of keys (may contain dead keys)
+	dead    int      // dead entries in order (count == 0 or missing)
+	version uint64   // bumped on every visibility change
+	indexes map[string]*Index
+}
+
+// NewRelation creates an empty relation with the given column names.
+func NewRelation(name string, cols ...string) *Relation {
+	return &Relation{
+		name:    name,
+		cols:    append([]string(nil), cols...),
+		rows:    make(map[string]*Row),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Cols returns the column names (shared slice; do not mutate).
+func (r *Relation) Cols() []string { return r.cols }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.cols) }
+
+// Len returns the number of visible (count > 0) distinct tuples.
+func (r *Relation) Len() int {
+	n := 0
+	for _, row := range r.rows {
+		if row.Count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Version returns a counter that changes whenever visibility changes;
+// used by indexes to detect staleness.
+func (r *Relation) Version() uint64 { return r.version }
+
+func (r *Relation) checkArity(t Tuple) {
+	if len(t) != len(r.cols) {
+		panic(fmt.Sprintf("db: %s: tuple arity %d, want %d", r.name, len(t), len(r.cols)))
+	}
+}
+
+// Insert adds one derivation of t and reports whether the tuple became
+// visible (count went 0 → 1).
+func (r *Relation) Insert(t Tuple) bool { return r.InsertN(t, 1) }
+
+// InsertN adds n derivations (n may be negative for deletion) and reports
+// whether visibility changed in either direction.
+func (r *Relation) InsertN(t Tuple, n int) bool {
+	r.checkArity(t)
+	if n == 0 {
+		return false
+	}
+	k := t.Key()
+	row := r.rows[k]
+	fresh := row == nil
+	if fresh {
+		row = &Row{Tuple: t.Clone()}
+		r.rows[k] = row
+		r.order = append(r.order, k)
+	}
+	was := row.Count > 0
+	row.Count += n
+	if row.Count < 0 {
+		// Deleting more derivations than exist is a logic error upstream.
+		panic(fmt.Sprintf("db: %s: negative count for %v", r.name, t))
+	}
+	now := row.Count > 0
+	if was != now {
+		r.version++
+		if !now {
+			r.dead++
+			r.maybeCompact()
+		} else if !fresh {
+			r.dead--
+		}
+		return true
+	}
+	return false
+}
+
+// maybeCompact drops dead keys from the iteration order once they dominate.
+func (r *Relation) maybeCompact() {
+	if r.dead <= 64 || r.dead*2 < len(r.order) {
+		return
+	}
+	live := r.order[:0]
+	for _, k := range r.order {
+		if row := r.rows[k]; row != nil && row.Count > 0 {
+			live = append(live, k)
+		} else {
+			delete(r.rows, k)
+		}
+	}
+	r.order = live
+	r.dead = 0
+}
+
+// Delete removes one derivation of t and reports whether the tuple became
+// invisible (count went 1 → 0). Deleting an absent tuple panics.
+func (r *Relation) Delete(t Tuple) bool {
+	r.checkArity(t)
+	k := t.Key()
+	row := r.rows[k]
+	if row == nil || row.Count == 0 {
+		panic(fmt.Sprintf("db: %s: delete of absent tuple %v", r.name, t))
+	}
+	return r.InsertN(t, -1)
+}
+
+// Contains reports whether t is visible.
+func (r *Relation) Contains(t Tuple) bool {
+	row := r.rows[t.Key()]
+	return row != nil && row.Count > 0
+}
+
+// Count returns the derivation count of t (0 when absent).
+func (r *Relation) Count(t Tuple) int {
+	row := r.rows[t.Key()]
+	if row == nil {
+		return 0
+	}
+	return row.Count
+}
+
+// Each visits every visible tuple in first-insertion order. Returning
+// false from f stops the walk. f must not mutate the relation.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, k := range r.order {
+		row := r.rows[k]
+		if row == nil || row.Count <= 0 {
+			continue
+		}
+		if !f(row.Tuple) {
+			return
+		}
+	}
+}
+
+// Tuples returns all visible tuples in deterministic order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	r.Each(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Clear removes every tuple.
+func (r *Relation) Clear() {
+	r.rows = make(map[string]*Row)
+	r.order = nil
+	r.dead = 0
+	r.version++
+	r.indexes = make(map[string]*Index)
+}
+
+// Snapshot returns an independent copy of the relation (rows and counts).
+func (r *Relation) Snapshot() *Relation {
+	c := NewRelation(r.name, r.cols...)
+	for _, k := range r.order {
+		row := r.rows[k]
+		if row == nil || row.Count <= 0 {
+			continue
+		}
+		c.InsertN(row.Tuple, row.Count)
+	}
+	return c
+}
+
+// Index is a hash index on a subset of columns. It is rebuilt lazily when
+// the relation has changed since the index was built.
+type Index struct {
+	rel     *Relation
+	cols    []int
+	built   uint64
+	buckets map[string][]Tuple
+}
+
+func indexKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// IndexOn returns (building or refreshing as needed) an index on the given
+// column positions.
+func (r *Relation) IndexOn(cols ...int) *Index {
+	for _, c := range cols {
+		if c < 0 || c >= len(r.cols) {
+			panic(fmt.Sprintf("db: %s: index column %d out of range", r.name, c))
+		}
+	}
+	k := indexKey(cols)
+	idx := r.indexes[k]
+	if idx == nil {
+		idx = &Index{rel: r, cols: append([]int(nil), cols...)}
+		r.indexes[k] = idx
+	}
+	idx.refresh()
+	return idx
+}
+
+func (ix *Index) refresh() {
+	if ix.buckets != nil && ix.built == ix.rel.version {
+		return
+	}
+	ix.buckets = make(map[string][]Tuple)
+	ix.rel.Each(func(t Tuple) bool {
+		ix.buckets[ix.keyOf(t)] = append(ix.buckets[ix.keyOf(t)], t)
+		return true
+	})
+	ix.built = ix.rel.version
+}
+
+func (ix *Index) keyOf(t Tuple) string {
+	parts := make([]string, len(ix.cols))
+	for i, c := range ix.cols {
+		parts[i] = t[c]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Lookup returns the tuples whose indexed columns equal vals, in
+// deterministic order. The slice is shared; do not mutate.
+func (ix *Index) Lookup(vals ...Value) []Tuple {
+	if len(vals) != len(ix.cols) {
+		panic(fmt.Sprintf("db: index lookup with %d values, want %d", len(vals), len(ix.cols)))
+	}
+	if ix.built != ix.rel.version {
+		ix.refresh()
+	}
+	return ix.buckets[strings.Join(vals, "\x1f")]
+}
+
+// Database is a named collection of relations.
+type Database struct {
+	rels  map[string]*Relation
+	names []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Create adds a new empty relation. Creating a duplicate name errors.
+func (d *Database) Create(name string, cols ...string) (*Relation, error) {
+	if _, ok := d.rels[name]; ok {
+		return nil, fmt.Errorf("db: relation %q already exists", name)
+	}
+	r := NewRelation(name, cols...)
+	d.rels[name] = r
+	d.names = append(d.names, name)
+	return r, nil
+}
+
+// MustCreate is Create that panics on error.
+func (d *Database) MustCreate(name string, cols ...string) *Relation {
+	r, err := d.Create(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns a relation by name, or nil when absent.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Has reports whether a relation exists.
+func (d *Database) Has(name string) bool { return d.rels[name] != nil }
+
+// Names returns relation names in creation order.
+func (d *Database) Names() []string { return append([]string(nil), d.names...) }
+
+// SortedNames returns relation names alphabetically.
+func (d *Database) SortedNames() []string {
+	out := append([]string(nil), d.names...)
+	sort.Strings(out)
+	return out
+}
+
+// TotalTuples returns the number of visible tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, name := range d.names {
+		n += d.rels[name].Len()
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleKeyRoundTrip(t *testing.T) {
+	tu := Tuple{"a", "b,c", ""}
+	if got := TupleFromKey(tu.Key()); got.Key() != tu.Key() {
+		t.Fatalf("round trip: %v -> %v", tu, got)
+	}
+	if tu.String() != "(a, b,c, )" {
+		t.Fatalf("String = %q", tu.String())
+	}
+}
+
+func TestInsertDeleteVisibility(t *testing.T) {
+	r := NewRelation("R", "x", "y")
+	if !r.Insert(Tuple{"a", "1"}) {
+		t.Fatal("first insert should report newly visible")
+	}
+	if r.Insert(Tuple{"a", "1"}) {
+		t.Fatal("second insert should not report visibility change")
+	}
+	if r.Len() != 1 || r.Count(Tuple{"a", "1"}) != 2 {
+		t.Fatalf("Len=%d Count=%d", r.Len(), r.Count(Tuple{"a", "1"}))
+	}
+	if r.Delete(Tuple{"a", "1"}) {
+		t.Fatal("first delete should not change visibility (count 2→1)")
+	}
+	if !r.Delete(Tuple{"a", "1"}) {
+		t.Fatal("second delete should report invisible (count 1→0)")
+	}
+	if r.Contains(Tuple{"a", "1"}) || r.Len() != 0 {
+		t.Fatal("tuple still visible after full deletion")
+	}
+}
+
+func TestDeleteAbsentPanics(t *testing.T) {
+	r := NewRelation("R", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delete of absent tuple did not panic")
+		}
+	}()
+	r.Delete(Tuple{"zzz"})
+}
+
+func TestArityChecked(t *testing.T) {
+	r := NewRelation("R", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity insert did not panic")
+		}
+	}()
+	r.Insert(Tuple{"only-one"})
+}
+
+func TestEachDeterministicOrder(t *testing.T) {
+	r := NewRelation("R", "x")
+	for i := 0; i < 10; i++ {
+		r.Insert(Tuple{fmt.Sprint(i)})
+	}
+	var got []string
+	r.Each(func(tu Tuple) bool {
+		got = append(got, tu[0])
+		return true
+	})
+	for i, v := range got {
+		if v != fmt.Sprint(i) {
+			t.Fatalf("order[%d] = %s, want %d", i, v, i)
+		}
+	}
+	// Early stop.
+	n := 0
+	r.Each(func(Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestReinsertAfterDeleteKeepsWorking(t *testing.T) {
+	r := NewRelation("R", "x")
+	r.Insert(Tuple{"a"})
+	r.Delete(Tuple{"a"})
+	if !r.Insert(Tuple{"a"}) {
+		t.Fatal("reinsert should report newly visible")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	r := NewRelation("R", "x")
+	for i := 0; i < 300; i++ {
+		r.Insert(Tuple{fmt.Sprint(i)})
+	}
+	for i := 0; i < 290; i++ {
+		r.Delete(Tuple{fmt.Sprint(i)})
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	var got []string
+	r.Each(func(tu Tuple) bool { got = append(got, tu[0]); return true })
+	if len(got) != 10 || got[0] != "290" {
+		t.Fatalf("post-compaction iteration wrong: %v", got)
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	r := NewRelation("R", "x")
+	r.Insert(Tuple{"a"})
+	r.InsertN(Tuple{"b"}, 3)
+	s := r.Snapshot()
+	r.Delete(Tuple{"a"})
+	if !s.Contains(Tuple{"a"}) {
+		t.Fatal("snapshot affected by later mutation")
+	}
+	if s.Count(Tuple{"b"}) != 3 {
+		t.Fatalf("snapshot count = %d, want 3", s.Count(Tuple{"b"}))
+	}
+}
+
+func TestIndexLookupAndStaleness(t *testing.T) {
+	r := NewRelation("R", "x", "y")
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"a", "2"})
+	r.Insert(Tuple{"b", "1"})
+	ix := r.IndexOn(0)
+	if got := ix.Lookup("a"); len(got) != 2 {
+		t.Fatalf("Lookup(a) = %d tuples, want 2", len(got))
+	}
+	r.Insert(Tuple{"a", "3"})
+	if got := ix.Lookup("a"); len(got) != 3 {
+		t.Fatalf("stale index: Lookup(a) = %d tuples after insert, want 3", len(got))
+	}
+	ix2 := r.IndexOn(1, 0)
+	if got := ix2.Lookup("1", "a"); len(got) != 1 {
+		t.Fatalf("two-column lookup = %d, want 1", len(got))
+	}
+}
+
+func TestDatabaseCreateAndNames(t *testing.T) {
+	d := NewDatabase()
+	d.MustCreate("B", "x")
+	d.MustCreate("A", "x")
+	if _, err := d.Create("A", "x"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if !d.Has("A") || d.Has("C") {
+		t.Fatal("Has wrong")
+	}
+	if n := d.Names(); n[0] != "B" || n[1] != "A" {
+		t.Fatalf("Names = %v (want creation order)", n)
+	}
+	if n := d.SortedNames(); n[0] != "A" || n[1] != "B" {
+		t.Fatalf("SortedNames = %v", n)
+	}
+	d.Relation("A").Insert(Tuple{"t"})
+	if d.TotalTuples() != 1 {
+		t.Fatalf("TotalTuples = %d", d.TotalTuples())
+	}
+}
+
+// Property: visibility transitions from Insert/Delete always agree with a
+// shadow map implementation.
+func TestQuickCountedSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRelation("R", "x")
+		shadow := map[string]int{}
+		for step := 0; step < 300; step++ {
+			k := fmt.Sprint(rng.Intn(10))
+			tu := Tuple{k}
+			if rng.Intn(2) == 0 || shadow[k] == 0 {
+				became := r.Insert(tu)
+				shadow[k]++
+				if became != (shadow[k] == 1) {
+					return false
+				}
+			} else {
+				became := r.Delete(tu)
+				shadow[k]--
+				if became != (shadow[k] == 0) {
+					return false
+				}
+			}
+		}
+		vis := 0
+		for _, c := range shadow {
+			if c > 0 {
+				vis++
+			}
+		}
+		return vis == r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Term is one argument position of a query atom: a named variable or a
+// constant value.
+type Term struct {
+	IsVar bool
+	Var   string // variable name when IsVar
+	Const Value  // constant otherwise
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Var: name} }
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Const: v} }
+
+// QueryAtom is one conjunct of a conjunctive query: a relation and a term
+// pattern. A negated atom is an anti-join guard — the conjunction only
+// holds where no matching tuple exists.
+type QueryAtom struct {
+	Rel   *Relation
+	Terms []Term
+	Neg   bool
+}
+
+// Constraint is a comparison between two terms, evaluated once both sides
+// are bound. Supported ops: "=", "!=", "<", "<=" (numeric when both sides
+// parse as integers, lexicographic otherwise).
+type Constraint struct {
+	Op   string
+	L, R Term
+}
+
+// Binding maps variable names to values during evaluation.
+type Binding map[string]Value
+
+// Clone copies a binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+func termValue(t Term, b Binding) (Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := b[t.Var]
+	return v, ok
+}
+
+func compare(op string, l, r Value) (bool, error) {
+	switch op {
+	case "=":
+		return l == r, nil
+	case "!=":
+		return l != r, nil
+	case "<", "<=":
+		li, lerr := strconv.Atoi(l)
+		ri, rerr := strconv.Atoi(r)
+		var less, eq bool
+		if lerr == nil && rerr == nil {
+			less, eq = li < ri, li == ri
+		} else {
+			less, eq = l < r, l == r
+		}
+		if op == "<" {
+			return less, nil
+		}
+		return less || eq, nil
+	default:
+		return false, fmt.Errorf("db: unsupported constraint op %q", op)
+	}
+}
+
+// EvalJoin enumerates every binding of the conjunction (atoms ∧
+// constraints), extending init, and calls emit for each. The binding
+// passed to emit is reused across calls — clone it to retain. Returning
+// false from emit stops enumeration early. Evaluation is a left-to-right
+// index nested-loop join; constraints fire as soon as both sides are
+// bound. Negated atoms require all their variables to be bound by earlier
+// atoms (or init); unbound variables in a negated atom are an error.
+func EvalJoin(atoms []QueryAtom, cons []Constraint, init Binding, emit func(Binding) bool) error {
+	b := make(Binding, len(init)+8)
+	for k, v := range init {
+		b[k] = v
+	}
+	// Track which constraints have fired to avoid re-checking.
+	_, err := evalFrom(atoms, cons, b, 0, emit)
+	return err
+}
+
+// evalFrom recursively evaluates atoms[i:]. Returns keepGoing=false when
+// emit requested a stop.
+func evalFrom(atoms []QueryAtom, cons []Constraint, b Binding, i int, emit func(Binding) bool) (bool, error) {
+	if ok, applicable, err := checkConstraints(cons, b); err != nil {
+		return false, err
+	} else if applicable && !ok {
+		return true, nil
+	}
+	if i == len(atoms) {
+		// Final full constraint check (covers constraints over variables
+		// bound only by init).
+		for _, c := range cons {
+			lv, lok := termValue(c.L, b)
+			rv, rok := termValue(c.R, b)
+			if !lok || !rok {
+				return false, fmt.Errorf("db: constraint %v %s %v has unbound variable", c.L, c.Op, c.R)
+			}
+			ok, err := compare(c.Op, lv, rv)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		return emit(b), nil
+	}
+	atom := atoms[i]
+	if atom.Neg {
+		match, err := hasMatch(atom, b)
+		if err != nil {
+			return false, err
+		}
+		if match {
+			return true, nil
+		}
+		return evalFrom(atoms, cons, b, i+1, emit)
+	}
+
+	// Split positions into bound (index key) and free.
+	var boundCols []int
+	var boundVals []Value
+	for pos, t := range atom.Terms {
+		if v, ok := termValue(t, b); ok {
+			boundCols = append(boundCols, pos)
+			boundVals = append(boundVals, v)
+		}
+	}
+	candidates := lookupCandidates(atom.Rel, boundCols, boundVals)
+	for _, tup := range candidates {
+		newVars, ok := bindTuple(atom.Terms, tup, b)
+		if !ok {
+			continue
+		}
+		keep, err := evalFrom(atoms, cons, b, i+1, emit)
+		for _, v := range newVars {
+			delete(b, v)
+		}
+		if err != nil || !keep {
+			return keep, err
+		}
+	}
+	return true, nil
+}
+
+// checkConstraints verifies every constraint whose sides are both bound.
+// Returns ok=false (with applicable=true) on the first violated one.
+func checkConstraints(cons []Constraint, b Binding) (ok bool, applicable bool, err error) {
+	for _, c := range cons {
+		lv, lok := termValue(c.L, b)
+		rv, rok := termValue(c.R, b)
+		if !lok || !rok {
+			continue
+		}
+		pass, err := compare(c.Op, lv, rv)
+		if err != nil {
+			return false, true, err
+		}
+		if !pass {
+			return false, true, nil
+		}
+	}
+	return true, true, nil
+}
+
+// lookupCandidates fetches matching tuples using an index on the bound
+// columns (full scan when nothing is bound).
+func lookupCandidates(rel *Relation, cols []int, vals []Value) []Tuple {
+	if len(cols) == 0 {
+		return rel.Tuples()
+	}
+	return rel.IndexOn(cols...).Lookup(vals...)
+}
+
+// bindTuple extends b with the atom's free variables bound to tup's
+// values. It verifies constants and already-bound variables (including
+// repeated variables within the atom). Returns the newly bound variable
+// names for rollback, and whether the tuple matches.
+func bindTuple(terms []Term, tup Tuple, b Binding) (newVars []string, ok bool) {
+	for pos, t := range terms {
+		if !t.IsVar {
+			if tup[pos] != t.Const {
+				rollback(b, newVars)
+				return nil, false
+			}
+			continue
+		}
+		if v, bound := b[t.Var]; bound {
+			if tup[pos] != v {
+				rollback(b, newVars)
+				return nil, false
+			}
+			continue
+		}
+		b[t.Var] = tup[pos]
+		newVars = append(newVars, t.Var)
+	}
+	return newVars, true
+}
+
+func rollback(b Binding, vars []string) {
+	for _, v := range vars {
+		delete(b, v)
+	}
+}
+
+// hasMatch reports whether any tuple matches a (negated) atom under b.
+// All variables of the atom must be bound.
+func hasMatch(atom QueryAtom, b Binding) (bool, error) {
+	key := make([]Value, len(atom.Terms))
+	for pos, t := range atom.Terms {
+		v, ok := termValue(t, b)
+		if !ok {
+			return false, fmt.Errorf("db: negated atom over %s has unbound variable %q", atom.Rel.Name(), t.Var)
+		}
+		key[pos] = v
+	}
+	return atom.Rel.Contains(Tuple(key)), nil
+}
+
+// CountJoin returns the number of bindings of the conjunction.
+func CountJoin(atoms []QueryAtom, cons []Constraint, init Binding) (int, error) {
+	n := 0
+	err := EvalJoin(atoms, cons, init, func(Binding) bool {
+		n++
+		return true
+	})
+	return n, err
+}

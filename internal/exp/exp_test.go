@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment functions are exercised end to end by cmd/deepdive-exp
+// and the repository benchmarks; these tests pin their report structure
+// and the cheap invariants.
+
+func TestFig4ClosedForms(t *testing.T) {
+	r := Fig4()
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "linear") || !strings.Contains(joined, "ratio") {
+		t.Fatalf("report missing semantics rows:\n%s", joined)
+	}
+	// Linear row must show ~1, logical exactly 0.5.
+	for _, l := range r.Lines {
+		if strings.HasPrefix(l, "linear") && !strings.Contains(l, "1.0000") {
+			t.Fatalf("linear row = %q", l)
+		}
+		if strings.HasPrefix(l, "logical") && !strings.Contains(l, "0.5000") {
+			t.Fatalf("logical row = %q", l)
+		}
+	}
+}
+
+func TestFig5aSmall(t *testing.T) {
+	r := Fig5a([]int{2, 10}, 1)
+	if len(r.Lines) < 3 {
+		t.Fatalf("too few lines: %v", r.Lines)
+	}
+	// Strawman must be present (not "—") for both feasible sizes.
+	for _, l := range r.Lines[1:3] {
+		if strings.Contains(l, "—") {
+			t.Fatalf("strawman missing for feasible size: %q", l)
+		}
+	}
+}
+
+func TestFig5bAcceptanceMonotone(t *testing.T) {
+	r := Fig5b(60, []float64{0, 2.0}, 1)
+	if len(r.Lines) < 3 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	// delta = 0 row must report acceptance 1.000.
+	if !strings.Contains(r.Lines[1], "1.000") {
+		t.Fatalf("zero-delta row = %q", r.Lines[1])
+	}
+}
+
+func TestFig13SmallConverges(t *testing.T) {
+	r := Fig13([]int{4}, 1)
+	if len(r.Lines) != 2 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	if strings.Contains(r.Lines[1], ">") {
+		t.Fatalf("tiny voting program failed to converge: %q", r.Lines[1])
+	}
+}
+
+func TestFig16And17Structure(t *testing.T) {
+	r := Fig16(1)
+	if len(r.Lines) != 5 { // header + 3 strategies + note
+		t.Fatalf("Fig16 lines = %d: %v", len(r.Lines), r.Lines)
+	}
+	r = Fig17(1)
+	if len(r.Lines) < 6 {
+		t.Fatalf("Fig17 lines = %v", r.Lines)
+	}
+}
+
+func TestFig15Budget(t *testing.T) {
+	r := Fig15(Quick, 30*time.Millisecond, 1)
+	if len(r.Lines) != 6 { // header + 5 systems
+		t.Fatalf("Fig15 lines = %d: %v", len(r.Lines), r.Lines)
+	}
+}
+
+func TestPairwiseGraphShape(t *testing.T) {
+	g := pairwiseGraph(50, 2.0, 1.0, 1)
+	if g.NumVars() != 50 || g.NumGroups() != 100 {
+		t.Fatalf("graph shape: %d vars, %d groups", g.NumVars(), g.NumGroups())
+	}
+	newG, changed := perturbWeights(g, 10, 0.5)
+	if len(changed) != 10 {
+		t.Fatalf("changed = %d", len(changed))
+	}
+	if newG.Weight(newG.Group(0).Weight) == g.Weight(g.Group(0).Weight) {
+		t.Fatal("perturbation did not change the first weight")
+	}
+	if newG.NumVars() != g.NumVars() {
+		t.Fatal("perturbed graph has different variable count")
+	}
+}
+
+func TestSystemsScales(t *testing.T) {
+	quick := systems(Quick)
+	if len(quick) != 5 {
+		t.Fatalf("systems = %d", len(quick))
+	}
+	for _, s := range quick {
+		if len(s.Docs) == 0 {
+			t.Fatalf("%s: empty corpus", s.Spec.Name)
+		}
+	}
+}

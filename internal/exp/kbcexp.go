@@ -1,0 +1,348 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deepdive/internal/corpus"
+	"deepdive/internal/db"
+	"deepdive/internal/factor"
+	"deepdive/internal/ground"
+	"deepdive/internal/kbc"
+)
+
+// Fig7 reproduces the Figure 7 statistics table for the five systems,
+// grounded with the full rule inventory.
+func Fig7(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 7: statistics of the KBC systems (scaled ~2000x)"}
+	r.addf("%-14s %8s %6s %7s %9s %10s", "System", "#Docs", "#Rels", "#Rules", "#Vars", "#Factors")
+	for _, sys := range systems(sc) {
+		rr, err := kbc.Rerun(sys, kbcConfig(factor.Ratio, seed), len(kbc.IterationNames)-1)
+		if err != nil {
+			r.addf("%-14s error: %v", sys.Spec.Name, err)
+			continue
+		}
+		st := rr.Pipeline.SystemStats()
+		r.addf("%-14s %8d %6d %7d %9d %10d",
+			sys.Spec.Name, st.Docs, st.Relations, st.Rules, st.Vars, st.Factors)
+	}
+	return r
+}
+
+// buildIncPipeline grounds, learns, and materializes the snapshot-0
+// system.
+func buildIncPipeline(sys *corpus.System, cfg kbc.Config) (*kbc.Pipeline, error) {
+	p, err := kbc.NewPipeline(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.LearnFull()
+	p.InferFromScratch()
+	p.Materialize()
+	return p, nil
+}
+
+// Fig9 reproduces the Figure 9 table: per rule category and per system,
+// the inference+learning time of Rerun vs. Incremental, with the
+// speedup factor.
+func Fig9(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 9: end-to-end efficiency of incremental inference and learning"}
+	r.addf("%-14s %-5s %12s %12s %8s  %-12s", "System", "Rule", "Rerun", "Incremental", "Speedup", "Strategy")
+	for _, sys := range systems(sc) {
+		cfg := kbcConfig(factor.Ratio, seed)
+		incP, err := buildIncPipeline(sys, cfg)
+		if err != nil {
+			r.addf("%-14s error: %v", sys.Spec.Name, err)
+			continue
+		}
+		for k, rule := range kbc.IterationNames {
+			ir, err := incP.ApplyIteration(rule)
+			if err != nil {
+				r.addf("%-14s %-5s error: %v", sys.Spec.Name, rule, err)
+				break
+			}
+			rr, err := kbc.Rerun(sys, cfg, k)
+			if err != nil {
+				r.addf("%-14s %-5s rerun error: %v", sys.Spec.Name, rule, err)
+				break
+			}
+			r.addf("%-14s %-5s %12s %12s %8s  %-12s",
+				sys.Spec.Name, rule, ms(rr.Total()), ms(ir.Total()),
+				speedup(rr.Total(), ir.Total()), ir.Strategy)
+		}
+	}
+	return r
+}
+
+// Fig10a reproduces Figure 10(a): quality (F1) against cumulative
+// execution time for Rerun and Incremental on the News system.
+func Fig10a(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 10(a): quality improvement over cumulative time (News)"}
+	sys := systems(sc)[1] // News
+	cfg := kbcConfig(factor.Ratio, seed)
+
+	r.addf("%-5s %14s %8s   %14s %8s", "Rule", "rerun-cum", "F1", "inc-cum", "F1")
+	incP, err := buildIncPipeline(sys, cfg)
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	var rerunCum, incCum time.Duration
+	for k, rule := range kbc.IterationNames {
+		ir, err := incP.ApplyIteration(rule)
+		if err != nil {
+			r.addf("%s: %v", rule, err)
+			return r
+		}
+		incCum += ir.Total()
+		rr, err := kbc.Rerun(sys, cfg, k)
+		if err != nil {
+			r.addf("%s: %v", rule, err)
+			return r
+		}
+		rerunCum += rr.Total()
+		r.addf("%-5s %14s %8.3f   %14s %8.3f",
+			rule, ms(rerunCum), rr.Scores.F1, ms(incCum), ir.Scores.F1)
+	}
+	r.addf("(same quality trajectory, delivered faster — the 22x claim at paper scale)")
+	return r
+}
+
+// Fig10b reproduces Figure 10(b): F1 of the three semantics per system.
+func Fig10b(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 10(b): quality (F1) of different semantics"}
+	r.addf("%-10s %-14s %-10s %-8s %-14s", "", "Adversarial", "News", "Genomics", "Pharma/Paleo")
+	sysList := systems(sc)
+	names := []string{"Adversarial", "News", "Genomics", "Pharma", "Paleontology"}
+	r.Lines = r.Lines[:0]
+	header := fmt.Sprintf("%-9s", "Sem")
+	for _, n := range names {
+		header += fmt.Sprintf(" %12s", n)
+	}
+	r.Lines = append(r.Lines, header)
+	for _, sem := range []factor.Semantics{factor.Linear, factor.Logical, factor.Ratio} {
+		line := fmt.Sprintf("%-9s", sem)
+		for _, sys := range sysList {
+			rr, err := kbc.Rerun(sys, kbcConfig(sem, seed), len(kbc.IterationNames)-1)
+			if err != nil {
+				line += fmt.Sprintf(" %12s", "err")
+				continue
+			}
+			line += fmt.Sprintf(" %12.3f", rr.Scores.F1)
+		}
+		r.Lines = append(r.Lines, line)
+	}
+	return r
+}
+
+// Fig6Lambdas is the regularization sweep of Figure 6.
+var Fig6Lambdas = []float64{0.001, 0.01, 0.1, 1, 10}
+
+// Fig6 reproduces Figure 6: quality (F1) and the approximate graph's
+// factor count under different variational regularization parameters, on
+// the News system with a supervision update (the workload that routes to
+// the variational strategy).
+func Fig6(sc Scale, lambdas []float64, seed int64) *Report {
+	r := &Report{Title: "Figure 6: variational λ sweep on News (quality and #factors)"}
+	r.addf("%10s %10s %10s %12s", "lambda", "F1", "#factors", "inf-time")
+	sys := systems(sc)[1]
+	for _, lambda := range lambdas {
+		cfg := kbcConfig(factor.Ratio, seed)
+		cfg.Lambda = lambda
+		// Materialize a mature graph (through I1, which contributes the
+		// pairwise correlations the relaxation sparsifies), then apply the
+		// supervision rule S1 — the workload that routes to variational.
+		rr, err := kbc.Rerun(sys, cfg, 3)
+		if err != nil {
+			r.addf("λ=%g: %v", lambda, err)
+			continue
+		}
+		p := rr.Pipeline
+		p.Materialize()
+		ir, err := p.ApplyIteration("S1")
+		if err != nil {
+			r.addf("λ=%g: %v", lambda, err)
+			continue
+		}
+		nf := 0
+		if vm := p.Engine().Variational(); vm != nil {
+			nf = vm.NumFactors()
+		}
+		r.addf("%10g %10.3f %10d %12s", lambda, ir.Scores.F1, nf, ms(ir.InferTime))
+	}
+	r.addf("(small λ: dense approximation; large λ: sparse and fast, quality degrades past the safe region)")
+	return r
+}
+
+// Fig11 reproduces the Figure 11 lesion study on one system: inference
+// time per rule with the full optimizer vs. NoSampling vs. NoRelaxation
+// (variational disabled) vs. NoWorkloadInfo.
+func Fig11(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 11: lesion study of the materialization tradeoff (News)"}
+	r.addf("%-5s %12s %12s %12s %12s", "Rule", "Full", "NoSampling", "NoRelax", "NoWorkload")
+	sys := systems(sc)[1]
+	variants := []struct {
+		name string
+		mut  func(*kbc.Config)
+	}{
+		{"Full", func(c *kbc.Config) {}},
+		{"NoSampling", func(c *kbc.Config) { c.DisableSampling = true }},
+		{"NoRelax", func(c *kbc.Config) { c.DisableVariational = true }},
+		{"NoWorkload", func(c *kbc.Config) { c.IgnoreWorkload = true }},
+	}
+	times := make(map[string]map[string]time.Duration)
+	for _, v := range variants {
+		cfg := kbcConfig(factor.Ratio, seed)
+		v.mut(&cfg)
+		p, err := buildIncPipeline(sys, cfg)
+		if err != nil {
+			r.addf("%s: %v", v.name, err)
+			return r
+		}
+		times[v.name] = map[string]time.Duration{}
+		for _, rule := range kbc.IterationNames {
+			ir, err := p.ApplyIteration(rule)
+			if err != nil {
+				r.addf("%s/%s: %v", v.name, rule, err)
+				return r
+			}
+			times[v.name][rule] = ir.InferTime
+		}
+	}
+	for _, rule := range kbc.IterationNames {
+		r.addf("%-5s %12s %12s %12s %12s", rule,
+			ms(times["Full"][rule]), ms(times["NoSampling"][rule]),
+			ms(times["NoRelax"][rule]), ms(times["NoWorkload"][rule]))
+	}
+	return r
+}
+
+// Fig14 reproduces the Figure 14 lesion: inference time with and without
+// the Algorithm 2 decomposition.
+func Fig14(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Figure 14: lesion study of decomposition (News)"}
+	r.addf("%-5s %12s %16s %14s %14s", "Rule", "All", "NoDecomposition", "acc(All)", "acc(NoDec)")
+	sys := systems(sc)[1]
+
+	run := func(noDec bool) (map[string]time.Duration, map[string]float64, error) {
+		cfg := kbcConfig(factor.Ratio, seed)
+		cfg.NoDecompose = noDec
+		p, err := buildIncPipeline(sys, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := map[string]time.Duration{}
+		a := map[string]float64{}
+		for _, rule := range kbc.IterationNames {
+			ir, err := p.ApplyIteration(rule)
+			if err != nil {
+				return nil, nil, err
+			}
+			t[rule] = ir.InferTime
+			a[rule] = ir.Acceptance
+		}
+		return t, a, nil
+	}
+	tAll, aAll, err := run(false)
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	tNo, aNo, err := run(true)
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	for _, rule := range kbc.IterationNames {
+		r.addf("%-5s %12s %16s %14.2f %14.2f",
+			rule, ms(tAll[rule]), ms(tNo[rule]), aAll[rule], aNo[rule])
+	}
+	r.addf("(without decomposition, any change collapses the global acceptance test)")
+	return r
+}
+
+// Fig15 reproduces Figure 15: how many samples each system materializes
+// within a fixed wall-clock budget (the paper's 8 hours, scaled to the
+// given budget).
+func Fig15(sc Scale, budget time.Duration, seed int64) *Report {
+	r := &Report{Title: fmt.Sprintf("Figure 15: samples materialized within %v", budget)}
+	r.addf("%-14s %12s", "System", "#Samples")
+	for _, sys := range systems(sc) {
+		cfg := kbcConfig(factor.Ratio, seed)
+		cfg.MatSamples = 10 // the budget loop does the real work
+		p, err := buildIncPipeline(sys, cfg)
+		if err != nil {
+			r.addf("%-14s error: %v", sys.Spec.Name, err)
+			continue
+		}
+		n := p.Engine().MaterializeForBudget(budget)
+		r.addf("%-14s %12d", sys.Spec.Name, n)
+	}
+	return r
+}
+
+// Grounding reproduces the incremental-grounding claim of Sections 1/4.2
+// (up to 360× for FE1 on News at paper scale): time to fold a new-document
+// delta into the grounding incrementally versus re-grounding from
+// scratch.
+func Grounding(sc Scale, seed int64) *Report {
+	r := &Report{Title: "Incremental grounding: delta evaluation vs. full re-grounding (News + FE1)"}
+	sys := systems(sc)[1]
+	cfg := kbcConfig(factor.Ratio, seed)
+	p, err := kbc.NewPipeline(sys, cfg)
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	// Install FE1 so the delta has feature work to do.
+	rules, err := kbc.ParseIteration(sys, p.BaseSrc, "FE1")
+	if err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+	if _, err := p.G.ApplyUpdate(ground.Update{NewRules: rules}); err != nil {
+		r.addf("error: %v", err)
+		return r
+	}
+
+	// The delta: one new document's worth of base tuples.
+	extra := corpus.Generate(func() corpus.Spec {
+		s := sys.Spec
+		s.Seed += 999
+		s.NumDocs = 2
+		s.TruePairsPerRel = 2
+		s.FalsePairsPerRel = 2
+		return s
+	}())
+	delta := kbc.BaseTuples(extra)
+	// Rename sentence and mention ids so they do not collide with the
+	// existing corpus (mid format: m:<sid>:<start>:<end>).
+	ins := map[string][]db.Tuple{}
+	for _, t := range delta["Sentence"] {
+		ins["Sentence"] = append(ins["Sentence"], db.Tuple{"x" + t[0], t[1]})
+	}
+	for _, t := range delta["Mention"] {
+		newMid := "m:x" + strings.TrimPrefix(t[0], "m:")
+		ins["Mention"] = append(ins["Mention"], db.Tuple{newMid, "x" + t[1], t[2], t[3]})
+	}
+
+	start := time.Now()
+	if _, err := p.G.ApplyUpdate(ground.Update{Inserts: ins}); err != nil {
+		r.addf("incremental error: %v", err)
+		return r
+	}
+	incTime := time.Since(start)
+
+	start = time.Now()
+	if err := p.G.Ground(); err != nil {
+		r.addf("full reground error: %v", err)
+		return r
+	}
+	fullTime := time.Since(start)
+
+	r.addf("full re-grounding: %s", ms(fullTime))
+	r.addf("incremental delta: %s", ms(incTime))
+	r.addf("speedup:           %s", speedup(fullTime, incTime))
+	return r
+}

@@ -1,0 +1,371 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarID identifies a Boolean random variable in a Graph.
+type VarID int32
+
+// NoVar marks an absent variable reference.
+const NoVar VarID = -1
+
+// WeightID indexes the tied-weight table of a Graph. Weight tying
+// (Section 2.3 of the paper) means many groups may share one WeightID.
+type WeightID int32
+
+// Literal is one body conjunct: a variable reference, possibly negated.
+type Literal struct {
+	Var VarID
+	Neg bool
+}
+
+// Grounding is one grounding of a rule body: a conjunction of literals.
+// It is satisfied in a world when every literal holds.
+type Grounding struct {
+	Lits []Literal
+}
+
+// Group is one grounded Boolean rule γ = (q, w): the head variable, the
+// tied weight, the counting semantics, and all body groundings. The energy
+// contribution of the group is w · sign(head) · g(#satisfied groundings).
+type Group struct {
+	Head       VarID
+	Weight     WeightID
+	Sem        Semantics
+	Groundings []Grounding
+}
+
+// headOcc and bodyOcc are adjacency records built by Freeze.
+type bodyOcc struct {
+	group int32
+	gnd   int32
+	nPos  uint16 // positive occurrences of the var in the grounding
+	nNeg  uint16 // negated occurrences
+}
+
+// Graph is an immutable grounded factor graph: variables, evidence
+// assignments, tied weights, and rule groups, plus adjacency indexes for
+// fast Gibbs updates. Build one through a Builder.
+type Graph struct {
+	numVars  int
+	evidence []bool // per variable: value is fixed
+	evValue  []bool // fixed value (meaningful when evidence)
+	weights  []float64
+	groups   []Group
+
+	headAdj [][]int32   // var -> groups it heads
+	bodyAdj [][]bodyOcc // var -> body occurrences
+	nGnd    int         // total groundings across groups
+}
+
+// NumVars returns the number of variables.
+func (g *Graph) NumVars() int { return g.numVars }
+
+// NumGroups returns the number of rule groups.
+func (g *Graph) NumGroups() int { return len(g.groups) }
+
+// NumGroundings returns the total grounding (factor) count, the paper's
+// "# factors".
+func (g *Graph) NumGroundings() int { return g.nGnd }
+
+// NumWeights returns the size of the tied-weight table.
+func (g *Graph) NumWeights() int { return len(g.weights) }
+
+// Group returns group i. The caller must not mutate it.
+func (g *Graph) Group(i int) *Group { return &g.groups[i] }
+
+// Weight returns the current value of weight w.
+func (g *Graph) Weight(w WeightID) float64 { return g.weights[w] }
+
+// SetWeight assigns weight w. States derived from the graph observe the
+// change immediately (weights are read at evaluation time).
+func (g *Graph) SetWeight(w WeightID, v float64) { g.weights[w] = v }
+
+// Weights returns the live weight slice (shared, not a copy).
+func (g *Graph) Weights() []float64 { return g.weights }
+
+// SetWeights replaces all weight values. len(vals) must match NumWeights.
+func (g *Graph) SetWeights(vals []float64) {
+	if len(vals) != len(g.weights) {
+		panic(fmt.Sprintf("factor: SetWeights got %d values, want %d", len(vals), len(g.weights)))
+	}
+	copy(g.weights, vals)
+}
+
+// IsEvidence reports whether v has a fixed value.
+func (g *Graph) IsEvidence(v VarID) bool { return g.evidence[v] }
+
+// EvidenceValue returns the fixed value of an evidence variable.
+func (g *Graph) EvidenceValue(v VarID) bool { return g.evValue[v] }
+
+// SetEvidence fixes (or, with ev=false, releases) the value of a variable.
+// Used by supervision-rule updates; States must be rebuilt or re-synced
+// afterwards.
+func (g *Graph) SetEvidence(v VarID, ev bool, val bool) {
+	g.evidence[v] = ev
+	g.evValue[v] = val
+}
+
+// AdjacentGroups returns the indices of every group variable v touches
+// (as head or in a body), deduplicated, in ascending order of first touch.
+func (g *Graph) AdjacentGroups(v VarID) []int32 {
+	seen := make(map[int32]struct{}, len(g.headAdj[v])+len(g.bodyAdj[v]))
+	var out []int32
+	for _, gi := range g.headAdj[v] {
+		if _, ok := seen[gi]; !ok {
+			seen[gi] = struct{}{}
+			out = append(out, gi)
+		}
+	}
+	for _, occ := range g.bodyAdj[v] {
+		if _, ok := seen[occ.group]; !ok {
+			seen[occ.group] = struct{}{}
+			out = append(out, occ.group)
+		}
+	}
+	return out
+}
+
+// groupEnergy evaluates one group's energy from scratch under assign.
+func (g *Graph) groupEnergy(gr *Group, assign []bool) float64 {
+	n := 0
+	for _, gnd := range gr.Groundings {
+		sat := true
+		for _, lit := range gnd.Lits {
+			if assign[lit.Var] == lit.Neg {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			n++
+		}
+	}
+	sign := -1.0
+	if assign[gr.Head] {
+		sign = 1.0
+	}
+	return g.weights[gr.Weight] * sign * gr.Sem.G(n)
+}
+
+// Energy computes Ŵ(F, I) = Σ_γ w(γ, I) from scratch for the complete
+// assignment. Used by the strawman materialization and for testing; Gibbs
+// uses incremental support counters instead.
+func (g *Graph) Energy(assign []bool) float64 {
+	if len(assign) != g.numVars {
+		panic(fmt.Sprintf("factor: Energy got %d assignments, want %d", len(assign), g.numVars))
+	}
+	var e float64
+	for i := range g.groups {
+		e += g.groupEnergy(&g.groups[i], assign)
+	}
+	return e
+}
+
+// EnergyOfGroups evaluates only the listed groups under assign. Incremental
+// Metropolis-Hastings uses this to score the changed factors ΔF without
+// touching the rest of the graph (Section 3.2.2).
+func (g *Graph) EnergyOfGroups(assign []bool, groups []int32) float64 {
+	var e float64
+	for _, gi := range groups {
+		e += g.groupEnergy(&g.groups[gi], assign)
+	}
+	return e
+}
+
+// PairAdjacency returns, for each unordered variable pair co-occurring in
+// some group (head-body or body-body within a grounding, plus head with
+// every body var of the group), a flattened n×n boolean pattern. This is
+// the NZ set of Algorithm 1. The diagonal is set. Only call on small
+// graphs (the variational approach runs it per decomposition component).
+func (g *Graph) PairAdjacency() []bool {
+	n := g.numVars
+	pat := make([]bool, n*n)
+	mark := func(a, b VarID) {
+		pat[int(a)*n+int(b)] = true
+		pat[int(b)*n+int(a)] = true
+	}
+	for i := 0; i < n; i++ {
+		pat[i*n+i] = true
+	}
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		for _, gnd := range gr.Groundings {
+			for ai, la := range gnd.Lits {
+				mark(gr.Head, la.Var)
+				for _, lb := range gnd.Lits[ai+1:] {
+					mark(la.Var, lb.Var)
+				}
+			}
+		}
+	}
+	return pat
+}
+
+// MarginalOfIsolated computes the exact marginal of a variable whose
+// adjacent groups reference no other free variables, by direct evaluation
+// of the two worlds. Returns NaN when the variable is not isolated in that
+// sense. Used in tests and calibration checks.
+func (g *Graph) MarginalOfIsolated(v VarID, assign []bool) float64 {
+	adj := g.AdjacentGroups(v)
+	for _, gi := range adj {
+		gr := &g.groups[gi]
+		if gr.Head != v && !g.evidence[gr.Head] {
+			return math.NaN()
+		}
+		for _, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				if lit.Var != v && !g.evidence[lit.Var] {
+					return math.NaN()
+				}
+			}
+		}
+	}
+	work := make([]bool, len(assign))
+	copy(work, assign)
+	work[v] = true
+	e1 := g.EnergyOfGroups(work, adj)
+	work[v] = false
+	e0 := g.EnergyOfGroups(work, adj)
+	return 1 / (1 + math.Exp(e0-e1))
+}
+
+// Builder accumulates variables, weights, and groups, then freezes them
+// into a Graph. The zero value is ready to use.
+type Builder struct {
+	evidence []bool
+	evValue  []bool
+	weights  []float64
+	groups   []Group
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// NewBuilderFrom seeds a Builder with a deep copy of an existing graph, so
+// incremental updates can extend it (ΔV, ΔF) and rebuild.
+func NewBuilderFrom(g *Graph) *Builder {
+	b := &Builder{
+		evidence: append([]bool(nil), g.evidence...),
+		evValue:  append([]bool(nil), g.evValue...),
+		weights:  append([]float64(nil), g.weights...),
+		groups:   make([]Group, len(g.groups)),
+	}
+	for i, gr := range g.groups {
+		ng := Group{Head: gr.Head, Weight: gr.Weight, Sem: gr.Sem, Groundings: make([]Grounding, len(gr.Groundings))}
+		for j, gnd := range gr.Groundings {
+			ng.Groundings[j] = Grounding{Lits: append([]Literal(nil), gnd.Lits...)}
+		}
+		b.groups[i] = ng
+	}
+	return b
+}
+
+// AddVar registers a new free variable and returns its id.
+func (b *Builder) AddVar() VarID {
+	b.evidence = append(b.evidence, false)
+	b.evValue = append(b.evValue, false)
+	return VarID(len(b.evidence) - 1)
+}
+
+// AddEvidenceVar registers a new evidence variable fixed to val.
+func (b *Builder) AddEvidenceVar(val bool) VarID {
+	b.evidence = append(b.evidence, true)
+	b.evValue = append(b.evValue, val)
+	return VarID(len(b.evidence) - 1)
+}
+
+// SetEvidence marks an existing variable as evidence with the given value.
+func (b *Builder) SetEvidence(v VarID, val bool) {
+	b.evidence[v] = true
+	b.evValue[v] = val
+}
+
+// ClearEvidence releases an evidence variable back to a free variable.
+func (b *Builder) ClearEvidence(v VarID) { b.evidence[v] = false }
+
+// NumVars returns the number of variables added so far.
+func (b *Builder) NumVars() int { return len(b.evidence) }
+
+// AddWeight registers a weight with an initial value and returns its id.
+func (b *Builder) AddWeight(v float64) WeightID {
+	b.weights = append(b.weights, v)
+	return WeightID(len(b.weights) - 1)
+}
+
+// NumWeights returns the number of weights added so far.
+func (b *Builder) NumWeights() int { return len(b.weights) }
+
+// AddGroup appends a rule group. Groundings are retained, not copied.
+func (b *Builder) AddGroup(head VarID, w WeightID, sem Semantics, groundings []Grounding) int {
+	b.groups = append(b.groups, Group{Head: head, Weight: w, Sem: sem, Groundings: groundings})
+	return len(b.groups) - 1
+}
+
+// Build validates the accumulated structure and freezes it into a Graph
+// with adjacency indexes.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.evidence)
+	g := &Graph{
+		numVars:  n,
+		evidence: b.evidence,
+		evValue:  b.evValue,
+		weights:  b.weights,
+		groups:   b.groups,
+		headAdj:  make([][]int32, n),
+		bodyAdj:  make([][]bodyOcc, n),
+	}
+	type occKey struct {
+		v   VarID
+		gnd int32
+	}
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		if gr.Head < 0 || int(gr.Head) >= n {
+			return nil, fmt.Errorf("factor: group %d head %d out of range [0,%d)", gi, gr.Head, n)
+		}
+		if gr.Weight < 0 || int(gr.Weight) >= len(g.weights) {
+			return nil, fmt.Errorf("factor: group %d weight %d out of range [0,%d)", gi, gr.Weight, len(g.weights))
+		}
+		g.headAdj[gr.Head] = append(g.headAdj[gr.Head], int32(gi))
+		g.nGnd += len(gr.Groundings)
+		// Collect per-(var, grounding) occurrence counts.
+		occ := make(map[occKey]*bodyOcc)
+		var order []occKey
+		for gndi, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				if lit.Var < 0 || int(lit.Var) >= n {
+					return nil, fmt.Errorf("factor: group %d grounding %d references var %d out of range [0,%d)", gi, gndi, lit.Var, n)
+				}
+				k := occKey{lit.Var, int32(gndi)}
+				o := occ[k]
+				if o == nil {
+					o = &bodyOcc{group: int32(gi), gnd: int32(gndi)}
+					occ[k] = o
+					order = append(order, k)
+				}
+				if lit.Neg {
+					o.nNeg++
+				} else {
+					o.nPos++
+				}
+			}
+		}
+		for _, k := range order {
+			g.bodyAdj[k.v] = append(g.bodyAdj[k.v], *occ[k])
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are known valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,91 @@
+package factor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSemanticsG(t *testing.T) {
+	cases := []struct {
+		sem  Semantics
+		n    int
+		want float64
+	}{
+		{Linear, 0, 0},
+		{Linear, 5, 5},
+		{Logical, 0, 0},
+		{Logical, 1, 1},
+		{Logical, 1000, 1},
+		{Ratio, 0, 0},
+		{Ratio, 1, math.Log(2)},
+		{Ratio, 9, math.Log(10)},
+	}
+	for _, c := range cases {
+		if got := c.sem.G(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.G(%d) = %v, want %v", c.sem, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if Linear.String() != "linear" || Logical.String() != "logical" || Ratio.String() != "ratio" {
+		t.Fatalf("String() mismatch: %v %v %v", Linear, Logical, Ratio)
+	}
+	if s := Semantics(99).String(); s != "Semantics(99)" {
+		t.Fatalf("unknown semantics String() = %q", s)
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	for _, name := range []string{"linear", "logical", "ratio"} {
+		s, err := ParseSemantics(name)
+		if err != nil {
+			t.Fatalf("ParseSemantics(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Fatalf("round trip %q -> %v", name, s)
+		}
+	}
+	if _, err := ParseSemantics("nope"); err == nil {
+		t.Fatal("ParseSemantics accepted unknown name")
+	}
+}
+
+func TestSemanticsGPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("G on unknown semantics did not panic")
+		}
+	}()
+	Semantics(42).G(1)
+}
+
+// TestVotingExampleClosedForm reproduces Example 2.5 of the paper exactly:
+// q() :- Up(x) weight 1 and q() :- Down(x) weight -1, with |Up| = 10⁶ and
+// |Down| = 10⁶ − 100 — checked against the closed form
+// Pr[q] = e^W / (e^-W + e^W), W = g(|Up|) − g(|Down|).
+func TestVotingExampleClosedForm(t *testing.T) {
+	up, down := 1_000_000, 1_000_000-100
+	for _, c := range []struct {
+		sem     Semantics
+		wantLow float64
+		wantHi  float64
+	}{
+		{Linear, 1 - 1e-40, 1.0},        // ≈ 1 − e⁻²⁰⁰
+		{Ratio, 0.5 - 1e-4, 0.5 + 1e-4}, // ≈ 0.5
+		{Logical, 0.5, 0.5},             // exactly 0.5
+	} {
+		w := c.sem.G(up) - c.sem.G(down)
+		p := math.Exp(w) / (math.Exp(-w) + math.Exp(w))
+		if p < c.wantLow || p > c.wantHi {
+			t.Errorf("%v: Pr[q] = %v, want in [%v, %v]", c.sem, p, c.wantLow, c.wantHi)
+		}
+	}
+	// Logical with |Down| = 1 still gives exactly 0.5 — the paper's point
+	// that logical semantics ignores vote strength.
+	w := Logical.G(up) - Logical.G(1)
+	p := math.Exp(w) / (math.Exp(-w) + math.Exp(w))
+	if p != 0.5 {
+		t.Errorf("logical with one down-vote: Pr[q] = %v, want 0.5", p)
+	}
+}

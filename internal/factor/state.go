@@ -1,0 +1,275 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is one mutable possible world over a Graph: a full assignment plus
+// incrementally maintained support counters (per-grounding unsatisfied
+// literal counts and per-group satisfied-grounding counts). Multiple
+// States may share one Graph; a State is not safe for concurrent use.
+type State struct {
+	G      *Graph
+	Assign []bool
+
+	unsat [][]uint16 // per group, per grounding: # unsatisfied literals
+	sat   []int32    // per group: # satisfied groundings
+}
+
+// NewState builds a State with every free variable false and evidence
+// variables at their fixed values.
+func NewState(g *Graph) *State {
+	assign := make([]bool, g.numVars)
+	for v := 0; v < g.numVars; v++ {
+		if g.evidence[v] {
+			assign[v] = g.evValue[v]
+		}
+	}
+	return NewStateWith(g, assign)
+}
+
+// NewStateWith builds a State from an explicit assignment. Evidence
+// variables are forced to their fixed values regardless of assign.
+func NewStateWith(g *Graph, assign []bool) *State {
+	if len(assign) != g.numVars {
+		panic(fmt.Sprintf("factor: NewStateWith got %d assignments, want %d", len(assign), g.numVars))
+	}
+	s := &State{
+		G:      g,
+		Assign: append([]bool(nil), assign...),
+		unsat:  make([][]uint16, len(g.groups)),
+		sat:    make([]int32, len(g.groups)),
+	}
+	for v := 0; v < g.numVars; v++ {
+		if g.evidence[v] {
+			s.Assign[v] = g.evValue[v]
+		}
+	}
+	s.Recount()
+	return s
+}
+
+// Recount rebuilds all support counters from the current assignment.
+// Needed after evidence changes on the shared Graph.
+func (s *State) Recount() {
+	g := s.G
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		if s.unsat[gi] == nil || len(s.unsat[gi]) != len(gr.Groundings) {
+			s.unsat[gi] = make([]uint16, len(gr.Groundings))
+		}
+		var sat int32
+		for gndi, gnd := range gr.Groundings {
+			var u uint16
+			for _, lit := range gnd.Lits {
+				if s.Assign[lit.Var] == lit.Neg {
+					u++
+				}
+			}
+			s.unsat[gi][gndi] = u
+			if u == 0 {
+				sat++
+			}
+		}
+		s.sat[gi] = sat
+	}
+}
+
+// Support returns the current satisfied-grounding count of group gi.
+func (s *State) Support(gi int) int { return int(s.sat[gi]) }
+
+// Energy returns the total energy of the current world, computed from the
+// maintained counters (O(#groups)).
+func (s *State) Energy() float64 {
+	var e float64
+	g := s.G
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		sign := -1.0
+		if s.Assign[gr.Head] {
+			sign = 1.0
+		}
+		e += g.weights[gr.Weight] * sign * gr.Sem.G(int(s.sat[gi]))
+	}
+	return e
+}
+
+// supportIf returns the satisfied count of group gi if variable v were set
+// to val, leaving all other variables at their current values. Runs over
+// v's occurrences in the group only.
+func (s *State) supportIf(gi int32, v VarID, val bool) int32 {
+	n := s.sat[gi]
+	cur := s.Assign[v]
+	for _, occ := range s.G.bodyAdj[v] {
+		if occ.group != gi {
+			continue
+		}
+		u := s.unsat[occ.group][occ.gnd]
+		// Contribution of v's literals to the unsat count now and after.
+		var now, after uint16
+		if cur {
+			now = occ.nNeg
+		} else {
+			now = occ.nPos
+		}
+		if val {
+			after = occ.nNeg
+		} else {
+			after = occ.nPos
+		}
+		uAfter := u - now + after
+		if u == 0 && uAfter != 0 {
+			n--
+		} else if u != 0 && uAfter == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EnergyDelta returns E(v=true) − E(v=false) conditioned on the rest of
+// the current assignment. This is the quantity Gibbs needs:
+// P(v=1 | rest) = sigmoid(EnergyDelta(v)).
+func (s *State) EnergyDelta(v VarID) float64 {
+	g := s.G
+	var delta float64
+	// Groups where v is the head: sign flips with v. If v also appears in
+	// the body of the same group, supportIf handles the count under each
+	// value; headAdj covers the sign part only, so treat those fully here.
+	for _, gi := range g.headAdj[v] {
+		gr := &g.groups[gi]
+		w := g.weights[gr.Weight]
+		n1 := s.supportIf(gi, v, true)
+		n0 := s.supportIf(gi, v, false)
+		delta += w * (gr.Sem.G(int(n1)) + gr.Sem.G(int(n0)))
+		// E(v=1) = +w·g(n1); E(v=0) = −w·g(n0) ⇒ diff = w·(g(n1)+g(n0)).
+	}
+	// Groups where v appears only in bodies (head ≠ v): sign fixed by the
+	// head's current value. Deduplicate body groups (a var can occur in
+	// many groundings of one group); bodyAdj entries for one group are
+	// contiguous because Build appends per group.
+	adj := g.bodyAdj[v]
+	for i := 0; i < len(adj); {
+		gi := adj[i].group
+		j := i + 1
+		for j < len(adj) && adj[j].group == gi {
+			j++
+		}
+		i = j
+		gr := &g.groups[gi]
+		if gr.Head == v {
+			continue
+		}
+		sign := -1.0
+		if s.Assign[gr.Head] {
+			sign = 1.0
+		}
+		w := g.weights[gr.Weight]
+		n1 := s.supportIf(gi, v, true)
+		n0 := s.supportIf(gi, v, false)
+		delta += w * sign * (gr.Sem.G(int(n1)) - gr.Sem.G(int(n0)))
+	}
+	return delta
+}
+
+// CondProb returns P(v = true | rest of assignment).
+func (s *State) CondProb(v VarID) float64 {
+	return 1 / (1 + math.Exp(-s.EnergyDelta(v)))
+}
+
+// Set assigns variable v to val, updating support counters incrementally.
+// Setting an evidence variable panics.
+func (s *State) Set(v VarID, val bool) {
+	if s.G.evidence[v] {
+		panic(fmt.Sprintf("factor: Set on evidence variable %d", v))
+	}
+	s.setAny(v, val)
+}
+
+// setAny performs the flip without the evidence guard (used by SyncEvidence).
+func (s *State) setAny(v VarID, val bool) {
+	cur := s.Assign[v]
+	if cur == val {
+		return
+	}
+	s.Assign[v] = val
+	for _, occ := range s.G.bodyAdj[v] {
+		u := s.unsat[occ.group][occ.gnd]
+		var now, after uint16
+		if cur {
+			now = occ.nNeg
+		} else {
+			now = occ.nPos
+		}
+		if val {
+			after = occ.nNeg
+		} else {
+			after = occ.nPos
+		}
+		uAfter := u - now + after
+		if uAfter != u {
+			s.unsat[occ.group][occ.gnd] = uAfter
+			if u == 0 && uAfter != 0 {
+				s.sat[occ.group]--
+			} else if u != 0 && uAfter == 0 {
+				s.sat[occ.group]++
+			}
+		}
+	}
+}
+
+// SyncEvidence re-reads evidence flags/values from the shared Graph and
+// forces evidence variables to their fixed values, updating counters.
+func (s *State) SyncEvidence() {
+	for v := 0; v < s.G.numVars; v++ {
+		if s.G.evidence[v] && s.Assign[v] != s.G.evValue[v] {
+			s.setAny(VarID(v), s.G.evValue[v])
+		}
+	}
+}
+
+// CopyAssignment copies the current assignment into dst (allocating when
+// dst is too small) and returns it.
+func (s *State) CopyAssignment(dst []bool) []bool {
+	if cap(dst) < len(s.Assign) {
+		dst = make([]bool, len(s.Assign))
+	}
+	dst = dst[:len(s.Assign)]
+	copy(dst, s.Assign)
+	return dst
+}
+
+// SetAssignment overwrites the whole assignment (respecting evidence) and
+// recounts. Used when adopting a proposal world wholesale.
+func (s *State) SetAssignment(assign []bool) {
+	if len(assign) != s.G.numVars {
+		panic(fmt.Sprintf("factor: SetAssignment got %d values, want %d", len(assign), s.G.numVars))
+	}
+	copy(s.Assign, assign)
+	for v := 0; v < s.G.numVars; v++ {
+		if s.G.evidence[v] {
+			s.Assign[v] = s.G.evValue[v]
+		}
+	}
+	s.Recount()
+}
+
+// WeightStats accumulates, for each weight id, the statistic
+// Σ_groups sign(head)·g(n) of the current world into out. This is the
+// sufficient statistic for maximum-likelihood weight learning:
+// ∂ log Pr[I] / ∂w_k = stat_k(I) − E[stat_k]. len(out) must be NumWeights.
+func (s *State) WeightStats(out []float64) {
+	g := s.G
+	if len(out) != len(g.weights) {
+		panic(fmt.Sprintf("factor: WeightStats got %d slots, want %d", len(out), len(g.weights)))
+	}
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		sign := -1.0
+		if s.Assign[gr.Head] {
+			sign = 1.0
+		}
+		out[gr.Weight] += sign * gr.Sem.G(int(s.sat[gi]))
+	}
+}

@@ -1,0 +1,179 @@
+// Package gibbs implements the Gibbs sampling machinery DeepDive uses for
+// statistical inference (Section 2.5 of the paper): a scan sampler over a
+// factor.Graph, marginal-probability estimation, bit-packed sample
+// storage ("tuple bundles", after MCDB), and convergence probes used by
+// the semantics experiments of Appendix A.
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+
+	"deepdive/internal/factor"
+)
+
+// Sampler runs Gibbs sweeps over the free variables of a factor graph.
+// It owns a State; callers that need the current world read
+// Sampler.State.Assign. Not safe for concurrent use.
+type Sampler struct {
+	State *factor.State
+	rng   *rand.Rand
+	free  []factor.VarID // non-evidence variables, scan order
+}
+
+// New creates a sampler over g with a fresh all-false (plus evidence)
+// initial state and a deterministic RNG seeded with seed.
+func New(g *factor.Graph, seed int64) *Sampler {
+	return FromState(factor.NewState(g), seed)
+}
+
+// FromState wraps an existing state. The sampler takes ownership.
+func FromState(st *factor.State, seed int64) *Sampler {
+	s := &Sampler{State: st, rng: rand.New(rand.NewSource(seed))}
+	g := st.G
+	for v := 0; v < g.NumVars(); v++ {
+		if !g.IsEvidence(factor.VarID(v)) {
+			s.free = append(s.free, factor.VarID(v))
+		}
+	}
+	return s
+}
+
+// NumFree returns the number of free (sampled) variables.
+func (s *Sampler) NumFree() int { return len(s.free) }
+
+// FreeVars returns the free-variable scan order (shared slice; do not
+// mutate).
+func (s *Sampler) FreeVars() []factor.VarID { return s.free }
+
+// RandomizeState assigns every free variable uniformly at random; useful
+// for over-dispersed chain starts.
+func (s *Sampler) RandomizeState() {
+	for _, v := range s.free {
+		s.State.Set(v, s.rng.Intn(2) == 0)
+	}
+}
+
+// SampleVar resamples a single variable from its conditional.
+func (s *Sampler) SampleVar(v factor.VarID) {
+	p := s.State.CondProb(v)
+	s.State.Set(v, s.rng.Float64() < p)
+}
+
+// Sweep performs one full scan over all free variables.
+func (s *Sampler) Sweep() {
+	for _, v := range s.free {
+		s.SampleVar(v)
+	}
+}
+
+// Run performs n sweeps.
+func (s *Sampler) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Sweep()
+	}
+}
+
+// Marginals runs burnin sweeps, then keep sweeps, and returns the
+// empirical P(v = true) for every variable. Evidence variables report
+// their fixed value (0 or 1). keep must be ≥ 1.
+func (s *Sampler) Marginals(burnin, keep int) []float64 {
+	est := NewEstimator(s.State.G.NumVars())
+	s.Run(burnin)
+	for i := 0; i < keep; i++ {
+		s.Sweep()
+		est.Observe(s.State.Assign)
+	}
+	return est.Means()
+}
+
+// CollectSamples runs burnin sweeps and then stores n worlds (one per
+// sweep) into a new Store. This is the materialization loop of the
+// sampling approach (Section 3.2.2).
+func (s *Sampler) CollectSamples(burnin, n int) *Store {
+	st := NewStore(s.State.G.NumVars())
+	s.Run(burnin)
+	for i := 0; i < n; i++ {
+		s.Sweep()
+		st.Add(s.State.Assign)
+	}
+	return st
+}
+
+// Estimator accumulates marginal estimates from observed worlds.
+type Estimator struct {
+	counts []float64
+	n      int
+}
+
+// NewEstimator returns an estimator over nVars variables.
+func NewEstimator(nVars int) *Estimator {
+	return &Estimator{counts: make([]float64, nVars)}
+}
+
+// Observe adds one world.
+func (e *Estimator) Observe(assign []bool) {
+	for i, v := range assign {
+		if v {
+			e.counts[i]++
+		}
+	}
+	e.n++
+}
+
+// N returns the number of observed worlds.
+func (e *Estimator) N() int { return e.n }
+
+// Mean returns the current estimate of P(v = true).
+func (e *Estimator) Mean(v factor.VarID) float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.counts[v] / float64(e.n)
+}
+
+// Means returns all marginal estimates.
+func (e *Estimator) Means() []float64 {
+	out := make([]float64, len(e.counts))
+	inv := 0.0
+	if e.n > 0 {
+		inv = 1 / float64(e.n)
+	}
+	for i, c := range e.counts {
+		out[i] = c * inv
+	}
+	return out
+}
+
+// ConvergenceResult reports how many sweeps a chain needed before its
+// running marginal estimate of one variable stayed within tol of target.
+type ConvergenceResult struct {
+	Sweeps    int
+	Converged bool
+	Estimate  float64
+}
+
+// SweepsToConverge runs a fresh chain over g and reports the first sweep
+// count at which the running estimate of P(v) is within tol of target and
+// remains within tol for `hold` further consecutive sweeps (guarding
+// against transient crossings). Used for the Figure 13 reproduction.
+func SweepsToConverge(g *factor.Graph, v factor.VarID, target, tol float64, maxSweeps, hold int, seed int64) ConvergenceResult {
+	s := New(g, seed)
+	s.RandomizeState()
+	est := NewEstimator(g.NumVars())
+	within := 0
+	for it := 1; it <= maxSweeps; it++ {
+		s.Sweep()
+		est.Observe(s.State.Assign)
+		cur := est.Mean(v)
+		if math.Abs(cur-target) <= tol {
+			within++
+			if within >= hold {
+				return ConvergenceResult{Sweeps: it - hold + 1, Converged: true, Estimate: cur}
+			}
+		} else {
+			within = 0
+		}
+	}
+	return ConvergenceResult{Sweeps: maxSweeps, Converged: false, Estimate: est.Mean(v)}
+}

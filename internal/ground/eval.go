@@ -1,0 +1,402 @@
+package ground
+
+import (
+	"fmt"
+
+	"deepdive/internal/datalog"
+	"deepdive/internal/db"
+	"deepdive/internal/factor"
+)
+
+// relResolver returns the relation state an evaluation should read for a
+// given body position. Incremental evaluation mixes pre-update snapshots
+// and post-update states per the DRed telescoping sum.
+type relResolver func(name string) *db.Relation
+
+// currentState resolves every relation to its live state.
+func (g *Grounder) currentState(name string) *db.Relation { return g.data.Relation(name) }
+
+// toTerm converts a datalog term to a query term.
+func toTerm(t datalog.Term) db.Term {
+	if t.IsVar {
+		return db.V(t.Name)
+	}
+	return db.C(t.Value)
+}
+
+// bodyPlan is the compiled query plan of one rule body: join atoms (by
+// body-item index) and the variable-relation atoms that become factor
+// literals in weighted rules. For weighted rules the plan ends with a
+// synthetic *head guard* item (index len(body)): a join atom over the
+// head relation that restricts groundings to existing candidate tuples —
+// inference rules relate existing variables, they do not derive tuples.
+type bodyPlan struct {
+	joinItems []int // body item indexes (guard index = len(body)) in join order
+	litItems  []int // body item indexes that become literals (weighted rules)
+	guardIdx  int   // index used for the head guard, or -1 for none
+}
+
+// planBody splits the body of a rule. For weighted (inference) rules,
+// positive atoms over variable relations both join (to range over
+// candidate tuples) and emit factor literals; negated atoms over variable
+// relations are rejected at compile time (their grounding identity would
+// depend on candidate liveness, which breaks exact DRed cancellation).
+// For deterministic rules every atom joins — negation over a variable
+// relation there is a plain anti-join over the candidate set.
+func (g *Grounder) planBody(re *ruleEval) bodyPlan {
+	if re.plan != nil {
+		return *re.plan
+	}
+	p := bodyPlan{guardIdx: -1}
+	weighted := re.rule.Kind == datalog.KindInference
+	for i, item := range re.rule.Body {
+		if item.Atom == nil {
+			continue // conditions handled separately
+		}
+		decl := g.prog.Decls[item.Atom.Pred]
+		p.joinItems = append(p.joinItems, i)
+		if weighted && decl.Variable && !item.Neg {
+			p.litItems = append(p.litItems, i)
+		}
+	}
+	if weighted {
+		p.guardIdx = len(re.rule.Body)
+		p.joinItems = append(p.joinItems, p.guardIdx)
+	}
+	re.plan = &p
+	return p
+}
+
+// itemAtom returns the atom of a plan item index (the head atom for the
+// guard index).
+func (g *Grounder) itemAtom(re *ruleEval, itemIdx int) (*datalog.Atom, bool) {
+	if itemIdx == len(re.rule.Body) {
+		return &re.rule.Head, false
+	}
+	item := re.rule.Body[itemIdx]
+	return item.Atom, item.Neg
+}
+
+// conditions extracts the rule's comparison constraints.
+func conditions(re *ruleEval) []db.Constraint {
+	var cons []db.Constraint
+	for _, item := range re.rule.Body {
+		if item.Cond != nil {
+			cons = append(cons, db.Constraint{Op: item.Cond.Op, L: toTerm(item.Cond.L), R: toTerm(item.Cond.R)})
+		}
+	}
+	return cons
+}
+
+// evalRule enumerates the bindings of a rule body. resolve picks relation
+// states per body item index. When seedItem >= 0, the positive join atom
+// at that body index is bound to seedTuple instead of being scanned.
+// seedResolve applies to the remaining atoms.
+func (g *Grounder) evalRule(re *ruleEval, resolve func(item int, name string) *db.Relation,
+	seedItem int, seedTuple db.Tuple, emit func(db.Binding) bool) error {
+
+	plan := g.planBody(re)
+	init := db.Binding{}
+	var atoms []db.QueryAtom
+	for _, i := range plan.joinItems {
+		atom, neg := g.itemAtom(re, i)
+		if i == seedItem {
+			// Bind the seed tuple manually.
+			for pos, t := range atom.Args {
+				if t.IsVar {
+					if v, ok := init[t.Name]; ok {
+						if v != seedTuple[pos] {
+							return nil // repeated var mismatch: no bindings
+						}
+						continue
+					}
+					init[t.Name] = seedTuple[pos]
+				} else if t.Value != seedTuple[pos] {
+					return nil // constant mismatch: no bindings
+				}
+			}
+			continue
+		}
+		rel := resolve(i, atom.Pred)
+		terms := make([]db.Term, len(atom.Args))
+		for pos, t := range atom.Args {
+			terms[pos] = toTerm(t)
+		}
+		atoms = append(atoms, db.QueryAtom{Rel: rel, Terms: terms, Neg: neg})
+	}
+	return db.EvalJoin(atoms, conditions(re), init, emit)
+}
+
+// instantiate builds the tuple of an atom under a binding.
+func instantiate(a datalog.Atom, b db.Binding) db.Tuple {
+	t := make(db.Tuple, len(a.Args))
+	for i, term := range a.Args {
+		if term.IsVar {
+			v, ok := b[term.Name]
+			if !ok {
+				panic(fmt.Sprintf("ground: unbound head variable %s in %s (validation bug)", term.Name, a.Pred))
+			}
+			t[i] = v
+		} else {
+			t[i] = term.Value
+		}
+	}
+	return t
+}
+
+// weightKeyOf computes the interned weight key and initial value for a
+// rule binding.
+func (g *Grounder) weightKeyOf(re *ruleEval, b db.Binding) (key string, init float64, learn bool) {
+	w := re.rule.Weight
+	if w.IsFixed {
+		return fmt.Sprintf("w:%d", re.idx), w.Fixed, false
+	}
+	vals := make([]string, len(w.Args))
+	for i, arg := range w.Args {
+		vals[i] = b[arg]
+	}
+	if w.Func == "w" {
+		return fmt.Sprintf("w:%d:%s", re.idx, db.Tuple(vals).Key()), 0, true
+	}
+	udf := g.udfs[w.Func]
+	return fmt.Sprintf("w:%d:%s:%s", re.idx, w.Func, udf(vals)), 0, true
+}
+
+// tracker accumulates the effects of one grounding pass (full or
+// incremental): relation deltas for downstream rules, snapshots, and the
+// ΔV/ΔF bookkeeping reported to incremental inference.
+type tracker struct {
+	added   map[string][]db.Tuple
+	removed map[string][]db.Tuple
+	olds    map[string]*db.Relation
+
+	newVars        []factor.VarID
+	evChanged      map[factor.VarID]bool
+	modifiedGroups map[int]bool
+	addedGroups    []int
+	newWeights     []factor.WeightID
+}
+
+func newTracker() *tracker {
+	return &tracker{
+		added:          make(map[string][]db.Tuple),
+		removed:        make(map[string][]db.Tuple),
+		olds:           make(map[string]*db.Relation),
+		evChanged:      make(map[factor.VarID]bool),
+		modifiedGroups: make(map[int]bool),
+	}
+}
+
+// snapshot records the pre-update state of a relation once.
+func (tr *tracker) snapshot(r *db.Relation) {
+	if _, ok := tr.olds[r.Name()]; !ok {
+		tr.olds[r.Name()] = r.Snapshot()
+	}
+}
+
+// oldState resolves a relation to its pre-update snapshot (falling back to
+// the live state when it was never modified).
+func (g *Grounder) oldState(tr *tracker, name string) *db.Relation {
+	if old, ok := tr.olds[name]; ok {
+		return old
+	}
+	return g.data.Relation(name)
+}
+
+// applyTupleDelta adds count derivations of t to rel, maintaining variable
+// liveness, evidence counts, and the delta stream. The relation is
+// snapshotted before its first modification in this pass.
+func (g *Grounder) applyTupleDelta(tr *tracker, relName string, t db.Tuple, count int) error {
+	r := g.data.Relation(relName)
+	if r == nil {
+		return fmt.Errorf("ground: unknown relation %s", relName)
+	}
+	tr.snapshot(r)
+	if !r.InsertN(t, count) {
+		return nil // visibility unchanged: nothing propagates
+	}
+	visible := r.Contains(t)
+	if visible {
+		tr.added[relName] = append(tr.added[relName], t.Clone())
+	} else {
+		tr.removed[relName] = append(tr.removed[relName], t.Clone())
+	}
+	decl := g.prog.Decls[relName]
+	if decl != nil && decl.Variable {
+		if visible {
+			before := len(g.vars)
+			id := g.varFor(relName, t)
+			if int(id) >= before {
+				tr.newVars = append(tr.newVars, id)
+			}
+			g.live[id] = true
+		} else if id, ok := g.VarOf(relName, t); ok {
+			g.live[id] = false
+		}
+	}
+	if base, isEv := datalog.EvidenceTarget(relName); isEv && g.prog.Decls[base] != nil {
+		if err := g.applyEvidenceDelta(tr, base, t, visible); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEvidenceDelta updates per-variable evidence counts when an
+// evidence tuple (base..., label) changes visibility.
+func (g *Grounder) applyEvidenceDelta(tr *tracker, baseRel string, evTuple db.Tuple, nowVisible bool) error {
+	label := evTuple[len(evTuple)-1]
+	var isTrue bool
+	switch label {
+	case "true":
+		isTrue = true
+	case "false":
+		isTrue = false
+	default:
+		return fmt.Errorf("ground: evidence label %q in %s_Ev must be true or false", label, baseRel)
+	}
+	base := evTuple[:len(evTuple)-1]
+	before := len(g.vars)
+	id := g.varFor(baseRel, base)
+	if int(id) >= before {
+		tr.newVars = append(tr.newVars, id)
+	}
+	d := 1
+	if !nowVisible {
+		d = -1
+	}
+	if isTrue {
+		g.evTrue[id] += d
+	} else {
+		g.evFalse[id] += d
+	}
+	tr.evChanged[id] = true
+	return nil
+}
+
+// applyBinding applies one rule binding with the given sign (+1 derive,
+// −1 retract). Derivation and supervision rules derive head tuples;
+// weighted rules materialize factor groundings over existing candidate
+// variables (the head-guard join guarantees the head tuple exists).
+func (g *Grounder) applyBinding(re *ruleEval, b db.Binding, sign int, tr *tracker) error {
+	head := instantiate(re.rule.Head, b)
+	if re.rule.Kind != datalog.KindInference {
+		return g.applyTupleDelta(tr, re.rule.Head.Pred, head, sign)
+	}
+	// Weighted rule: materialize the grounding.
+	headVar, ok := g.VarOf(re.rule.Head.Pred, head)
+	if !ok {
+		// Candidate visible (guard join) but var not yet assigned — happens
+		// when the candidate was loaded as base data before Ground.
+		headVar = g.varFor(re.rule.Head.Pred, head)
+		tr.newVars = append(tr.newVars, headVar)
+	}
+	wkey, winit, learn := g.weightKeyOf(re, b)
+	wid, isNewW := g.weightFor(wkey, winit, learn)
+	if isNewW {
+		tr.newWeights = append(tr.newWeights, wid)
+	}
+	var lits []factor.Literal
+	for _, i := range g.planBody(re).litItems {
+		item := re.rule.Body[i]
+		t := instantiate(*item.Atom, b)
+		id, ok := g.VarOf(item.Atom.Pred, t)
+		if !ok {
+			id = g.varFor(item.Atom.Pred, t)
+			tr.newVars = append(tr.newVars, id)
+		}
+		lits = append(lits, factor.Literal{Var: id})
+	}
+	gkey := fmt.Sprintf("g:%d:%s:%d", re.idx, head.Key(), wid)
+	gi, isNewG := g.groupFor(gkey, headVar, wid, g.prog.SemOf(re.rule))
+	if isNewG {
+		tr.addedGroups = append(tr.addedGroups, gi)
+	}
+	if g.addGrounding(gi, bindingKey(re, b), lits, sign) && !isNewG {
+		tr.modifiedGroups[gi] = true
+	}
+	g.graphDirty = true
+	return nil
+}
+
+// Ground performs full (from scratch) grounding: it clears all derived
+// state, evaluates every rule in topological order, creates variables for
+// every visible variable-relation tuple, and applies evidence. Call once
+// after LoadBase; use ApplyUpdate for everything afterwards.
+func (g *Grounder) Ground() error {
+	// Reset derived relations and all factor state.
+	for name := range g.derived {
+		g.data.Relation(name).Clear()
+	}
+	g.vars = nil
+	g.live = nil
+	g.evTrue = nil
+	g.evFalse = nil
+	g.varIdx = make(map[string]factor.VarID)
+	g.weightKeys = nil
+	g.weightInit = nil
+	g.weightLearn = nil
+	g.weightIdx = make(map[string]factor.WeightID)
+	g.groups = nil
+	g.groupIdx = make(map[string]int)
+	g.lastGraph = nil
+	g.graphDirty = true
+
+	tr := newTracker()
+	// Phase 1: the deterministic derivation pipeline, in topological order.
+	for _, relName := range g.topo {
+		for _, re := range g.rulesByHead[relName] {
+			if err := g.runRuleFull(re, tr); err != nil {
+				return err
+			}
+		}
+	}
+	g.ensureCandidateVars()
+	// Phase 2: weighted rules ground factors over the final candidate sets.
+	for _, re := range g.weighted {
+		if err := g.runRuleFull(re, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRuleFull evaluates a rule over current state and applies every
+// binding with sign +1.
+func (g *Grounder) runRuleFull(re *ruleEval, tr *tracker) error {
+	if len(re.rule.Body) == 0 {
+		return g.applyBinding(re, db.Binding{}, +1, tr)
+	}
+	var applyErr error
+	err := g.evalRule(re,
+		func(_ int, name string) *db.Relation { return g.currentState(name) },
+		-1, nil,
+		func(b db.Binding) bool {
+			if e := g.applyBinding(re, b, +1, tr); e != nil {
+				applyErr = e
+				return false
+			}
+			return true
+		})
+	if applyErr != nil {
+		return applyErr
+	}
+	return err
+}
+
+// ensureCandidateVars creates variables for every visible tuple of every
+// variable relation, so isolated candidates still get marginals.
+func (g *Grounder) ensureCandidateVars() {
+	for _, name := range g.prog.DeclOrder {
+		d := g.prog.Decls[name]
+		if !d.Variable {
+			continue
+		}
+		rel := g.data.Relation(name)
+		rel.Each(func(t db.Tuple) bool {
+			id := g.varFor(name, t)
+			g.live[id] = true
+			return true
+		})
+	}
+}

@@ -1,0 +1,453 @@
+// Package ground evaluates DeepDive programs into factor graphs — the
+// grounding phase of the paper (Sections 2.5 and 3.1). It owns the
+// relational database, evaluates deterministic (candidate/supervision)
+// rules with counted derivations, materializes weighted rules into factor
+// groups, and — the paper's first contribution — performs *incremental*
+// grounding: given inserted/deleted base tuples and new rules, it derives
+// the modified variables ΔV and factors ΔF with DRed-style delta
+// evaluation instead of re-running every join.
+//
+// Variable ids and group indexes are stable across updates (append-only),
+// so the graph before an update and the graph after it are directly
+// comparable — which is what the incremental-inference strategies in
+// package inc rely on.
+package ground
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepdive/internal/datalog"
+	"deepdive/internal/db"
+	"deepdive/internal/factor"
+)
+
+// UDF is a user-defined function used in weight expressions: it maps the
+// bound argument values to a tie key (rule FE1's phrase(...) in the
+// paper). UDFs must be pure.
+type UDF func(args []string) string
+
+// UDFRegistry names the UDFs available to a program.
+type UDFRegistry map[string]UDF
+
+// varKey builds the variable-map key for a tuple of a variable relation.
+func varKey(rel string, tupleKey string) string { return rel + "\x00" + tupleKey }
+
+// varInfo records which tuple a VarID stands for.
+type varInfo struct {
+	rel string
+	key string // tuple key
+}
+
+// gndState is one grounding of a group with its derivation count.
+type gndState struct {
+	lits  []factor.Literal
+	count int
+}
+
+// groupState accumulates the groundings of one grounded rule instance
+// γ = (rule, head binding, weight binding).
+type groupState struct {
+	key      string
+	head     factor.VarID
+	weight   factor.WeightID
+	sem      factor.Semantics
+	gnds     map[string]*gndState
+	gndOrder []string
+}
+
+// ruleEval is a compiled rule.
+type ruleEval struct {
+	rule    *datalog.Rule
+	idx     int       // stable index for weight keys
+	plan    *bodyPlan // cached body plan
+	allVars []string  // body+head variable names, for grounding identity
+}
+
+// varsOf returns (caching) the rule's variable names in deterministic
+// order; a grounding's identity is the rule's full binding c̄ over these
+// (Section 2.4: the support counts distinct groundings c̄ ∈ D^|z̄|).
+func (re *ruleEval) varsOf() []string {
+	if re.allVars != nil {
+		return re.allVars
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(names []string) {
+		for _, v := range names {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	add(re.rule.Head.Vars())
+	add(re.rule.BodyVars())
+	if out == nil {
+		out = []string{}
+	}
+	re.allVars = out
+	return out
+}
+
+// Grounder holds the database and all grounding state for one program.
+type Grounder struct {
+	prog *datalog.Program
+	udfs UDFRegistry
+	data *db.Database
+
+	topo        []string               // relation evaluation order (derivation pipeline)
+	rulesByHead map[string][]*ruleEval // derivation & supervision rules
+	weighted    []*ruleEval            // inference (weighted) rules, in order
+	derived     map[string]bool        // heads of derivation/supervision rules
+	nextRuleIdx int
+
+	vars    []varInfo
+	varIdx  map[string]factor.VarID
+	live    []bool
+	evTrue  []int // per var: count of true evidence derivations
+	evFalse []int
+
+	weightKeys  []string
+	weightInit  []float64
+	weightLearn []bool
+	weightIdx   map[string]factor.WeightID
+
+	groups   []*groupState
+	groupIdx map[string]int
+
+	graphDirty bool
+	lastGraph  *factor.Graph
+}
+
+// New creates a Grounder for a validated program. Relations declared in
+// the program are created in a fresh database.
+func New(prog *datalog.Program, udfs UDFRegistry) (*Grounder, error) {
+	g := &Grounder{
+		prog:        prog,
+		udfs:        udfs,
+		data:        db.NewDatabase(),
+		rulesByHead: make(map[string][]*ruleEval),
+		derived:     make(map[string]bool),
+		varIdx:      make(map[string]factor.VarID),
+		weightIdx:   make(map[string]factor.WeightID),
+		groupIdx:    make(map[string]int),
+		graphDirty:  true,
+	}
+	for _, name := range prog.DeclOrder {
+		d := prog.Decls[name]
+		if _, err := g.data.Create(d.Name, d.Cols...); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range prog.Rules {
+		if _, err := g.compileRule(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.computeTopo(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// compileRule registers a rule (validating UDF availability and the
+// incremental-grounding restrictions) and returns its evaluator.
+func (g *Grounder) compileRule(r *datalog.Rule) (*ruleEval, error) {
+	if r.Weight.HasWeight && !r.Weight.IsFixed && r.Weight.Func != "w" {
+		if _, ok := g.udfs[r.Weight.Func]; !ok {
+			return nil, fmt.Errorf("ground: rule %s uses unknown UDF %q", r.Head.Pred, r.Weight.Func)
+		}
+	}
+	if r.Kind == datalog.KindInference {
+		for _, item := range r.Body {
+			if item.Atom == nil || !item.Neg {
+				continue
+			}
+			if d := g.prog.Decls[item.Atom.Pred]; d != nil && d.Variable {
+				return nil, fmt.Errorf("ground: rule %s negates variable relation %s in a weighted rule; not supported",
+					r.Head.Pred, item.Atom.Pred)
+			}
+		}
+	}
+	re := &ruleEval{rule: r, idx: g.nextRuleIdx}
+	g.nextRuleIdx++
+	if r.Kind == datalog.KindInference {
+		// Weighted rules ground factors over existing candidate variables;
+		// they never derive tuples, so they create no relation dependencies
+		// (this is what makes symmetry rules like the paper's I1
+		// non-recursive).
+		g.weighted = append(g.weighted, re)
+		return re, nil
+	}
+	g.rulesByHead[r.Head.Pred] = append(g.rulesByHead[r.Head.Pred], re)
+	g.derived[r.Head.Pred] = true
+	return re, nil
+}
+
+// computeTopo orders relations so every rule's body relations precede its
+// head. Errors on recursion (KBC programs are non-recursive).
+func (g *Grounder) computeTopo() error {
+	// Build dependency edges: body rel -> head rel.
+	deps := make(map[string]map[string]bool) // head -> set of body rels
+	for head, rules := range g.rulesByHead {
+		if deps[head] == nil {
+			deps[head] = make(map[string]bool)
+		}
+		for _, re := range rules {
+			for _, b := range re.rule.Body {
+				if b.Atom != nil {
+					deps[head][b.Atom.Pred] = true
+				}
+			}
+		}
+	}
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("ground: recursive rules through relation %s are not supported", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		// Deterministic order over dependencies.
+		var ds []string
+		for d := range deps[name] {
+			ds = append(ds, d)
+		}
+		sort.Strings(ds)
+		for _, d := range ds {
+			if d == name {
+				return fmt.Errorf("ground: recursive rules through relation %s are not supported", name)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		order = append(order, name)
+		return nil
+	}
+	for _, name := range g.prog.DeclOrder {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	g.topo = order
+	return nil
+}
+
+// DB exposes the underlying database (read-only use expected; mutate base
+// relations only through ApplyUpdate or LoadBase).
+func (g *Grounder) DB() *db.Database { return g.data }
+
+// Program returns the (possibly extended) program.
+func (g *Grounder) Program() *datalog.Program { return g.prog }
+
+// LoadBase inserts base tuples into a non-derived relation before the
+// initial Ground call.
+func (g *Grounder) LoadBase(rel string, tuples []db.Tuple) error {
+	r := g.data.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("ground: unknown relation %s", rel)
+	}
+	if g.derived[rel] {
+		return fmt.Errorf("ground: %s is derived; load base data into base relations only", rel)
+	}
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	g.graphDirty = true
+	return nil
+}
+
+// varFor returns (creating if needed) the VarID of a variable-relation
+// tuple. Liveness is managed by visibility transitions in
+// applyTupleDelta, not here.
+func (g *Grounder) varFor(rel string, t db.Tuple) factor.VarID {
+	k := varKey(rel, t.Key())
+	if id, ok := g.varIdx[k]; ok {
+		return id
+	}
+	id := factor.VarID(len(g.vars))
+	g.vars = append(g.vars, varInfo{rel: rel, key: t.Key()})
+	g.live = append(g.live, true)
+	g.evTrue = append(g.evTrue, 0)
+	g.evFalse = append(g.evFalse, 0)
+	g.varIdx[k] = id
+	return id
+}
+
+// VarOf looks up the VarID of a tuple without creating it.
+func (g *Grounder) VarOf(rel string, t db.Tuple) (factor.VarID, bool) {
+	id, ok := g.varIdx[varKey(rel, t.Key())]
+	return id, ok
+}
+
+// VarTuple reverses VarOf.
+func (g *Grounder) VarTuple(v factor.VarID) (rel string, t db.Tuple) {
+	info := g.vars[v]
+	return info.rel, db.TupleFromKey(info.key)
+}
+
+// IsLive reports whether the variable's tuple is still visible.
+func (g *Grounder) IsLive(v factor.VarID) bool { return g.live[v] }
+
+// NumVars returns the total number of variables ever created.
+func (g *Grounder) NumVars() int { return len(g.vars) }
+
+// weightFor interns a weight key.
+func (g *Grounder) weightFor(key string, init float64, learn bool) (factor.WeightID, bool) {
+	if id, ok := g.weightIdx[key]; ok {
+		return id, false
+	}
+	id := factor.WeightID(len(g.weightKeys))
+	g.weightKeys = append(g.weightKeys, key)
+	g.weightInit = append(g.weightInit, init)
+	g.weightLearn = append(g.weightLearn, learn)
+	g.weightIdx[key] = id
+	return id, true
+}
+
+// WeightKey returns the interned key of a weight id (rule + tie values).
+func (g *Grounder) WeightKey(id factor.WeightID) string { return g.weightKeys[id] }
+
+// LearnableWeights returns the ids of weights subject to learning (tied
+// weights; fixed-value weights are excluded).
+func (g *Grounder) LearnableWeights() []factor.WeightID {
+	var out []factor.WeightID
+	for i, l := range g.weightLearn {
+		if l {
+			out = append(out, factor.WeightID(i))
+		}
+	}
+	return out
+}
+
+// NumGroups returns the number of factor groups materialized so far.
+func (g *Grounder) NumGroups() int { return len(g.groups) }
+
+// NumGroundings returns the number of visible groundings across groups.
+func (g *Grounder) NumGroundings() int {
+	n := 0
+	for _, gs := range g.groups {
+		for _, gnd := range gs.gnds {
+			if gnd.count > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// groupFor interns a group. Returns the group index and whether it is new.
+func (g *Grounder) groupFor(key string, head factor.VarID, w factor.WeightID, sem factor.Semantics) (int, bool) {
+	if gi, ok := g.groupIdx[key]; ok {
+		return gi, false
+	}
+	gi := len(g.groups)
+	g.groups = append(g.groups, &groupState{
+		key: key, head: head, weight: w, sem: sem,
+		gnds: make(map[string]*gndState),
+	})
+	g.groupIdx[key] = gi
+	return gi, true
+}
+
+// addGrounding adds (count may be negative for removal) derivations of
+// the grounding identified by key (the rule's binding c̄) to a group.
+// Reports whether the group's visible grounding set changed.
+func (g *Grounder) addGrounding(gi int, key string, lits []factor.Literal, count int) bool {
+	gs := g.groups[gi]
+	k := key
+	gnd := gs.gnds[k]
+	if gnd == nil {
+		gnd = &gndState{lits: lits}
+		gs.gnds[k] = gnd
+		gs.gndOrder = append(gs.gndOrder, k)
+	}
+	was := gnd.count > 0
+	gnd.count += count
+	if gnd.count < 0 {
+		panic(fmt.Sprintf("ground: grounding count below zero in group %s", gs.key))
+	}
+	now := gnd.count > 0
+	return was != now
+}
+
+// bindingKey serializes a rule binding over the rule's variables.
+func bindingKey(re *ruleEval, b db.Binding) string {
+	var sb strings.Builder
+	for _, v := range re.varsOf() {
+		sb.WriteString(b[v])
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}
+
+// Graph builds (or returns the cached) factor graph for the current
+// grounding state. Weight values persist across rebuilds: weights carry
+// their last value from the previous graph when one exists, so learned
+// weights survive incremental updates (warmstart).
+func (g *Grounder) Graph() *factor.Graph {
+	if !g.graphDirty && g.lastGraph != nil {
+		return g.lastGraph
+	}
+	b := factor.NewBuilder()
+	for range g.vars {
+		b.AddVar()
+	}
+	for i := range g.weightKeys {
+		v := g.weightInit[i]
+		if g.lastGraph != nil && i < g.lastGraph.NumWeights() {
+			v = g.lastGraph.Weight(factor.WeightID(i))
+		}
+		b.AddWeight(v)
+	}
+	for _, gs := range g.groups {
+		var gnds []factor.Grounding
+		for _, k := range gs.gndOrder {
+			gnd := gs.gnds[k]
+			if gnd.count > 0 {
+				gnds = append(gnds, factor.Grounding{Lits: gnd.lits})
+			}
+		}
+		b.AddGroup(gs.head, gs.weight, gs.sem, gnds)
+	}
+	graph := b.MustBuild()
+	for v := range g.vars {
+		if g.evTrue[v]+g.evFalse[v] > 0 {
+			graph.SetEvidence(factor.VarID(v), true, g.evTrue[v] >= g.evFalse[v])
+		}
+	}
+	g.lastGraph = graph
+	g.graphDirty = false
+	return graph
+}
+
+// QueryVars returns the live, non-evidence variables of a relation — the
+// tuples whose marginals the KBC system reports.
+func (g *Grounder) QueryVars(rel string) []factor.VarID {
+	var out []factor.VarID
+	for id := range g.vars {
+		if g.vars[id].rel == rel && g.live[id] && g.evTrue[id]+g.evFalse[id] == 0 {
+			out = append(out, factor.VarID(id))
+		}
+	}
+	return out
+}
+
+// VarsOf returns all live variables of a relation (evidence included).
+func (g *Grounder) VarsOf(rel string) []factor.VarID {
+	var out []factor.VarID
+	for id := range g.vars {
+		if g.vars[id].rel == rel && g.live[id] {
+			out = append(out, factor.VarID(id))
+		}
+	}
+	return out
+}

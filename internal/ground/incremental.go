@@ -1,0 +1,309 @@
+package ground
+
+import (
+	"fmt"
+
+	"deepdive/internal/datalog"
+	"deepdive/internal/db"
+	"deepdive/internal/factor"
+)
+
+// Update describes one iteration of the KBC development loop
+// (Section 3.1): base-data changes and/or new rules. The paper's rule
+// categories map directly: FE rules and I rules arrive as NewRules with
+// weights; S rules as NewRules deriving into _Ev relations; new documents
+// as Inserts into base relations.
+type Update struct {
+	Inserts  map[string][]db.Tuple
+	Deletes  map[string][]db.Tuple
+	NewRules []*datalog.Rule
+}
+
+// Empty reports whether the update changes nothing.
+func (u *Update) Empty() bool {
+	return len(u.Inserts) == 0 && len(u.Deletes) == 0 && len(u.NewRules) == 0
+}
+
+// Delta summarizes how an update changed the grounded factor graph — the
+// (ΔV, ΔF) the incremental-inference phase consumes (Section 3.2).
+type Delta struct {
+	// NewVars are variables created by this update.
+	NewVars []factor.VarID
+	// ModifiedGroups are indexes of pre-existing groups whose grounding
+	// sets changed (valid in both the old and the new graph).
+	ModifiedGroups []int
+	// AddedGroups are indexes of groups created by this update (valid in
+	// the new graph only).
+	AddedGroups []int
+	// EvidenceChanged are variables whose evidence status or value
+	// changed (supervision updates).
+	EvidenceChanged []factor.VarID
+	// NewWeights are weight ids created by this update (new features).
+	NewWeights []factor.WeightID
+}
+
+// StructureChanged reports whether the update touched the graph structure
+// (factors added/removed or new variables) — the first rule of the
+// paper's materialization optimizer.
+func (d *Delta) StructureChanged() bool {
+	return len(d.NewVars) > 0 || len(d.ModifiedGroups) > 0 || len(d.AddedGroups) > 0
+}
+
+// HasEvidenceChange reports whether supervision changed.
+func (d *Delta) HasEvidenceChange() bool { return len(d.EvidenceChanged) > 0 }
+
+// HasNewFeatures reports whether new tied weights appeared.
+func (d *Delta) HasNewFeatures() bool { return len(d.NewWeights) > 0 }
+
+// ChangedGroupsOld returns the group indexes whose energy differs between
+// the old and new distribution, restricted to groups that exist in the
+// old graph.
+func (d *Delta) ChangedGroupsOld() []int32 {
+	out := make([]int32, 0, len(d.ModifiedGroups))
+	for _, gi := range d.ModifiedGroups {
+		out = append(out, int32(gi))
+	}
+	return out
+}
+
+// ChangedGroupsNew returns the group indexes whose energy differs between
+// the old and new distribution, as indexes into the new graph.
+func (d *Delta) ChangedGroupsNew() []int32 {
+	out := make([]int32, 0, len(d.ModifiedGroups)+len(d.AddedGroups))
+	for _, gi := range d.ModifiedGroups {
+		out = append(out, int32(gi))
+	}
+	for _, gi := range d.AddedGroups {
+		out = append(out, int32(gi))
+	}
+	return out
+}
+
+// ApplyUpdate incrementally folds an update into the grounding state:
+// base deltas propagate through the rule pipeline with DRed-style delta
+// joins (old rules touched by changed relations re-evaluate only the
+// delta terms; untouched rules are skipped), and new rules are evaluated
+// once in full. Returns the Δ bookkeeping for incremental inference.
+func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
+	tr := newTracker()
+
+	// 1. Register new rules (program-level validation, compile, re-topo).
+	newRules := make(map[*ruleEval]bool)
+	if len(u.NewRules) > 0 {
+		g.prog.Rules = append(g.prog.Rules, u.NewRules...)
+		if err := datalog.Validate(g.prog); err != nil {
+			g.prog.Rules = g.prog.Rules[:len(g.prog.Rules)-len(u.NewRules)]
+			return nil, err
+		}
+		for _, r := range u.NewRules {
+			re, err := g.compileRule(r)
+			if err != nil {
+				return nil, err
+			}
+			newRules[re] = true
+		}
+		if err := g.computeTopo(); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Apply base-relation deltas.
+	for rel, tuples := range u.Inserts {
+		if g.derived[rel] && !isNewHead(newRules, rel) {
+			return nil, fmt.Errorf("ground: cannot insert directly into derived relation %s", rel)
+		}
+		for _, t := range tuples {
+			if err := g.applyTupleDelta(tr, rel, t, +1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for rel, tuples := range u.Deletes {
+		for _, t := range tuples {
+			if err := g.applyTupleDelta(tr, rel, t, -1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 3. Propagate through the derivation pipeline in topological order,
+	// then ground weighted rules over the final candidate sets.
+	for _, relName := range g.topo {
+		for _, re := range g.rulesByHead[relName] {
+			if newRules[re] {
+				if err := g.runRuleFull(re, tr); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := g.runRuleDelta(re, tr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, re := range g.weighted {
+		if newRules[re] {
+			if err := g.runRuleFull(re, tr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := g.runRuleDelta(re, tr); err != nil {
+			return nil, err
+		}
+	}
+
+	g.graphDirty = true
+	d := &Delta{
+		NewVars:    tr.newVars,
+		NewWeights: tr.newWeights,
+	}
+	for gi := range tr.modifiedGroups {
+		d.ModifiedGroups = append(d.ModifiedGroups, gi)
+	}
+	sortInts(d.ModifiedGroups)
+	d.AddedGroups = append(d.AddedGroups, tr.addedGroups...)
+	sortInts(d.AddedGroups)
+	for v := range tr.evChanged {
+		d.EvidenceChanged = append(d.EvidenceChanged, v)
+	}
+	sortVarIDs(d.EvidenceChanged)
+	return d, nil
+}
+
+func isNewHead(newRules map[*ruleEval]bool, rel string) bool {
+	for re := range newRules {
+		if re.rule.Head.Pred == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// runRuleDelta applies the DRed delta terms of an existing rule:
+//
+//	Δ(A₁ ⋈ … ⋈ Aₙ) = Σᵢ A₁ⁿᵉʷ ⋈ … ⋈ Aᵢ₋₁ⁿᵉʷ ⋈ ΔAᵢ ⋈ Aᵢ₊₁ᵒˡᵈ ⋈ … ⋈ Aₙᵒˡᵈ
+//
+// Rules with a joined negated atom over a changed relation fall back to a
+// full old-vs-new re-evaluation (counts make the retract/re-derive pair
+// safe). Rules whose body touches no changed relation are skipped — this
+// skip is where the incremental-grounding speedup comes from.
+func (g *Grounder) runRuleDelta(re *ruleEval, tr *tracker) error {
+	if len(re.rule.Body) == 0 {
+		return nil // facts never re-fire
+	}
+	changed := func(name string) bool {
+		return len(tr.added[name]) > 0 || len(tr.removed[name]) > 0
+	}
+	plan := g.planBody(re)
+	touches := false
+	negOnChanged := false
+	for _, itemIdx := range plan.joinItems {
+		atom, neg := g.itemAtom(re, itemIdx)
+		if changed(atom.Pred) {
+			touches = true
+			if neg {
+				negOnChanged = true
+			}
+		}
+	}
+	if !touches {
+		return nil
+	}
+	if negOnChanged {
+		return g.recomputeRule(re, tr)
+	}
+	// Snapshot of deltas before this rule runs: the rule must not consume
+	// deltas it produces itself (its head differs from its body by the
+	// no-recursion invariant, but applyBinding may add tuples to *body
+	// variable relations* via varFor — those do not touch tr.added).
+	type seed struct {
+		tuples []db.Tuple
+		sign   int
+	}
+	seedsFor := func(name string) []seed {
+		return []seed{
+			{tuples: append([]db.Tuple(nil), tr.added[name]...), sign: +1},
+			{tuples: append([]db.Tuple(nil), tr.removed[name]...), sign: -1},
+		}
+	}
+
+	for si, itemIdx := range plan.joinItems {
+		atom, neg := g.itemAtom(re, itemIdx)
+		if neg || !changed(atom.Pred) {
+			continue
+		}
+		resolver := func(otherItem int, name string) *db.Relation {
+			// Position of otherItem within joinItems determines old/new.
+			for sj, idx := range plan.joinItems {
+				if idx == otherItem {
+					if sj < si {
+						return g.currentState(name)
+					}
+					return g.oldState(tr, name)
+				}
+			}
+			return g.currentState(name)
+		}
+		for _, sd := range seedsFor(atom.Pred) {
+			for _, t := range sd.tuples {
+				var applyErr error
+				err := g.evalRule(re, resolver, itemIdx, t, func(b db.Binding) bool {
+					if e := g.applyBinding(re, b, sd.sign, tr); e != nil {
+						applyErr = e
+						return false
+					}
+					return true
+				})
+				if applyErr != nil {
+					return applyErr
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recomputeRule fully retracts the rule's old derivations (evaluated
+// against pre-update snapshots) and re-derives against the new state.
+// Counted semantics make the pairing exact even when most derivations are
+// unchanged.
+func (g *Grounder) recomputeRule(re *ruleEval, tr *tracker) error {
+	var applyErr error
+	err := g.evalRule(re,
+		func(_ int, name string) *db.Relation { return g.oldState(tr, name) },
+		-1, nil,
+		func(b db.Binding) bool {
+			if e := g.applyBinding(re, b, -1, tr); e != nil {
+				applyErr = e
+				return false
+			}
+			return true
+		})
+	if applyErr != nil {
+		return applyErr
+	}
+	if err != nil {
+		return err
+	}
+	return g.runRuleFull(re, tr)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortVarIDs(xs []factor.VarID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package inc implements the paper's incremental-inference contribution
+// (Section 3.2): given a factor graph materialized for the original
+// distribution Pr(0) and the changes (ΔV, ΔF) produced by incremental
+// grounding, compute marginals under the updated distribution Pr(∆)
+// without re-running inference from scratch.
+//
+// Three materialization strategies are provided, mirroring the paper:
+//
+//   - Strawman (3.2.1): complete materialization of every possible world;
+//     exponential space, feasible only below ~20 variables.
+//   - Sampling (3.2.2): MCDB-style tuple-bundle samples from Pr(0) reused
+//     as independent Metropolis-Hastings proposals; the acceptance test
+//     touches only the changed factors.
+//   - Variational (3.2.3, Algorithm 1): a sparser approximate factor
+//     graph from a log-determinant relaxation with ℓ1 box constraints;
+//     updates are applied directly to the approximate graph.
+//
+// A rule-based optimizer (Section 3.3) chooses between sampling and
+// variational per update, and Algorithm 2 (Appendix B.1) decomposes the
+// graph into independently-materialized groups around "active" variables.
+package inc
+
+import (
+	"deepdive/internal/factor"
+	"deepdive/internal/ground"
+)
+
+// ChangeSet describes how the distribution changed between the old and
+// new factor graphs. Group indexes are stable across an update (new
+// groups are appended), so ChangedOld indexes the old graph and
+// ChangedNew the new one.
+type ChangeSet struct {
+	// ChangedOld: groups (old-graph indexes) whose energy differs under
+	// the new distribution — modified groundings or changed weights.
+	ChangedOld []int32
+	// ChangedNew: groups (new-graph indexes) whose energy differs —
+	// modified groups plus appended new groups.
+	ChangedNew []int32
+	// EvidenceChanged lists variables whose evidence flag/value changed.
+	EvidenceChanged []factor.VarID
+	// NewFeatures reports whether new tied weights were introduced.
+	NewFeatures bool
+}
+
+// FromDelta converts incremental-grounding bookkeeping to a ChangeSet.
+func FromDelta(d *ground.Delta) ChangeSet {
+	return ChangeSet{
+		ChangedOld:      d.ChangedGroupsOld(),
+		ChangedNew:      d.ChangedGroupsNew(),
+		EvidenceChanged: append([]factor.VarID(nil), d.EvidenceChanged...),
+		NewFeatures:     d.HasNewFeatures(),
+	}
+}
+
+// Empty reports whether the distribution is unchanged (the paper's A1
+// analysis workload: pure re-querying).
+func (c *ChangeSet) Empty() bool {
+	return len(c.ChangedOld) == 0 && len(c.ChangedNew) == 0 && len(c.EvidenceChanged) == 0
+}
+
+// StructureChanged reports whether factors were added, removed, or
+// modified.
+func (c *ChangeSet) StructureChanged() bool {
+	return len(c.ChangedOld) > 0 || len(c.ChangedNew) > 0
+}

@@ -1,0 +1,479 @@
+package inc
+
+import (
+	"math"
+	"testing"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// chainGraph builds a chain v0—v1—…—v(n-1) with pairwise couplings of
+// weight w (group: head=v(i), body=v(i+1), linear), plus a weak positive
+// bias on v0 so marginals are asymmetric.
+func chainGraph(n int, w float64) *factor.Graph {
+	b := factor.NewBuilder()
+	anchor := b.AddEvidenceVar(true)
+	vars := make([]factor.VarID, n)
+	for i := range vars {
+		vars[i] = b.AddVar()
+	}
+	cw := b.AddWeight(w)
+	for i := 0; i+1 < n; i++ {
+		b.AddGroup(vars[i], cw, factor.Linear,
+			[]factor.Grounding{{Lits: []factor.Literal{{Var: vars[i+1]}}}})
+	}
+	bias := b.AddWeight(0.7)
+	b.AddGroup(vars[0], bias, factor.Linear,
+		[]factor.Grounding{{Lits: []factor.Literal{{Var: anchor}}}})
+	return b.MustBuild()
+}
+
+func maxAbsDiff(a, b []float64, skipEvidence *factor.Graph) float64 {
+	worst := 0.0
+	for i := range a {
+		if skipEvidence != nil && skipEvidence.IsEvidence(factor.VarID(i)) {
+			continue
+		}
+		d := math.Abs(a[i] - b[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestStrawmanExactMatchesEnumeration(t *testing.T) {
+	g := chainGraph(5, 0.8)
+	s, err := MaterializeStrawman(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWorlds() != 32 {
+		t.Fatalf("NumWorlds = %d, want 32", s.NumWorlds())
+	}
+	exact := s.ExactMarginals(nil, nil, nil)
+	// Long-run Gibbs should agree.
+	m := gibbs.New(g, 3).Marginals(200, 20000)
+	if d := maxAbsDiff(exact, m, g); d > 0.02 {
+		t.Fatalf("strawman exact vs gibbs diff %v", d)
+	}
+}
+
+func TestStrawmanInferTracksChangedDistribution(t *testing.T) {
+	g := chainGraph(5, 0.8)
+	s, err := MaterializeStrawman(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New graph: same structure but the bias weight flipped negative
+	// (a changed factor). Group 4 is the bias group.
+	nb := factor.NewBuilderFrom(g)
+	newG := nb.MustBuild()
+	biasGroup := int32(newG.NumGroups() - 1)
+	newG.SetWeight(newG.Group(int(biasGroup)).Weight, -0.7)
+
+	changed := []int32{biasGroup}
+	exact := s.ExactMarginals(newG, changed, changed)
+	got := s.Infer(newG, changed, changed, 200, 20000, 7)
+	if d := maxAbsDiff(exact, got, g); d > 0.03 {
+		t.Fatalf("strawman incremental gibbs vs exact diff %v", d)
+	}
+	// And the change must actually lower P(v1=first chain var).
+	orig := s.ExactMarginals(nil, nil, nil)
+	if !(exact[1] < orig[1]) {
+		t.Fatalf("bias flip did not lower marginal: %v -> %v", orig[1], exact[1])
+	}
+}
+
+func TestStrawmanInfeasibleBeyondCap(t *testing.T) {
+	b := factor.NewBuilder()
+	for i := 0; i < MaxStrawmanVars+1; i++ {
+		b.AddVar()
+	}
+	if _, err := MaterializeStrawman(b.MustBuild()); err == nil {
+		t.Fatal("oversized strawman accepted")
+	}
+}
+
+func TestSamplingNoChangeFullAcceptance(t *testing.T) {
+	g := chainGraph(6, 0.6)
+	sampler := gibbs.New(g, 11)
+	store := sampler.CollectSamples(100, 2000)
+	res := SamplingInfer(g, g, store, ChangeSet{}, 1500, 12)
+	if res.AcceptanceRate() != 1 {
+		t.Fatalf("acceptance = %v, want 1 for unchanged distribution", res.AcceptanceRate())
+	}
+	truth := MaterializeStrawmanMust(t, g).ExactMarginals(nil, nil, nil)
+	if d := maxAbsDiff(res.Marginals, truth, g); d > 0.05 {
+		t.Fatalf("sampling marginals diff %v from exact", d)
+	}
+}
+
+func MaterializeStrawmanMust(t *testing.T, g *factor.Graph) *Strawman {
+	t.Helper()
+	s, err := MaterializeStrawman(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSamplingTracksChangedWeights(t *testing.T) {
+	g := chainGraph(6, 0.6)
+	store := gibbs.New(g, 13).CollectSamples(100, 20000)
+	// New graph: the shared coupling weight flipped, changing all five
+	// coupling groups (indexes 0..4).
+	newG := factor.NewBuilderFrom(g).MustBuild()
+	newG.SetWeight(newG.Group(0).Weight, -0.6)
+	changed := []int32{0, 1, 2, 3, 4}
+	cs := ChangeSet{ChangedOld: changed, ChangedNew: changed}
+	res := SamplingInfer(g, newG, store, cs, 19000, 14)
+	if res.AcceptanceRate() >= 1 {
+		t.Fatalf("acceptance = %v, want < 1 for changed distribution", res.AcceptanceRate())
+	}
+	truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, changed, changed)
+	if d := maxAbsDiff(res.Marginals, truth, g); d > 0.06 {
+		t.Fatalf("sampling marginals diff %v from exact", d)
+	}
+}
+
+func TestSamplingHandlesNewVariablesAndEvidence(t *testing.T) {
+	g := chainGraph(4, 0.6)
+	store := gibbs.New(g, 15).CollectSamples(100, 3000)
+	// Extend: new variable coupled to the chain tail; evidence set on v2.
+	nb := factor.NewBuilderFrom(g)
+	nv := nb.AddVar()
+	w := nb.AddWeight(1.5)
+	tail := factor.VarID(4) // last chain var (anchor=0, chain=1..4)
+	gi := nb.AddGroup(nv, w, factor.Linear,
+		[]factor.Grounding{{Lits: []factor.Literal{{Var: tail}}}})
+	newG := nb.MustBuild()
+	newG.SetEvidence(2, true, true)
+	cs := ChangeSet{
+		ChangedNew:      []int32{int32(gi)},
+		EvidenceChanged: []factor.VarID{2},
+	}
+	res := SamplingInfer(g, newG, store, cs, 2500, 16)
+	if res.Marginals[2] != 1 {
+		t.Fatalf("evidence var marginal = %v, want 1", res.Marginals[2])
+	}
+	truth := MaterializeStrawmanMust(t, newG).ExactMarginals(nil, nil, nil)
+	if d := math.Abs(res.Marginals[nv] - truth[nv]); d > 0.12 {
+		t.Fatalf("new-var marginal %v vs exact %v", res.Marginals[nv], truth[nv])
+	}
+}
+
+func TestSamplingExhaustion(t *testing.T) {
+	g := chainGraph(4, 0.5)
+	store := gibbs.New(g, 17).CollectSamples(10, 50)
+	res := SamplingInfer(g, g, store, ChangeSet{}, 500, 18)
+	if !res.Exhausted {
+		t.Fatal("store of 50 samples should exhaust before 500 keeps")
+	}
+	if res.WorldsObserved >= 500 {
+		t.Fatalf("observed %d worlds from 50 samples", res.WorldsObserved)
+	}
+}
+
+func TestEstimateAcceptanceRate(t *testing.T) {
+	g := chainGraph(6, 0.6)
+	store := gibbs.New(g, 19).CollectSamples(100, 1000)
+	// Unchanged: rate 1.
+	if r := EstimateAcceptanceRate(g, g, store, ChangeSet{}, 100, 20); r != 1 {
+		t.Fatalf("unchanged estimate = %v, want 1", r)
+	}
+	// Heavily changed: rate < 1.
+	newG := factor.NewBuilderFrom(g).MustBuild()
+	newG.SetWeight(newG.Group(0).Weight, -3)
+	changed := []int32{0, 1, 2, 3, 4}
+	r := EstimateAcceptanceRate(g, newG, store, ChangeSet{ChangedOld: changed, ChangedNew: changed}, 200, 21)
+	if r >= 0.95 {
+		t.Fatalf("heavy change estimate = %v, want < 0.95", r)
+	}
+}
+
+func TestVariationalApproximatesMarginals(t *testing.T) {
+	g := chainGraph(6, 0.9)
+	store := gibbs.New(g, 23).CollectSamples(200, 3000)
+	vm, err := MaterializeVariational(g, store, VariationalOptions{Lambda: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Edges) == 0 {
+		t.Fatal("variational produced no edges for a correlated chain")
+	}
+	got := VariationalInfer(vm, nil, g, nil, 200, 5000, 24)
+	truth := MaterializeStrawmanMust(t, g).ExactMarginals(nil, nil, nil)
+	if d := maxAbsDiff(got, truth, g); d > 0.15 {
+		t.Fatalf("variational marginals diff %v from exact (edges=%d)", d, len(vm.Edges))
+	}
+}
+
+func TestVariationalLambdaControlsSparsity(t *testing.T) {
+	g := chainGraph(10, 0.8)
+	store := gibbs.New(g, 25).CollectSamples(200, 2000)
+	prev := math.MaxInt
+	for _, lambda := range []float64{0.001, 0.1, 10} {
+		vm, err := MaterializeVariational(g, store, VariationalOptions{Lambda: lambda})
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		if len(vm.Edges) > prev {
+			t.Fatalf("λ=%v: edges grew from %d to %d", lambda, prev, len(vm.Edges))
+		}
+		prev = len(vm.Edges)
+	}
+	if prev != 0 {
+		t.Fatalf("λ=10 should prune (nearly) all edges of a weak chain, kept %d", prev)
+	}
+}
+
+func TestVariationalRespectsAdjacency(t *testing.T) {
+	// Two independent pairs: no cross-pair edges allowed.
+	b := factor.NewBuilder()
+	v0, v1, v2, v3 := b.AddVar(), b.AddVar(), b.AddVar(), b.AddVar()
+	w := b.AddWeight(1.2)
+	b.AddGroup(v0, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: v1}}}})
+	b.AddGroup(v2, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: v3}}}})
+	g := b.MustBuild()
+	store := gibbs.New(g, 27).CollectSamples(100, 2000)
+	vm, err := MaterializeVariational(g, store, VariationalOptions{Lambda: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vm.Edges {
+		same := (e.I < 2) == (e.J < 2)
+		if !same {
+			t.Fatalf("cross-component edge %v-%v", e.I, e.J)
+		}
+	}
+}
+
+func TestVariationalLargeComponentFallback(t *testing.T) {
+	g := chainGraph(30, 0.7)
+	store := gibbs.New(g, 29).CollectSamples(100, 1500)
+	vm, err := MaterializeVariational(g, store, VariationalOptions{Lambda: 0.01, MaxDenseComponent: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Edges) == 0 {
+		t.Fatal("threshold fallback produced no edges")
+	}
+	// Edges only between chain neighbors (adjacency pattern respected).
+	for _, e := range vm.Edges {
+		d := int(e.J) - int(e.I)
+		if d < 0 {
+			d = -d
+		}
+		if d != 1 {
+			t.Fatalf("non-adjacent edge %v-%v in chain", e.I, e.J)
+		}
+	}
+}
+
+func TestEngineStrategyRules(t *testing.T) {
+	g := chainGraph(5, 0.5)
+	e, err := NewEngine(g, Options{MaterializationSamples: 200, KeepSamples: 100, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cs   ChangeSet
+		want Strategy
+	}{
+		{"no change (A1)", ChangeSet{}, StrategySampling},
+		{"evidence update (S rules)", ChangeSet{EvidenceChanged: []factor.VarID{1}}, StrategyVariational},
+		{"new features (FE rules)", ChangeSet{ChangedNew: []int32{0}, NewFeatures: true}, StrategySampling},
+		{"structure only (I rules)", ChangeSet{ChangedNew: []int32{0}}, StrategySampling},
+	}
+	for _, c := range cases {
+		if got := e.ChooseStrategy(c.cs); got != c.want {
+			t.Errorf("%s: strategy = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEngineLesionSwitches(t *testing.T) {
+	g := chainGraph(5, 0.5)
+	noSamp, _ := NewEngine(g, Options{MaterializationSamples: 100, Seed: 1, DisableSampling: true})
+	if noSamp.ChooseStrategy(ChangeSet{}) != StrategyVariational {
+		t.Fatal("DisableSampling ignored")
+	}
+	noVar, _ := NewEngine(g, Options{MaterializationSamples: 100, Seed: 1, DisableVariational: true})
+	if noVar.ChooseStrategy(ChangeSet{EvidenceChanged: []factor.VarID{1}}) != StrategySampling {
+		t.Fatal("DisableVariational ignored")
+	}
+	noWl, _ := NewEngine(g, Options{MaterializationSamples: 100, Seed: 1, IgnoreWorkload: true})
+	if noWl.ChooseStrategy(ChangeSet{EvidenceChanged: []factor.VarID{1}}) != StrategySampling {
+		t.Fatal("IgnoreWorkload ignored")
+	}
+}
+
+func TestEngineInferUnchangedMatchesTruth(t *testing.T) {
+	g := chainGraph(6, 0.7)
+	e, err := NewEngine(g, Options{MaterializationSamples: 3000, KeepSamples: 2000, Burnin: 100, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Infer(g, ChangeSet{})
+	if res.Strategy != StrategySampling || res.FellBack {
+		t.Fatalf("unchanged inference used %v (fellback=%v)", res.Strategy, res.FellBack)
+	}
+	truth := MaterializeStrawmanMust(t, g).ExactMarginals(nil, nil, nil)
+	if d := maxAbsDiff(res.Marginals, truth, g); d > 0.05 {
+		t.Fatalf("marginals diff %v", d)
+	}
+}
+
+func TestEngineFallsBackOnExhaustion(t *testing.T) {
+	g := chainGraph(6, 0.7)
+	e, err := NewEngine(g, Options{MaterializationSamples: 50, KeepSamples: 500, Burnin: 20, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Infer(g, ChangeSet{})
+	if !res.FellBack || res.Strategy != StrategyVariational {
+		t.Fatalf("expected variational fallback, got %v fellback=%v", res.Strategy, res.FellBack)
+	}
+	if len(res.Marginals) != g.NumVars() {
+		t.Fatalf("marginals length %d", len(res.Marginals))
+	}
+}
+
+func TestEngineMaterializeForBudget(t *testing.T) {
+	g := chainGraph(5, 0.5)
+	e, err := NewEngine(g, Options{MaterializationSamples: 10, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := e.Store().Len()
+	n1 := e.MaterializeForBudget(20e6) // 20ms
+	if n1 <= n0 {
+		t.Fatalf("budget materialization added no samples: %d -> %d", n0, n1)
+	}
+}
+
+func TestDecomposeStructure(t *testing.T) {
+	// v1—a—v2 and v3 isolated; a active. Components {v1}, {v2} share
+	// boundary {a} and merge; {v3} has an empty boundary, which the
+	// paper's merge criterion (|A_j ∪ A_k| = max(|A_j|, |A_k|)) also
+	// absorbs — the empty set is contained in every boundary.
+	b := factor.NewBuilder()
+	a := b.AddVar()
+	v1 := b.AddVar()
+	v2 := b.AddVar()
+	v3 := b.AddVar()
+	w := b.AddWeight(1)
+	b.AddGroup(v1, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a}}}})
+	b.AddGroup(v2, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a}}}})
+	_ = v3
+	g := b.MustBuild()
+	groups := Decompose(g, []factor.VarID{a})
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1 after paper-literal merging: %+v", len(groups), groups)
+	}
+	grp := groups[0]
+	if len(grp.Inactive) != 3 || len(grp.Active) != 1 || grp.Active[0] != a {
+		t.Fatalf("merged group wrong: %+v", grp)
+	}
+}
+
+func TestDecomposeDistinctBoundariesStaySeparate(t *testing.T) {
+	// a1—v1 and a2—v2 with disjoint boundaries {a1} and {a2}:
+	// |{a1} ∪ {a2}| = 2 ≠ max(1, 1), so the groups must NOT merge.
+	b := factor.NewBuilder()
+	a1 := b.AddVar()
+	a2 := b.AddVar()
+	v1 := b.AddVar()
+	v2 := b.AddVar()
+	w := b.AddWeight(1)
+	b.AddGroup(v1, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a1}}}})
+	b.AddGroup(v2, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a2}}}})
+	g := b.MustBuild()
+	groups := Decompose(g, []factor.VarID{a1, a2})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+}
+
+func TestDecomposePartition(t *testing.T) {
+	g := chainGraph(10, 0.5)
+	active := []factor.VarID{3, 7}
+	groups := Decompose(g, active)
+	seen := map[factor.VarID]int{}
+	for _, grp := range groups {
+		for _, v := range grp.Inactive {
+			seen[v]++
+			if v == 3 || v == 7 {
+				t.Fatalf("active var %d in inactive set", v)
+			}
+			if g.IsEvidence(v) {
+				t.Fatalf("evidence var %d in inactive set", v)
+			}
+		}
+	}
+	// Every free non-active var appears exactly once.
+	for v := 0; v < g.NumVars(); v++ {
+		id := factor.VarID(v)
+		if g.IsEvidence(id) || id == 3 || id == 7 {
+			continue
+		}
+		if seen[id] != 1 {
+			t.Fatalf("var %d appears %d times", v, seen[id])
+		}
+	}
+}
+
+func TestInferDecomposedUntouchedBlocksFree(t *testing.T) {
+	// Two chains, each anchored on its own active variable, so the
+	// decomposition keeps them separate. Change only the second chain's
+	// factor; the first block adopts samples without acceptance testing.
+	b := factor.NewBuilder()
+	a1, a2 := b.AddVar(), b.AddVar()
+	v1, v2 := b.AddVar(), b.AddVar()
+	w1 := b.AddWeight(1.0)
+	w2 := b.AddWeight(1.0)
+	b.AddGroup(v1, w1, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a1}}}})
+	b.AddGroup(v2, w2, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a2}}}})
+	g := b.MustBuild()
+	e, err := NewEngine(g, Options{MaterializationSamples: 4000, KeepSamples: 3000, Burnin: 100, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG := factor.NewBuilderFrom(g).MustBuild()
+	newG.SetWeight(newG.Group(1).Weight, -1.0)
+	cs := ChangeSet{ChangedOld: []int32{1}, ChangedNew: []int32{1}}
+	groups := Decompose(g, []factor.VarID{a1, a2})
+	if len(groups) != 2 {
+		t.Fatalf("decomposition groups = %d, want 2: %+v", len(groups), groups)
+	}
+	res := e.InferDecomposed(newG, cs, groups)
+	truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, cs.ChangedOld, cs.ChangedNew)
+	if d := maxAbsDiff(res.Marginals, truth, newG); d > 0.08 {
+		t.Fatalf("decomposed marginals diff %v (truth %v, got %v)", d, truth, res.Marginals)
+	}
+}
+
+func TestChangeSetHelpers(t *testing.T) {
+	cs := ChangeSet{}
+	if !cs.Empty() || cs.StructureChanged() {
+		t.Fatal("empty ChangeSet misreported")
+	}
+	cs.ChangedNew = []int32{1}
+	if cs.Empty() || !cs.StructureChanged() {
+		t.Fatal("non-empty ChangeSet misreported")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategySampling.String() != "sampling" ||
+		StrategyVariational.String() != "variational" ||
+		StrategyRerun.String() != "rerun" {
+		t.Fatal("Strategy strings wrong")
+	}
+	if Strategy(7).String() != "Strategy(7)" {
+		t.Fatal("unknown Strategy string wrong")
+	}
+}

@@ -1,0 +1,365 @@
+package inc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// Strategy identifies a materialization/inference strategy.
+type Strategy uint8
+
+const (
+	// StrategySampling is the tuple-bundle + Metropolis-Hastings approach.
+	StrategySampling Strategy = iota
+	// StrategyVariational is the log-det-relaxation approximate graph.
+	StrategyVariational
+	// StrategyRerun runs Gibbs from scratch (the baseline, not chosen by
+	// the optimizer; used by lesion configurations).
+	StrategyRerun
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySampling:
+		return "sampling"
+	case StrategyVariational:
+		return "variational"
+	case StrategyRerun:
+		return "rerun"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// MaterializationSamples is how many worlds to store (default 1000).
+	// The paper materializes "as many samples as possible when idle or
+	// within a user-specified time interval"; see MaterializeForBudget.
+	MaterializationSamples int
+	// Burnin sweeps before materialization sampling (default 50).
+	Burnin int
+	// KeepSamples is the number of inference worlds per update (default 500).
+	KeepSamples int
+	// Lambda is the variational regularization parameter (default 0.01).
+	Lambda float64
+	// MaxDenseComponent caps the dense log-det solve (default 300).
+	MaxDenseComponent int
+	Seed              int64
+
+	// Lesion switches (Section 4.3): disable one side, or ignore workload
+	// information (NoWorkloadInfo: always try sampling first, regardless
+	// of the update's nature).
+	DisableSampling    bool
+	DisableVariational bool
+	IgnoreWorkload     bool
+}
+
+func (o Options) fill() Options {
+	if o.MaterializationSamples <= 0 {
+		o.MaterializationSamples = 1000
+	}
+	if o.Burnin <= 0 {
+		o.Burnin = 50
+	}
+	if o.KeepSamples <= 0 {
+		o.KeepSamples = 500
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 0.01
+	}
+	if o.MaxDenseComponent <= 0 {
+		o.MaxDenseComponent = 300
+	}
+	return o
+}
+
+// Result reports one incremental inference run.
+type Result struct {
+	Marginals      []float64
+	Strategy       Strategy
+	FellBack       bool // sampling exhausted; variational finished the job
+	AcceptanceRate float64
+	SamplesUsed    int
+	Elapsed        time.Duration
+}
+
+// Engine owns the materialization of the original distribution Pr(0) and
+// answers updated-distribution queries. Following Section 3.3, it
+// materializes *both* the sampling and the variational form ("we propose
+// to materialize the factor graph using both the sampling approach and
+// the variational approach, and defer the decision to the inference
+// phase").
+type Engine struct {
+	opts    Options
+	old     *factor.Graph
+	sampler *gibbs.Sampler
+	store   *gibbs.Store
+	vm      *Variational
+
+	matElapsed time.Duration
+}
+
+// NewEngine materializes g under both strategies.
+func NewEngine(g *factor.Graph, opts Options) (*Engine, error) {
+	o := opts.fill()
+	e := &Engine{opts: o, old: g}
+	start := time.Now()
+	e.sampler = gibbs.New(g, o.Seed)
+	e.sampler.RandomizeState()
+	e.store = e.sampler.CollectSamples(o.Burnin, o.MaterializationSamples)
+	if !o.DisableVariational {
+		vm, err := MaterializeVariational(g, e.store, VariationalOptions{
+			Lambda:            o.Lambda,
+			MaxDenseComponent: o.MaxDenseComponent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.vm = vm
+	}
+	e.matElapsed = time.Since(start)
+	return e, nil
+}
+
+// MaterializeForBudget keeps drawing samples until the wall-clock budget
+// is spent (the paper's Figure 15 protocol, scaled down from 8 hours) and
+// returns how many samples are now stored.
+func (e *Engine) MaterializeForBudget(budget time.Duration) int {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		e.sampler.Sweep()
+		e.store.Add(e.sampler.State.Assign)
+	}
+	return e.store.Len()
+}
+
+// MaterializationTime returns the time spent in NewEngine.
+func (e *Engine) MaterializationTime() time.Duration { return e.matElapsed }
+
+// Store exposes the sample store (for statistics).
+func (e *Engine) Store() *gibbs.Store { return e.store }
+
+// OldGraph returns the materialized Pr(0) graph.
+func (e *Engine) OldGraph() *factor.Graph { return e.old }
+
+// Variational exposes the variational materialization (nil when disabled).
+func (e *Engine) Variational() *Variational { return e.vm }
+
+// ChooseStrategy applies the rule-based optimizer of Section 3.3:
+//
+//   - no structure change              → sampling (rule 1)
+//   - evidence modified                → variational (rule 2)
+//   - new features introduced          → sampling (rule 3)
+//   - samples exhausted (at run time)  → variational (rule 4, in Infer)
+//
+// Lesion switches override the choice.
+func (e *Engine) ChooseStrategy(cs ChangeSet) Strategy {
+	switch {
+	case e.opts.DisableSampling:
+		return StrategyVariational
+	case e.opts.DisableVariational:
+		return StrategySampling
+	case e.opts.IgnoreWorkload:
+		return StrategySampling // always try sampling first, fall back on exhaustion
+	case !cs.StructureChanged() && len(cs.EvidenceChanged) == 0:
+		return StrategySampling
+	case len(cs.EvidenceChanged) > 0:
+		return StrategyVariational
+	default:
+		return StrategySampling
+	}
+}
+
+// Infer computes marginals under the updated distribution represented by
+// newG (the graph after incremental grounding) and the change set.
+func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
+	start := time.Now()
+	res := &Result{Strategy: e.ChooseStrategy(cs), AcceptanceRate: 1}
+	switch res.Strategy {
+	case StrategySampling:
+		sr := SamplingInfer(e.old, newG, e.store, cs, e.opts.KeepSamples, e.opts.Seed+17)
+		res.AcceptanceRate = sr.AcceptanceRate()
+		res.SamplesUsed = sr.Proposed
+		if sr.Exhausted && sr.WorldsObserved < e.opts.KeepSamples {
+			if e.vm != nil {
+				// Rule 4: out of samples → variational.
+				res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+					e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
+				res.Strategy = StrategyVariational
+				res.FellBack = true
+			} else {
+				// Lesion configuration without the variational side: rerun.
+				res.Marginals = Rerun(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29)
+				res.Strategy = StrategyRerun
+				res.FellBack = true
+			}
+		} else {
+			res.Marginals = sr.Marginals
+		}
+	case StrategyVariational:
+		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
+	default:
+		res.Marginals = Rerun(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Rerun is the from-scratch baseline ("Rerun" in Section 4.2): Gibbs over
+// the full new graph.
+func Rerun(newG *factor.Graph, burnin, keep int, seed int64) []float64 {
+	s := gibbs.New(newG, seed)
+	s.RandomizeState()
+	return s.Marginals(burnin, keep)
+}
+
+// InferDecomposed runs per-group incremental inference over an Algorithm 2
+// decomposition: groups untouched by the update adopt stored samples
+// directly (acceptance rate 1 — no computation on their factors), touched
+// groups run a group-local acceptance test. This is the mechanism behind
+// the Figure 14 lesion: without decomposition a single global acceptance
+// test collapses when any part of the distribution changes.
+func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []DecompGroup) *Result {
+	start := time.Now()
+	res := &Result{Strategy: StrategySampling, AcceptanceRate: 1}
+
+	n := newG.NumVars()
+	blockOf := make([]int, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	for bi, grp := range groups {
+		for _, v := range grp.Inactive {
+			blockOf[v] = bi
+		}
+		for _, v := range grp.Active {
+			if blockOf[v] == -1 {
+				blockOf[v] = bi
+			}
+		}
+	}
+	// Residual block for unassigned free vars (e.g. new vars).
+	residual := len(groups)
+	for v := 0; v < n; v++ {
+		if blockOf[v] == -1 && !newG.IsEvidence(factor.VarID(v)) {
+			blockOf[v] = residual
+		}
+	}
+	nBlocks := residual + 1
+	varsByBlock := make([][]factor.VarID, nBlocks)
+	for v := 0; v < n; v++ {
+		if b := blockOf[v]; b >= 0 && !newG.IsEvidence(factor.VarID(v)) {
+			varsByBlock[b] = append(varsByBlock[b], factor.VarID(v))
+		}
+	}
+
+	blockForGroup := func(g *factor.Graph, gi int32) int {
+		gr := g.Group(int(gi))
+		if !g.IsEvidence(gr.Head) && blockOf[gr.Head] >= 0 {
+			return blockOf[gr.Head]
+		}
+		for _, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				if !g.IsEvidence(lit.Var) && blockOf[lit.Var] >= 0 {
+					return blockOf[lit.Var]
+				}
+			}
+		}
+		return residual
+	}
+	changedNewByBlock := make([][]int32, nBlocks)
+	for _, gi := range cs.ChangedNew {
+		b := blockForGroup(newG, gi)
+		changedNewByBlock[b] = append(changedNewByBlock[b], gi)
+	}
+	changedOldByBlock := make([][]int32, nBlocks)
+	for _, gi := range cs.ChangedOld {
+		b := blockForGroup(e.old, gi)
+		changedOldByBlock[b] = append(changedOldByBlock[b], gi)
+	}
+
+	rng := rand.New(rand.NewSource(e.opts.Seed + 31))
+	st := factor.NewState(newG)
+	sampler := gibbs.FromState(st, e.opts.Seed+37)
+	est := gibbs.NewEstimator(n)
+
+	// Old-graph groups reference only old variables, so the (wider) new
+	// world can be scored against both graphs directly.
+	blockScore := func(world []bool, b int) float64 {
+		if len(changedNewByBlock[b]) == 0 && len(changedOldByBlock[b]) == 0 {
+			return 0
+		}
+		return newG.EnergyOfGroups(world, changedNewByBlock[b]) -
+			e.old.EnergyOfGroups(world, changedOldByBlock[b])
+	}
+
+	prop := make([]bool, n)
+	hybrid := make([]bool, n)
+	accepted, proposed := 0, 0
+	for est.N() < e.opts.KeepSamples {
+		raw, ok := e.store.Next(nil)
+		if !ok {
+			res.FellBack = true
+			break
+		}
+		copy(prop, raw[:min(len(raw), n)])
+		for v := 0; v < n; v++ {
+			if newG.IsEvidence(factor.VarID(v)) {
+				prop[v] = newG.EvidenceValue(factor.VarID(v))
+			} else if v >= e.old.NumVars() {
+				prop[v] = st.Assign[v] // new vars keep chain values
+			}
+		}
+		// hybrid mirrors st.Assign except within the block under test.
+		copy(hybrid, st.Assign)
+		for b := 0; b < nBlocks; b++ {
+			touched := len(changedNewByBlock[b]) > 0 || len(changedOldByBlock[b]) > 0
+			if !touched {
+				// Untouched block: adopt the proposal outright.
+				for _, v := range varsByBlock[b] {
+					st.Set(v, prop[v])
+					hybrid[v] = prop[v]
+				}
+				continue
+			}
+			proposed++
+			for _, v := range varsByBlock[b] {
+				hybrid[v] = prop[v]
+			}
+			d := blockScore(hybrid, b) - blockScore(st.Assign, b)
+			if d >= 0 || rng.Float64() < math.Exp(d) {
+				accepted++
+				for _, v := range varsByBlock[b] {
+					st.Set(v, prop[v])
+				}
+			} else {
+				for _, v := range varsByBlock[b] {
+					hybrid[v] = st.Assign[v]
+				}
+			}
+		}
+		completeNewVars(sampler, e.old.NumVars())
+		est.Observe(st.Assign)
+	}
+	if res.FellBack && e.vm != nil && est.N() < e.opts.KeepSamples {
+		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+41)
+		res.Strategy = StrategyVariational
+	} else {
+		res.Marginals = est.Means()
+	}
+	if proposed > 0 {
+		res.AcceptanceRate = float64(accepted) / float64(proposed)
+	}
+	res.SamplesUsed = proposed
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,159 @@
+package inc
+
+import (
+	"math"
+	"math/rand"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// SamplingResult reports the outcome of the sampling (independent
+// Metropolis-Hastings) inference phase.
+type SamplingResult struct {
+	Marginals      []float64
+	Accepted       int
+	Proposed       int
+	Exhausted      bool // ran out of stored samples before collecting keep worlds
+	WorldsObserved int
+}
+
+// AcceptanceRate returns accepted/proposed (1 when nothing was proposed).
+func (r *SamplingResult) AcceptanceRate() float64 {
+	if r.Proposed == 0 {
+		return 1
+	}
+	return float64(r.Accepted) / float64(r.Proposed)
+}
+
+// SamplingInfer implements the inference phase of the sampling approach
+// (Section 3.2.2): stored samples from Pr(0) are proposals for an
+// independent Metropolis-Hastings chain targeting Pr(∆). The acceptance
+// test evaluates only the changed factors:
+//
+//	α = min(1, exp(score(I') − score(I)))
+//	score(I) = E_newΔ(I) − E_oldΔ(I)
+//
+// so when the distribution did not change (score ≡ 0) every proposal is
+// accepted and inference is nearly free — the paper's A1 case.
+//
+// New variables (beyond the stored samples' width) are drawn from their
+// Gibbs conditionals given each adopted world; evidence variables are
+// forced to their (possibly updated) values. The store is consumed from
+// its cursor; exhaustion is reported so the optimizer can fall back.
+func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, keep int, seed int64) *SamplingResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := &SamplingResult{}
+	est := gibbs.NewEstimator(newG.NumVars())
+
+	// Working state over the new graph (handles new vars + new evidence).
+	st := factor.NewState(newG)
+	sampler := gibbs.FromState(st, seed+1)
+
+	propose := func() ([]bool, bool) {
+		raw, ok := store.Next(nil)
+		if !ok {
+			return nil, false
+		}
+		full := make([]bool, newG.NumVars())
+		copy(full, raw[:min(len(raw), len(full))])
+		for v := 0; v < newG.NumVars(); v++ {
+			if newG.IsEvidence(factor.VarID(v)) {
+				full[v] = newG.EvidenceValue(factor.VarID(v))
+			}
+		}
+		return full, true
+	}
+
+	// Old-graph groups reference only old variables, so the (wider) new
+	// world scores against both graphs directly.
+	score := func(full []bool) float64 {
+		if len(cs.ChangedOld) == 0 && len(cs.ChangedNew) == 0 {
+			return 0
+		}
+		return newG.EnergyOfGroups(full, cs.ChangedNew) - oldG.EnergyOfGroups(full, cs.ChangedOld)
+	}
+
+	// Initialize the chain from the first proposal (unconditionally).
+	cur, ok := propose()
+	if !ok {
+		res.Exhausted = true
+		res.Marginals = est.Means()
+		return res
+	}
+	st.SetAssignment(cur)
+	completeNewVars(sampler, oldG.NumVars())
+	curScore := score(st.Assign)
+
+	for est.N() < keep {
+		prop, ok := propose()
+		if !ok {
+			res.Exhausted = true
+			break
+		}
+		res.Proposed++
+		// Score the proposal: new vars get conditionals after adoption, so
+		// score on the proposal with current new-var values carried over.
+		for v := oldG.NumVars(); v < newG.NumVars(); v++ {
+			if !newG.IsEvidence(factor.VarID(v)) {
+				prop[v] = st.Assign[v]
+			}
+		}
+		propScore := score(prop)
+		if propScore >= curScore || rng.Float64() < math.Exp(propScore-curScore) {
+			res.Accepted++
+			st.SetAssignment(prop)
+			completeNewVars(sampler, oldG.NumVars())
+			curScore = score(st.Assign)
+		}
+		est.Observe(st.Assign)
+	}
+	res.WorldsObserved = est.N()
+	res.Marginals = est.Means()
+	return res
+}
+
+// completeNewVars resamples the variables appended by the update from
+// their conditionals given the adopted world.
+func completeNewVars(s *gibbs.Sampler, firstNew int) {
+	for _, v := range s.FreeVars() {
+		if int(v) >= firstNew {
+			s.SampleVar(v)
+		}
+	}
+}
+
+// EstimateAcceptanceRate scores a prefix of the stored samples against
+// the updated distribution without consuming them — a cheap probe the
+// optimizer can use. probe must be ≥ 1.
+func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, probe int, seed int64) float64 {
+	if store.Len() == 0 {
+		return 0
+	}
+	if probe > store.Len() {
+		probe = store.Len()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	full := make([]bool, newG.NumVars())
+	score := func(i int) float64 {
+		raw := store.Get(i, nil)
+		copy(full, raw[:min(len(raw), len(full))])
+		for v := 0; v < newG.NumVars(); v++ {
+			if newG.IsEvidence(factor.VarID(v)) {
+				full[v] = newG.EvidenceValue(factor.VarID(v))
+			}
+		}
+		return newG.EnergyOfGroups(full, cs.ChangedNew) - oldG.EnergyOfGroups(full, cs.ChangedOld)
+	}
+	cur := score(rng.Intn(store.Len()))
+	accepted, proposed := 0, 0
+	for k := 0; k < probe; k++ {
+		s := score(rng.Intn(store.Len()))
+		proposed++
+		if s >= cur || rng.Float64() < math.Exp(s-cur) {
+			accepted++
+			cur = s
+		}
+	}
+	return float64(accepted) / float64(proposed)
+}

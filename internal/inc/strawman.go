@@ -1,0 +1,187 @@
+package inc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepdive/internal/factor"
+)
+
+// MaxStrawmanVars bounds complete materialization: 2^20 worlds × 8 bytes
+// = 8 MiB. The paper observes the strawman is "often infeasible on even
+// moderate-sized graphs"; this constant is where our implementation draws
+// the line.
+const MaxStrawmanVars = 20
+
+// Strawman is the complete materialization of Section 3.2.1: the
+// (unnormalized log-) probability of every possible world of the free
+// variables, stored explicitly.
+type Strawman struct {
+	graph    *factor.Graph
+	free     []factor.VarID
+	varBit   map[factor.VarID]int
+	energies []float64 // indexed by bitmask over free variables
+}
+
+// MaterializeStrawman enumerates every possible world of g's free
+// variables and stores its energy. Errors when the graph has more than
+// MaxStrawmanVars free variables.
+func MaterializeStrawman(g *factor.Graph) (*Strawman, error) {
+	var free []factor.VarID
+	for v := 0; v < g.NumVars(); v++ {
+		if !g.IsEvidence(factor.VarID(v)) {
+			free = append(free, factor.VarID(v))
+		}
+	}
+	if len(free) > MaxStrawmanVars {
+		return nil, fmt.Errorf("inc: strawman materialization infeasible for %d free variables (max %d)",
+			len(free), MaxStrawmanVars)
+	}
+	s := &Strawman{
+		graph:    g,
+		free:     free,
+		varBit:   make(map[factor.VarID]int, len(free)),
+		energies: make([]float64, 1<<uint(len(free))),
+	}
+	for i, v := range free {
+		s.varBit[v] = i
+	}
+	assign := make([]bool, g.NumVars())
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			assign[v] = g.EvidenceValue(factor.VarID(v))
+		}
+	}
+	for mask := range s.energies {
+		for i, v := range free {
+			assign[v] = mask&(1<<uint(i)) != 0
+		}
+		s.energies[mask] = g.Energy(assign)
+	}
+	return s, nil
+}
+
+// NumWorlds returns the number of stored worlds.
+func (s *Strawman) NumWorlds() int { return len(s.energies) }
+
+// MemoryBytes returns the materialization footprint.
+func (s *Strawman) MemoryBytes() int { return len(s.energies) * 8 }
+
+// maskOf packs an assignment of the free variables into a world index.
+func (s *Strawman) maskOf(assign []bool) int {
+	mask := 0
+	for i, v := range s.free {
+		if assign[v] {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// ExactMarginals computes exact marginals of the stored distribution,
+// optionally tilted by the changed factors of a new graph (pass nil
+// newG for the original distribution). Used as ground truth in tests and
+// for tiny graphs.
+func (s *Strawman) ExactMarginals(newG *factor.Graph, changedOld, changedNew []int32) []float64 {
+	n := s.graph.NumVars()
+	out := make([]float64, n)
+	assign := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if s.graph.IsEvidence(factor.VarID(v)) {
+			assign[v] = s.graph.EvidenceValue(factor.VarID(v))
+			if assign[v] {
+				out[v] = 1 // evidence reports its value
+			}
+		}
+	}
+	// Log-sum-exp for stability.
+	var maxE = math.Inf(-1)
+	scores := make([]float64, len(s.energies))
+	for mask := range s.energies {
+		e := s.energies[mask]
+		if newG != nil {
+			for i, v := range s.free {
+				assign[v] = mask&(1<<uint(i)) != 0
+			}
+			e += newG.EnergyOfGroups(assign, changedNew) - s.graph.EnergyOfGroups(assign, changedOld)
+		}
+		scores[mask] = e
+		if e > maxE {
+			maxE = e
+		}
+	}
+	var z float64
+	sums := make([]float64, len(s.free))
+	for mask, e := range scores {
+		p := math.Exp(e - maxE)
+		z += p
+		for i := range s.free {
+			if mask&(1<<uint(i)) != 0 {
+				sums[i] += p
+			}
+		}
+	}
+	for i, v := range s.free {
+		out[v] = sums[i] / z
+	}
+	return out
+}
+
+// Infer runs Gibbs sampling for the updated distribution using stored
+// energies: the conditional of a variable needs only the two stored world
+// energies plus the changed factors' energies — no access to the original
+// factors (the strawman's speed argument in the paper).
+func (s *Strawman) Infer(newG *factor.Graph, changedOld, changedNew []int32, burnin, keep int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.graph.NumVars()
+	assign := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if s.graph.IsEvidence(factor.VarID(v)) {
+			assign[v] = s.graph.EvidenceValue(factor.VarID(v))
+		}
+	}
+	mask := 0
+	score := func(m int) float64 {
+		e := s.energies[m]
+		if newG != nil && (len(changedOld) > 0 || len(changedNew) > 0) {
+			for i, v := range s.free {
+				assign[v] = m&(1<<uint(i)) != 0
+			}
+			e += newG.EnergyOfGroups(assign, changedNew) - s.graph.EnergyOfGroups(assign, changedOld)
+		}
+		return e
+	}
+	counts := make([]float64, n)
+	total := burnin + keep
+	for it := 0; it < total; it++ {
+		for i := range s.free {
+			m1 := mask | 1<<uint(i)
+			m0 := mask &^ (1 << uint(i))
+			d := score(m1) - score(m0)
+			if rng.Float64() < 1/(1+math.Exp(-d)) {
+				mask = m1
+			} else {
+				mask = m0
+			}
+		}
+		if it >= burnin {
+			for i, v := range s.free {
+				if mask&(1<<uint(i)) != 0 {
+					counts[v]++
+				}
+			}
+		}
+	}
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if s.graph.IsEvidence(factor.VarID(v)) {
+			if s.graph.EvidenceValue(factor.VarID(v)) {
+				out[v] = 1
+			}
+			continue
+		}
+		out[v] = counts[v] / float64(keep)
+	}
+	return out
+}

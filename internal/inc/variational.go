@@ -1,0 +1,389 @@
+package inc
+
+import (
+	"math"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+	"deepdive/internal/linalg"
+)
+
+// PairFactor is one pairwise potential of the approximated graph: weight
+// W couples variables I and J (energy +W when both true with I as head —
+// an Ising-style coupling whose sign carries the learned correlation).
+type PairFactor struct {
+	I, J factor.VarID
+	W    float64
+}
+
+// UnaryFactor is a per-variable bias potential matching the variable's
+// first moment under Pr(0).
+type UnaryFactor struct {
+	V factor.VarID
+	W float64
+}
+
+// Variational is the materialization of Section 3.2.3 / Algorithm 1: a
+// sparser factor graph (only unary and pairwise potentials) approximating
+// Pr(0). Edge weights come from the inverse-covariance estimate X̂ of the
+// log-determinant relaxation; the ℓ1 box half-width λ controls sparsity.
+//
+// Deviation note (documented in DESIGN.md): Algorithm 1's line 5-7 emits a
+// factor per non-zero X̂ij. We emit pairwise factors from the off-diagonal
+// X̂ entries and unary factors matched to the sampled first moments, which
+// keeps single-variable marginals calibrated while preserving the
+// sparsity/λ tradeoff the paper studies.
+type Variational struct {
+	NumVars int
+	Edges   []PairFactor
+	Unaries []UnaryFactor
+	Lambda  float64
+}
+
+// NumFactors returns the approximate graph's factor count (the quantity
+// Figure 6 plots against λ).
+func (vm *Variational) NumFactors() int { return len(vm.Edges) + len(vm.Unaries) }
+
+// VariationalOptions tunes materialization.
+type VariationalOptions struct {
+	Lambda            float64 // ℓ1 box half-width (paper default search starts at 0.001)
+	MaxDenseComponent int     // per-component cap for the dense log-det solve (default 300)
+	Solver            linalg.LogDetOptions
+}
+
+func (o VariationalOptions) fill() VariationalOptions {
+	if o.Lambda <= 0 {
+		o.Lambda = 0.01
+	}
+	if o.MaxDenseComponent <= 0 {
+		o.MaxDenseComponent = 300
+	}
+	return o
+}
+
+// MaterializeVariational runs Algorithm 1 using worlds already sampled
+// from Pr(0) (the same tuple bundles the sampling approach stores — the
+// paper's "both approaches need samples from the original factor graph").
+// The NZ pattern comes from factor co-occurrence; the optimization runs
+// per connected component so dense linear algebra stays small. Components
+// larger than MaxDenseComponent use covariance thresholding directly (the
+// scalable fallback documented in DESIGN.md).
+func MaterializeVariational(g *factor.Graph, store *gibbs.Store, opts VariationalOptions) (*Variational, error) {
+	o := opts.fill()
+	vm := &Variational{NumVars: g.NumVars(), Lambda: o.Lambda}
+
+	means := store.Means()
+	// Unary potentials: logit of the sampled marginal, clamped.
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			continue
+		}
+		m := clamp(means[v], 0.02, 0.98)
+		w := 0.5 * math.Log(m/(1-m))
+		if math.Abs(w) > 1e-6 {
+			vm.Unaries = append(vm.Unaries, UnaryFactor{V: factor.VarID(v), W: w})
+		}
+	}
+
+	comps := components(g)
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		if len(comp) > o.MaxDenseComponent {
+			vm.thresholdEdges(g, store, comp)
+			continue
+		}
+		if err := vm.solveComponent(g, store, comp, o); err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// solveComponent runs the dense log-det relaxation on one connected
+// component and emits pairwise factors for non-zero off-diagonal entries.
+func (vm *Variational) solveComponent(g *factor.Graph, store *gibbs.Store, comp []int, o VariationalOptions) error {
+	n := len(comp)
+	rows := store.FloatWorlds(comp)
+	m, err := linalg.Covariance(rows)
+	if err != nil {
+		return err
+	}
+	// NZ pattern restricted to the component.
+	local := make(map[int]int, n)
+	for i, v := range comp {
+		local[v] = i
+	}
+	pat := make([]bool, n*n)
+	markAdjacent(g, comp, local, pat)
+	// Zero covariance entries off the pattern (Algorithm 1 line 3).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && !pat[i*n+j] {
+				m.Set(i, j, 0)
+			}
+		}
+	}
+	prob := &linalg.LogDetProblem{M: m, Pattern: pat, Lambda: o.Lambda}
+	res, err := prob.Solve(&o.Solver)
+	if err != nil {
+		return err
+	}
+	const eps = 1e-6
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := res.X.At(i, j)
+			if math.Abs(w) > eps {
+				vm.Edges = append(vm.Edges, PairFactor{
+					I: factor.VarID(comp[i]), J: factor.VarID(comp[j]), W: edgeWeight(w),
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// thresholdEdges is the scalable fallback for oversized components:
+// pairwise covariances on the adjacency pattern, soft-thresholded by λ.
+func (vm *Variational) thresholdEdges(g *factor.Graph, store *gibbs.Store, comp []int) {
+	local := make(map[int]int, len(comp))
+	for i, v := range comp {
+		local[v] = i
+	}
+	means := store.Means()
+	n := store.Len()
+	if n < 2 {
+		return
+	}
+	seen := make(map[[2]int]bool)
+	visitAdjacent(g, comp, local, func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		var cov float64
+		for s := 0; s < n; s++ {
+			va, vb := 0.0, 0.0
+			if store.Bit(s, a) {
+				va = 1
+			}
+			if store.Bit(s, b) {
+				vb = 1
+			}
+			cov += (va - means[a]) * (vb - means[b])
+		}
+		cov /= float64(n - 1)
+		// Soft threshold by λ: |cov| ≤ λ is dropped, larger shrinks by λ.
+		if math.Abs(cov) <= vm.Lambda {
+			return
+		}
+		w := cov - math.Copysign(vm.Lambda, cov)
+		vm.Edges = append(vm.Edges, PairFactor{I: factor.VarID(a), J: factor.VarID(b), W: edgeWeight(w)})
+	})
+}
+
+// edgeWeight converts an inverse-covariance-scale entry into a pairwise
+// potential weight. X̂ij > 0 for {0,1} variables indicates the pair
+// co-occurs more than independence predicts; the factor weight scales it
+// into the energy domain.
+func edgeWeight(x float64) float64 { return 4 * x }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// components returns the connected components of the graph's variable
+// adjacency (variables sharing a group), each as a sorted var list.
+// Evidence variables do not connect components (they are fixed).
+func components(g *factor.Graph) [][]int {
+	n := g.NumVars()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for gi := 0; gi < g.NumGroups(); gi++ {
+		gr := g.Group(gi)
+		anchorVar := -1
+		if !g.IsEvidence(gr.Head) {
+			anchorVar = int(gr.Head)
+		}
+		for _, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				if g.IsEvidence(lit.Var) {
+					continue
+				}
+				if anchorVar == -1 {
+					anchorVar = int(lit.Var)
+				} else {
+					union(anchorVar, int(lit.Var))
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			continue
+		}
+		r := find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	var out [][]int
+	// Deterministic order: by smallest member.
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, byRoot[r][0])
+	}
+	sortInts(roots)
+	seen := make(map[int]bool)
+	for _, first := range roots {
+		r := find(first)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// markAdjacent sets pat for pairs of component variables co-occurring in
+// a group.
+func markAdjacent(g *factor.Graph, comp []int, local map[int]int, pat []bool) {
+	n := len(comp)
+	visitAdjacent(g, comp, local, func(a, b int) {
+		i, j := local[a], local[b]
+		pat[i*n+j] = true
+		pat[j*n+i] = true
+	})
+	for i := 0; i < n; i++ {
+		pat[i*n+i] = true
+	}
+}
+
+// visitAdjacent calls f(a, b) for every adjacent pair of free variables
+// within the component (global var ids).
+func visitAdjacent(g *factor.Graph, comp []int, local map[int]int, f func(a, b int)) {
+	inComp := func(v factor.VarID) bool {
+		_, ok := local[int(v)]
+		return ok
+	}
+	for gi := 0; gi < g.NumGroups(); gi++ {
+		gr := g.Group(gi)
+		var vars []factor.VarID
+		if !g.IsEvidence(gr.Head) && inComp(gr.Head) {
+			vars = append(vars, gr.Head)
+		}
+		for _, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				if !g.IsEvidence(lit.Var) && inComp(lit.Var) {
+					vars = append(vars, lit.Var)
+				}
+			}
+		}
+		for ai := range vars {
+			for bi := ai + 1; bi < len(vars); bi++ {
+				if vars[ai] != vars[bi] {
+					f(int(vars[ai]), int(vars[bi]))
+				}
+			}
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// BuildInferenceGraph applies an update to the approximated graph
+// (Section 3.2.3's inference phase): the result contains the pairwise and
+// unary approximation factors, evidence copied from the new graph, and
+// the changed/new factor groups of the new graph. Because the
+// approximation already encodes the *old* energy of groups that existed
+// at materialization time, a group whose weight merely changed is
+// appended with the weight difference (w_new − w_old) so the combined
+// energy approximates E_old + ΔE = E_new instead of double counting.
+// Structurally new groups carry their full weight. Pass oldG = nil to
+// append everything at full weight. The final variable
+// (id = newG.NumVars()) is an always-true anchor used by unary
+// potentials.
+func (vm *Variational) BuildInferenceGraph(oldG, newG *factor.Graph, changedNew []int32) *factor.Graph {
+	b := factor.NewBuilder()
+	for v := 0; v < newG.NumVars(); v++ {
+		if newG.IsEvidence(factor.VarID(v)) {
+			b.AddEvidenceVar(newG.EvidenceValue(factor.VarID(v)))
+		} else {
+			b.AddVar()
+		}
+	}
+	anchor := b.AddEvidenceVar(true)
+	for _, u := range vm.Unaries {
+		if newG.IsEvidence(u.V) {
+			continue
+		}
+		w := b.AddWeight(u.W)
+		b.AddGroup(u.V, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: anchor}}}})
+	}
+	for _, e := range vm.Edges {
+		w := b.AddWeight(e.W)
+		b.AddGroup(e.I, w, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: e.J}}}})
+	}
+	for _, gi := range changedNew {
+		gr := newG.Group(int(gi))
+		wv := newG.Weight(gr.Weight)
+		if oldG != nil && int(gi) < oldG.NumGroups() {
+			old := oldG.Group(int(gi))
+			if old.Weight == gr.Weight && int(old.Weight) < oldG.NumWeights() {
+				wv -= oldG.Weight(old.Weight)
+			}
+		}
+		if wv == 0 {
+			continue
+		}
+		w := b.AddWeight(wv)
+		gnds := make([]factor.Grounding, len(gr.Groundings))
+		for i, gnd := range gr.Groundings {
+			gnds[i] = factor.Grounding{Lits: append([]factor.Literal(nil), gnd.Lits...)}
+		}
+		b.AddGroup(gr.Head, w, gr.Sem, gnds)
+	}
+	return b.MustBuild()
+}
+
+// VariationalInfer runs Gibbs on the approximated (plus update) graph and
+// returns marginals for the new graph's variables.
+func VariationalInfer(vm *Variational, oldG, newG *factor.Graph, changedNew []int32, burnin, keep int, seed int64) []float64 {
+	ig := vm.BuildInferenceGraph(oldG, newG, changedNew)
+	s := gibbs.New(ig, seed)
+	m := s.Marginals(burnin, keep)
+	return m[:newG.NumVars()]
+}

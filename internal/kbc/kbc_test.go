@@ -1,0 +1,283 @@
+package kbc
+
+import (
+	"strings"
+	"testing"
+
+	"deepdive/internal/corpus"
+	"deepdive/internal/datalog"
+	"deepdive/internal/factor"
+)
+
+// smallSystem is a fast test corpus: one relation, compact.
+func smallSystem() *corpus.System {
+	spec := corpus.Genomics()
+	spec.NumDocs = 20
+	spec.EntitiesPerType = 14
+	spec.TruePairsPerRel = 8
+	spec.FalsePairsPerRel = 24
+	spec.Seed = 77
+	return corpus.Generate(spec)
+}
+
+func testConfig() Config {
+	return Config{
+		Sem:         factor.Ratio,
+		LearnEpochs: 10, IncLearnEpochs: 4,
+		InferBurnin: 15, InferKeep: 150,
+		MatSamples: 500,
+		Seed:       5,
+	}
+}
+
+func TestBaseProgramParses(t *testing.T) {
+	for _, sys := range corpus.AllSystems() {
+		src := BaseProgram(sys, factor.Ratio)
+		if _, err := datalog.Parse(src); err != nil {
+			t.Fatalf("%s base program: %v", sys.Spec.Name, err)
+		}
+		for _, it := range IterationNames {
+			full := src
+			for _, name := range IterationNames {
+				full += IterationRules(sys, name)
+				if name == it {
+					break
+				}
+			}
+			if _, err := datalog.Parse(full); err != nil {
+				t.Fatalf("%s through %s: %v", sys.Spec.Name, it, err)
+			}
+		}
+	}
+}
+
+func TestParseMentionID(t *testing.T) {
+	sid, s, e, ok := ParseMentionID("m:s3_1:2:4")
+	if !ok || sid != "s3_1" || s != 2 || e != 4 {
+		t.Fatalf("ParseMentionID = %q %d %d %v", sid, s, e, ok)
+	}
+	for _, bad := range []string{"", "m:x:1", "x:s:1:2", "m:s:a:2"} {
+		if _, _, _, ok := ParseMentionID(bad); ok {
+			t.Fatalf("bad mention id %q accepted", bad)
+		}
+	}
+}
+
+func TestUDFsAreDeterministicAndTotal(t *testing.T) {
+	udfs := UDFs()
+	args := []string{"m:s0_0:0:3", "m:s0_0:6:7", "Barack Person1 Ashford and his wife Michelle were married"}
+	for name, f := range udfs {
+		a := f(args)
+		b := f(args)
+		if a != b || a == "" {
+			t.Fatalf("%s: %q vs %q", name, a, b)
+		}
+		if got := f([]string{"junk", "junk", "words"}); got != "bad" {
+			t.Fatalf("%s on junk = %q, want bad", name, got)
+		}
+	}
+	if p := udfs["phrase"](args); p != "and_his_wife" {
+		t.Fatalf("phrase = %q", p)
+	}
+}
+
+func TestBaseTuplesShape(t *testing.T) {
+	sys := smallSystem()
+	base := BaseTuples(sys)
+	if len(base["Sentence"]) == 0 || len(base["Mention"]) == 0 {
+		t.Fatal("no sentences or mentions extracted")
+	}
+	// Each mention's sid must reference an existing sentence.
+	sids := map[string]bool{}
+	for _, s := range base["Sentence"] {
+		sids[s[0]] = true
+	}
+	for _, m := range base["Mention"] {
+		if !sids[m[1]] {
+			t.Fatalf("mention %v references unknown sentence", m)
+		}
+		if _, _, _, ok := ParseMentionID(m[0]); !ok {
+			t.Fatalf("malformed mention id %q", m[0])
+		}
+	}
+	for _, r := range sys.Spec.Relations {
+		if len(base["KB_"+r.Name]) == 0 {
+			t.Fatalf("empty KB for %s", r.Name)
+		}
+		if len(base["SeedKB_"+r.Name]) == 0 {
+			t.Fatalf("empty seeds for %s", r.Name)
+		}
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sys := smallSystem()
+	p, err := NewPipeline(sys, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.SystemStats()
+	if stats.Vars == 0 || stats.Factors == 0 {
+		t.Fatalf("empty grounding: %+v", stats)
+	}
+	p.LearnFull()
+	p.InferFromScratch()
+	baseScores := p.Evaluate(p.Marginals, 0.5)
+	p.Materialize()
+
+	var lastScores Scores
+	for _, it := range IterationNames {
+		res, err := p.ApplyIteration(it)
+		if err != nil {
+			t.Fatalf("%s: %v", it, err)
+		}
+		if len(p.Marginals) == 0 {
+			t.Fatalf("%s: no marginals", it)
+		}
+		lastScores = res.Scores
+		t.Logf("%s: F1=%.3f strategy=%v acc=%.2f ground=%v learn=%v infer=%v",
+			it, res.Scores.F1, res.Strategy, res.Acceptance,
+			res.GroundTime, res.LearnTime, res.InferTime)
+	}
+	// Feature extraction + supervision must improve on the bias-only base.
+	if lastScores.F1 <= baseScores.F1 {
+		t.Fatalf("no quality improvement: base F1 %.3f, final F1 %.3f",
+			baseScores.F1, lastScores.F1)
+	}
+	if lastScores.F1 < 0.3 {
+		t.Fatalf("final F1 %.3f too low", lastScores.F1)
+	}
+}
+
+func TestIncrementalMatchesRerunQuality(t *testing.T) {
+	sys := smallSystem()
+	cfg := testConfig()
+
+	incP, err := NewPipeline(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incP.LearnFull()
+	incP.Materialize()
+	for _, it := range IterationNames {
+		if _, err := incP.ApplyIteration(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incScores := incP.Evaluate(incP.Marginals, 0.5)
+	incFacts := incP.FactProbs(incP.Marginals)
+
+	rr, err := Rerun(sys, cfg, len(IterationNames)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrFacts := rr.Pipeline.FactProbs(rr.Pipeline.Marginals)
+
+	if d := incScores.F1 - rr.Scores.F1; d > 0.15 || d < -0.15 {
+		t.Fatalf("incremental F1 %.3f vs rerun F1 %.3f differ too much", incScores.F1, rr.Scores.F1)
+	}
+	// At this corpus scale the variational phase compresses confidence, so
+	// the paper's 99%-at-0.9 claim is checked at the 0.7 level; see
+	// EXPERIMENTS.md for the measured values at 0.9.
+	ov := CompareFacts(rrFacts, incFacts, 0.7, 0.25)
+	if ov.Shared == 0 {
+		t.Fatal("no shared facts between rerun and incremental")
+	}
+	if ov.HighConfOverlapAB < 0.9 {
+		t.Fatalf("high-confidence overlap %.2f too low", ov.HighConfOverlapAB)
+	}
+	t.Logf("overlap: AB=%.2f BA=%.2f largeDiff=%.2f shared=%d",
+		ov.HighConfOverlapAB, ov.HighConfOverlapBA, ov.FracLargeDiff, ov.Shared)
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	sys := smallSystem()
+	p, err := NewPipeline(sys, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero marginals: predictions come only from evidence (which is
+	// correct by construction), so no false positives and plenty of
+	// misses.
+	zero := make([]float64, p.G.Graph().NumVars())
+	s := p.Evaluate(zero, 0.5)
+	if s.FP != 0 {
+		t.Fatalf("zero marginals scored FP=%d", s.FP)
+	}
+	if s.FN == 0 {
+		t.Fatal("ground truth has no positive query facts to miss")
+	}
+	// All-one marginals: recall 1.
+	one := make([]float64, p.G.Graph().NumVars())
+	for i := range one {
+		one[i] = 1
+	}
+	s = p.Evaluate(one, 0.5)
+	if s.Recall != 1 {
+		t.Fatalf("all-one marginals recall %.2f", s.Recall)
+	}
+}
+
+func TestCompareFactsBasics(t *testing.T) {
+	a := map[Fact]float64{{Rel: "R", M1: "x", M2: "y"}: 0.95, {Rel: "R", M1: "x", M2: "z"}: 0.2}
+	b := map[Fact]float64{{Rel: "R", M1: "x", M2: "y"}: 0.97, {Rel: "R", M1: "x", M2: "z"}: 0.5}
+	ov := CompareFacts(a, b, 0.9, 0.05)
+	if ov.HighConfOverlapAB != 1 || ov.Shared != 2 {
+		t.Fatalf("overlap = %+v", ov)
+	}
+	if ov.FracLargeDiff != 0.5 {
+		t.Fatalf("FracLargeDiff = %v, want 0.5", ov.FracLargeDiff)
+	}
+}
+
+func TestCalibrationBuckets(t *testing.T) {
+	sys := smallSystem()
+	p, err := NewPipeline(sys, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make([]float64, p.G.Graph().NumVars())
+	for i := range m {
+		m[i] = 0.95
+	}
+	bins := p.Calibration(m, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for i, b := range bins {
+		if i < 9 && b.Count != 0 {
+			t.Fatalf("bin %d unexpectedly populated", i)
+		}
+		total += b.Count
+	}
+	if bins[9].Count == 0 || total != p.CountQueryVars() {
+		t.Fatalf("last bin %d, total %d, query vars %d", bins[9].Count, total, p.CountQueryVars())
+	}
+}
+
+func TestIterationRulesUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown iteration did not panic")
+		}
+	}()
+	IterationRules(smallSystem(), "XX")
+}
+
+func TestRerunProgramGrowth(t *testing.T) {
+	sys := smallSystem()
+	src0 := BaseProgram(sys, factor.Linear)
+	srcAll := src0
+	for _, it := range IterationNames {
+		srcAll += IterationRules(sys, it)
+	}
+	if !strings.Contains(srcAll, "S2_") || !strings.Contains(srcAll, "FE1_") {
+		t.Fatal("iteration rules missing from combined program")
+	}
+	p0, _ := datalog.Parse(src0)
+	pAll, _ := datalog.Parse(srcAll)
+	if len(pAll.Rules) <= len(p0.Rules) {
+		t.Fatal("combined program has no extra rules")
+	}
+}

@@ -1,0 +1,361 @@
+package kbc
+
+import (
+	"fmt"
+	"time"
+
+	"deepdive/internal/corpus"
+	"deepdive/internal/datalog"
+	"deepdive/internal/factor"
+	"deepdive/internal/ground"
+	"deepdive/internal/inc"
+	"deepdive/internal/learn"
+)
+
+// Config tunes a pipeline run. Zero values get sensible defaults sized
+// for second-scale experiments.
+type Config struct {
+	Sem       factor.Semantics
+	Threshold float64 // extraction threshold on marginals (default 0.5)
+
+	LearnEpochs    int     // full (from scratch) learning epochs (default 12)
+	IncLearnEpochs int     // warmstart learning epochs per update (default 3)
+	LearnStep      float64 // step size (default 0.25)
+
+	InferBurnin int // Gibbs burn-in sweeps (default 30)
+	InferKeep   int // kept sweeps / kept worlds (default 300)
+
+	MatSamples int // materialized sample count (default 1200)
+	Lambda     float64
+
+	Seed int64
+
+	// Lesion switches forwarded to the incremental engine.
+	DisableSampling    bool
+	DisableVariational bool
+	IgnoreWorkload     bool
+	// NoDecompose disables the Algorithm 2 blocked inference (the
+	// NoDecomposition lesion of Figure 14); by default updates are
+	// inferred per decomposition group with the update's touched
+	// variables as the interest area.
+	NoDecompose bool
+}
+
+func (c Config) fill() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.LearnEpochs <= 0 {
+		c.LearnEpochs = 12
+	}
+	if c.IncLearnEpochs <= 0 {
+		c.IncLearnEpochs = 3
+	}
+	if c.LearnStep <= 0 {
+		c.LearnStep = 0.25
+	}
+	if c.InferBurnin <= 0 {
+		c.InferBurnin = 30
+	}
+	if c.InferKeep <= 0 {
+		c.InferKeep = 300
+	}
+	if c.MatSamples <= 0 {
+		c.MatSamples = 1200
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.01
+	}
+	return c
+}
+
+// Pipeline is one KBC system under development: grounder, learned
+// weights, incremental-inference engine, and the latest marginals.
+type Pipeline struct {
+	Sys     *corpus.System
+	Cfg     Config
+	G       *ground.Grounder
+	BaseSrc string
+
+	engine    *inc.Engine
+	matGraph  *factor.Graph // the engine's Pr(0) graph
+	Marginals []float64
+	applied   []string
+}
+
+// NewPipeline builds and grounds the snapshot-0 program.
+func NewPipeline(sys *corpus.System, cfg Config) (*Pipeline, error) {
+	c := cfg.fill()
+	baseSrc := BaseProgram(sys, c.Sem)
+	prog, err := datalog.Parse(baseSrc)
+	if err != nil {
+		return nil, fmt.Errorf("kbc: base program: %w", err)
+	}
+	g, err := ground.New(prog, UDFs())
+	if err != nil {
+		return nil, err
+	}
+	for rel, tuples := range BaseTuples(sys) {
+		if err := g.LoadBase(rel, tuples); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Ground(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{Sys: sys, Cfg: c, G: g, BaseSrc: baseSrc}, nil
+}
+
+// frozenMask marks non-learnable (fixed) weights for the learner.
+func (p *Pipeline) frozenMask(graph *factor.Graph) []bool {
+	frozen := make([]bool, graph.NumWeights())
+	for i := range frozen {
+		frozen[i] = true
+	}
+	for _, w := range p.G.LearnableWeights() {
+		frozen[w] = false
+	}
+	return frozen
+}
+
+// LearnFull trains weights from scratch on the current graph.
+func (p *Pipeline) LearnFull() time.Duration {
+	start := time.Now()
+	graph := p.G.Graph()
+	warm := append([]float64(nil), graph.Weights()...) // keep fixed weights
+	for _, w := range p.G.LearnableWeights() {
+		warm[w] = 0
+	}
+	learn.Train(graph, learn.Options{
+		Epochs:    p.Cfg.LearnEpochs,
+		StepSize:  p.Cfg.LearnStep,
+		Seed:      p.Cfg.Seed + 101,
+		Warmstart: warm,
+		Frozen:    p.frozenMask(graph),
+	})
+	return time.Since(start)
+}
+
+// learnIncremental warmstarts from the current weights for a few short
+// epochs — warmstart needs far fewer passes than learning from scratch
+// (Appendix B.3).
+func (p *Pipeline) learnIncremental() time.Duration {
+	start := time.Now()
+	graph := p.G.Graph()
+	learn.Train(graph, learn.Options{
+		Epochs:      p.Cfg.IncLearnEpochs,
+		StepSize:    p.Cfg.LearnStep,
+		BatchSweeps: 5,
+		Burnin:      5,
+		Seed:        p.Cfg.Seed + 103,
+		Warmstart:   append([]float64(nil), graph.Weights()...),
+		Frozen:      p.frozenMask(graph),
+	})
+	return time.Since(start)
+}
+
+// Materialize builds the incremental-inference engine over the current
+// graph (both sampling and variational forms). Call after LearnFull.
+func (p *Pipeline) Materialize() time.Duration {
+	graph := p.G.Graph()
+	eng, err := inc.NewEngine(graph, inc.Options{
+		MaterializationSamples: p.Cfg.MatSamples,
+		Burnin:                 p.Cfg.InferBurnin,
+		KeepSamples:            p.Cfg.InferKeep,
+		Lambda:                 p.Cfg.Lambda,
+		Seed:                   p.Cfg.Seed + 107,
+		DisableSampling:        p.Cfg.DisableSampling,
+		DisableVariational:     p.Cfg.DisableVariational,
+		IgnoreWorkload:         p.Cfg.IgnoreWorkload,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("kbc: materialization failed: %v", err))
+	}
+	p.engine = eng
+	p.matGraph = graph
+	return eng.MaterializationTime()
+}
+
+// Engine exposes the incremental engine (nil before Materialize).
+func (p *Pipeline) Engine() *inc.Engine { return p.engine }
+
+// InferFromScratch runs plain Gibbs on the current graph (the Rerun
+// inference phase) and stores the marginals.
+func (p *Pipeline) InferFromScratch() time.Duration {
+	start := time.Now()
+	p.Marginals = inc.Rerun(p.G.Graph(), p.Cfg.InferBurnin, p.Cfg.InferKeep, p.Cfg.Seed+109)
+	return time.Since(start)
+}
+
+// IterationResult reports one incremental development step.
+type IterationResult struct {
+	Name       string
+	GroundTime time.Duration
+	LearnTime  time.Duration
+	InferTime  time.Duration
+	Strategy   inc.Strategy
+	Acceptance float64
+	FellBack   bool
+	Scores     Scores
+}
+
+// Total returns learn + inference time (the quantity Figure 9 reports).
+func (r *IterationResult) Total() time.Duration { return r.LearnTime + r.InferTime }
+
+// ApplyIteration applies one development iteration incrementally:
+// incremental grounding, warmstart learning (skipped when the update
+// changes nothing), weight-diff augmentation of the change set, and
+// engine inference under the optimizer's strategy choice.
+func (p *Pipeline) ApplyIteration(name string) (*IterationResult, error) {
+	if p.engine == nil {
+		return nil, fmt.Errorf("kbc: ApplyIteration before Materialize")
+	}
+	rules, err := ParseIteration(p.Sys, p.BaseSrc, name)
+	if err != nil {
+		return nil, err
+	}
+	res := &IterationResult{Name: name}
+
+	start := time.Now()
+	delta, err := p.G.ApplyUpdate(ground.Update{NewRules: rules})
+	if err != nil {
+		return nil, err
+	}
+	res.GroundTime = time.Since(start)
+
+	newGraph := p.G.Graph()
+	if delta.HasNewFeatures() || delta.HasEvidenceChange() || delta.StructureChanged() {
+		res.LearnTime = p.learnIncremental()
+	}
+
+	cs := inc.FromDelta(delta)
+	p.addWeightChanges(&cs, newGraph)
+
+	start = time.Now()
+	var ir *inc.Result
+	strategy := p.engine.ChooseStrategy(cs)
+	if !p.Cfg.NoDecompose && strategy == inc.StrategySampling && cs.StructureChanged() {
+		// Blocked inference over the new graph's connected components —
+		// each per-sentence cluster keeps its own acceptance test, which
+		// is what keeps the sampling approach alive under feature updates
+		// (Appendix B.1).
+		groups := inc.ComponentGroups(newGraph)
+		ir = p.engine.InferDecomposed(newGraph, cs, groups)
+	} else {
+		ir = p.engine.Infer(newGraph, cs)
+	}
+	res.InferTime = time.Since(start)
+	res.Strategy = ir.Strategy
+	res.Acceptance = ir.AcceptanceRate
+	res.FellBack = ir.FellBack
+	p.Marginals = ir.Marginals
+	p.applied = append(p.applied, name)
+	res.Scores = p.Evaluate(p.Marginals, p.Cfg.Threshold)
+	return res, nil
+}
+
+// addWeightChanges extends the change set with groups whose weight values
+// changed (relearning shifts the distribution even for untouched groups).
+func (p *Pipeline) addWeightChanges(cs *inc.ChangeSet, newGraph *factor.Graph) {
+	const eps = 1e-9
+	already := map[int32]bool{}
+	for _, gi := range cs.ChangedOld {
+		already[gi] = true
+	}
+	oldG := p.matGraph
+	for gi := 0; gi < oldG.NumGroups(); gi++ {
+		if already[int32(gi)] {
+			continue
+		}
+		w := oldG.Group(gi).Weight
+		if int(w) < newGraph.NumWeights() {
+			if diff := oldG.Weight(w) - newGraph.Weight(w); diff > eps || diff < -eps {
+				cs.ChangedOld = append(cs.ChangedOld, int32(gi))
+				cs.ChangedNew = append(cs.ChangedNew, int32(gi))
+			}
+		}
+	}
+}
+
+// activeVars derives the Algorithm 2 interest area from the change set:
+// variables touched by changed groups or evidence changes.
+func activeVars(oldG *factor.Graph, cs inc.ChangeSet) []factor.VarID {
+	seen := map[factor.VarID]bool{}
+	add := func(v factor.VarID) {
+		if !oldG.IsEvidence(v) {
+			seen[v] = true
+		}
+	}
+	for _, gi := range cs.ChangedOld {
+		gr := oldG.Group(int(gi))
+		add(gr.Head)
+		for _, gnd := range gr.Groundings {
+			for _, lit := range gnd.Lits {
+				add(lit.Var)
+			}
+		}
+	}
+	for _, v := range cs.EvidenceChanged {
+		if int(v) < oldG.NumVars() {
+			add(v)
+		}
+	}
+	out := make([]factor.VarID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Applied lists the iterations applied so far.
+func (p *Pipeline) Applied() []string { return append([]string(nil), p.applied...) }
+
+// RerunResult reports one from-scratch run (the paper's Rerun baseline).
+type RerunResult struct {
+	GroundTime time.Duration
+	LearnTime  time.Duration
+	InferTime  time.Duration
+	Scores     Scores
+	Pipeline   *Pipeline
+}
+
+// Total returns learn + inference time.
+func (r *RerunResult) Total() time.Duration { return r.LearnTime + r.InferTime }
+
+// Rerun builds a fresh pipeline whose program contains the base rules
+// plus every iteration up to and including upTo (by position in
+// IterationNames; -1 = base only), grounds from scratch, learns from
+// scratch, and infers with plain Gibbs.
+func Rerun(sys *corpus.System, cfg Config, upTo int) (*RerunResult, error) {
+	c := cfg.fill()
+	src := BaseProgram(sys, c.Sem)
+	for i := 0; i <= upTo && i < len(IterationNames); i++ {
+		src += IterationRules(sys, IterationNames[i])
+	}
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ground.New(prog, UDFs())
+	if err != nil {
+		return nil, err
+	}
+	for rel, tuples := range BaseTuples(sys) {
+		if err := g.LoadBase(rel, tuples); err != nil {
+			return nil, err
+		}
+	}
+	res := &RerunResult{}
+	start := time.Now()
+	if err := g.Ground(); err != nil {
+		return nil, err
+	}
+	res.GroundTime = time.Since(start)
+
+	p := &Pipeline{Sys: sys, Cfg: c, G: g, BaseSrc: src}
+	res.LearnTime = p.LearnFull()
+	res.InferTime = p.InferFromScratch()
+	res.Scores = p.Evaluate(p.Marginals, c.Threshold)
+	res.Pipeline = p
+	return res, nil
+}

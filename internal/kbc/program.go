@@ -1,0 +1,224 @@
+// Package kbc assembles the end-to-end KBC pipeline of Figure 1: raw
+// documents through NLP preprocessing into base relations, a generated
+// DeepDive program per system (candidate generation, feature extraction,
+// supervision, inference rules — the rule inventory of Figure 8), the
+// iteration snapshots A1/FE1/FE2/I1/S1/S2 used throughout Section 4, and
+// the Rerun-vs-Incremental measurement harness.
+package kbc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deepdive/internal/corpus"
+	"deepdive/internal/datalog"
+	"deepdive/internal/db"
+	"deepdive/internal/factor"
+	"deepdive/internal/ground"
+	"deepdive/internal/nlp"
+)
+
+// relVar names the variable relation for a target relation.
+func relVar(rel string) string { return "Rel_" + rel }
+
+// BaseProgram renders the snapshot-0 DeepDive program for a system:
+// declarations, candidate-generation rules (C), a bias feature (FE0), and
+// seed supervision (S0). Later iterations arrive as updates via
+// IterationRules.
+func BaseProgram(sys *corpus.System, sem factor.Semantics) string {
+	var sb strings.Builder
+	sb.WriteString("@relation Sentence(sid, words).\n")
+	sb.WriteString("@relation Mention(mid, sid, etype, eid).\n")
+	for _, r := range sys.Spec.Relations {
+		fmt.Fprintf(&sb, "@variable %s(m1, m2).\n", relVar(r.Name))
+		fmt.Fprintf(&sb, "@relation %s_Ev(m1, m2, label).\n", relVar(r.Name))
+		fmt.Fprintf(&sb, "@relation KB_%s(e1, e2).\n", r.Name)
+		fmt.Fprintf(&sb, "@relation NegKB_%s(e1, e2).\n", r.Name)
+		fmt.Fprintf(&sb, "@relation SeedKB_%s(e1, e2, label).\n", r.Name)
+	}
+	fmt.Fprintf(&sb, "@semantics(%s).\n", sem)
+	for _, r := range sys.Spec.Relations {
+		// Candidate generation (paper rule R1): typed mention pairs
+		// co-occurring in a sentence.
+		fmt.Fprintf(&sb, "C_%s: %s(m1, m2) :- Mention(m1, s, %q, e1), Mention(m2, s, %q, e2), m1 != m2.\n",
+			r.Name, relVar(r.Name), r.Type1, r.Type2)
+		// FE0: a learnable per-relation bias so snapshot 0 has a model.
+		fmt.Fprintf(&sb, "FE0_%s: %s(m1, m2) :- %s(m1, m2) weight = w().\n",
+			r.Name, relVar(r.Name), relVar(r.Name))
+		// S0: seed supervision from a handful of hand-labeled pairs.
+		fmt.Fprintf(&sb, "S0_%s: %s_Ev(m1, m2, l) :- %s(m1, m2), Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), SeedKB_%s(e1, e2, l).\n",
+			r.Name, relVar(r.Name), relVar(r.Name), r.Name)
+	}
+	return sb.String()
+}
+
+// IterationRules renders the rule text added by one development
+// iteration (the workload categories of Figure 8): "FE1" shallow
+// phrase features, "FE2" deeper tag-path features, "I1" inference rules
+// (symmetry where the schema allows), "S1" positive distant supervision,
+// "S2" negative supervision. "A1" is the analysis workload: no rules.
+func IterationRules(sys *corpus.System, name string) string {
+	var sb strings.Builder
+	for _, r := range sys.Spec.Relations {
+		rv := relVar(r.Name)
+		switch name {
+		case "A1":
+			// Analysis only: marginal (pair) probabilities, no new rules.
+		case "FE1":
+			fmt.Fprintf(&sb, "FE1_%s: %s(m1, m2) :- Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), Sentence(s, words), m1 != m2 weight = phrase(m1, m2, words).\n",
+				r.Name, rv)
+		case "FE2":
+			fmt.Fprintf(&sb, "FE2_%s: %s(m1, m2) :- Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), Sentence(s, words), m1 != m2 weight = tagpath(m1, m2, words).\n",
+				r.Name, rv)
+		case "I1":
+			if r.Symmetric {
+				fmt.Fprintf(&sb, "I1_%s: %s(m2, m1) :- %s(m1, m2) weight = 1.2.\n",
+					r.Name, rv, rv)
+			} else {
+				// Asymmetric relations get a sentence-level prior: pairs
+				// whose mentions are near each other are more likely.
+				fmt.Fprintf(&sb, "I1_%s: %s(m1, m2) :- Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), Sentence(s, words), m1 != m2 weight = proximity(m1, m2, words).\n",
+					r.Name, rv)
+			}
+		case "S1":
+			fmt.Fprintf(&sb, "S1_%s: %s_Ev(m1, m2, true) :- %s(m1, m2), Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), KB_%s(e1, e2).\n",
+				r.Name, rv, rv, r.Name)
+		case "S2":
+			fmt.Fprintf(&sb, "S2_%s: %s_Ev(m1, m2, false) :- %s(m1, m2), Mention(m1, s, t1, e1), Mention(m2, s, t2, e2), NegKB_%s(e1, e2).\n",
+				r.Name, rv, rv, r.Name)
+		default:
+			panic(fmt.Sprintf("kbc: unknown iteration %q", name))
+		}
+	}
+	return sb.String()
+}
+
+// IterationNames is the development sequence used in Section 4.2.
+var IterationNames = []string{"A1", "FE1", "FE2", "I1", "S1", "S2"}
+
+// ParseMentionID decodes "m:<sid>:<start>:<end>".
+func ParseMentionID(mid string) (sid string, start, end int, ok bool) {
+	parts := strings.Split(mid, ":")
+	if len(parts) != 4 || parts[0] != "m" {
+		return "", 0, 0, false
+	}
+	s, err1 := strconv.Atoi(parts[2])
+	e, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, false
+	}
+	return parts[1], s, e, true
+}
+
+// UDFs returns the feature-extraction UDF registry shared by all systems:
+//
+//	phrase(m1, m2, words)    — normalized word sequence between mentions (FE1)
+//	tagpath(m1, m2, words)   — POS-tag path with one-token context (FE2)
+//	proximity(m1, m2, words) — bucketed token distance (I1 for asymmetric relations)
+func UDFs() ground.UDFRegistry {
+	spans := func(args []string) (tokens []string, aS, aE, bS, bE int, ok bool) {
+		_, aS, aE, ok1 := ParseMentionID(args[0])
+		_, bS, bE, ok2 := ParseMentionID(args[1])
+		if !ok1 || !ok2 {
+			return nil, 0, 0, 0, 0, false
+		}
+		return strings.Fields(args[2]), aS, aE, bS, bE, true
+	}
+	return ground.UDFRegistry{
+		"phrase": func(args []string) string {
+			tokens, aS, aE, bS, bE, ok := spans(args)
+			if !ok {
+				return "bad"
+			}
+			p := nlp.PhraseBetween(tokens, aS, aE, bS, bE, 4)
+			if p == "" {
+				return "adjacent"
+			}
+			return p
+		},
+		"tagpath": func(args []string) string {
+			tokens, aS, aE, bS, bE, ok := spans(args)
+			if !ok {
+				return "bad"
+			}
+			p := nlp.TagPath(tokens, aS, aE, bS, bE)
+			if p == "" {
+				return "overlap"
+			}
+			return p
+		},
+		"proximity": func(args []string) string {
+			_, aS, aE, bS, bE, ok := spans(args)
+			if !ok {
+				return "bad"
+			}
+			d := bS - aE
+			if bE <= aS {
+				d = aS - bE
+			}
+			switch {
+			case d <= 2:
+				return "near"
+			case d <= 6:
+				return "mid"
+			default:
+				return "far"
+			}
+		},
+	}
+}
+
+// BaseTuples runs the NLP substrate over the system's documents and
+// returns the base relations: Sentence, Mention (with entity links), and
+// the per-relation KB / NegKB / SeedKB tables.
+func BaseTuples(sys *corpus.System) map[string][]db.Tuple {
+	gaz := nlp.NewGazetteer()
+	for eid, surface := range sys.Surface {
+		typ := strings.SplitN(eid, "_", 2)[0]
+		gaz.Add(surface, typ, eid)
+	}
+	out := map[string][]db.Tuple{}
+	for di, doc := range sys.Docs {
+		for si, sent := range nlp.SplitSentences(doc) {
+			tokens := nlp.Tokenize(sent)
+			sid := fmt.Sprintf("s%d_%d", di, si)
+			out["Sentence"] = append(out["Sentence"], db.Tuple{sid, strings.Join(tokens, " ")})
+			for _, m := range gaz.Recognize(tokens) {
+				mid := fmt.Sprintf("m:%s:%d:%d", sid, m.Start, m.End)
+				out["Mention"] = append(out["Mention"], db.Tuple{mid, sid, m.Type, m.Entity})
+			}
+		}
+	}
+	for _, r := range sys.Spec.Relations {
+		for _, p := range sys.KB[r.Name] {
+			out["KB_"+r.Name] = append(out["KB_"+r.Name], db.Tuple{p.E1, p.E2})
+		}
+		for _, p := range sys.NegKB[r.Name] {
+			out["NegKB_"+r.Name] = append(out["NegKB_"+r.Name], db.Tuple{p.E1, p.E2})
+		}
+		for _, lp := range sys.Seeds[r.Name] {
+			out["SeedKB_"+r.Name] = append(out["SeedKB_"+r.Name],
+				db.Tuple{lp.E1, lp.E2, fmt.Sprint(lp.Label)})
+		}
+	}
+	return out
+}
+
+// ParseIteration parses the rules of an iteration against the current
+// program (so new rules can be handed to ApplyUpdate).
+func ParseIteration(sys *corpus.System, baseSrc, name string) ([]*datalog.Rule, error) {
+	src := IterationRules(sys, name)
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	full, err := datalog.Parse(baseSrc + src)
+	if err != nil {
+		return nil, err
+	}
+	base, err := datalog.Parse(baseSrc)
+	if err != nil {
+		return nil, err
+	}
+	return full.Rules[len(base.Rules):], nil
+}

@@ -1,0 +1,272 @@
+// Package learn implements weight learning for DeepDive factor graphs.
+//
+// Learning finds the weights that maximize the likelihood of the evidence
+// (Section 2.4: "in learning, one finds the set of weights that maximizes
+// the probability of the evidence"). The gradient of the log-likelihood
+// for a tied weight w_k is
+//
+//	∂ log Pr[E] / ∂w_k = E_{I ~ Pr(·|E)}[stat_k(I)] − E_{I ~ Pr}[stat_k(I)]
+//
+// where stat_k(I) = Σ_{γ with weight k} sign(γ,I)·g(n(γ,I)). Both
+// expectations are estimated with Gibbs chains: a clamped chain on the
+// graph as-is (evidence fixed) and a free chain on a copy with evidence
+// released. This is the standard contrastive scheme DeepDive/Tuffy use;
+// inference is the inner loop of learning, which is why incremental
+// inference speeds up learning too.
+//
+// The package also implements the incremental-learning strategies compared
+// in Appendix B.3: stochastic gradient descent with and without warmstart,
+// and full gradient descent with warmstart.
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// Method selects the optimizer.
+type Method uint8
+
+const (
+	// SGD takes a noisy gradient step after every sweep pair.
+	SGD Method = iota
+	// GD averages many sweeps into one full-batch gradient per epoch.
+	GD
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case SGD:
+		return "sgd"
+	case GD:
+		return "gd"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Options configures Train.
+type Options struct {
+	Method      Method
+	Epochs      int     // optimizer epochs (default 20)
+	StepSize    float64 // initial learning rate (default 0.1)
+	Decay       float64 // multiplicative step decay per epoch (default 0.95)
+	L2          float64 // ℓ2 regularization strength (default 1e-4)
+	BatchSweeps int     // sweeps averaged per GD gradient (default 10)
+	Burnin      int     // chain burn-in sweeps before learning (default 10)
+	Seed        int64
+	Warmstart   []float64 // initial weights; nil means start from zero
+	// Frozen marks weights excluded from learning (fixed-value rule
+	// weights). nil means all weights are learnable.
+	Frozen []bool
+
+	// TrackLoss, when set, records the evidence loss after every epoch
+	// (costs extra sweeps).
+	TrackLoss bool
+}
+
+func (o Options) fill() Options {
+	if o.Epochs <= 0 {
+		o.Epochs = 20
+	}
+	if o.StepSize <= 0 {
+		o.StepSize = 0.1
+	}
+	if o.Decay <= 0 || o.Decay > 1 {
+		o.Decay = 0.95
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	} else if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.BatchSweeps <= 0 {
+		o.BatchSweeps = 10
+	}
+	if o.Burnin < 0 {
+		o.Burnin = 0
+	} else if o.Burnin == 0 {
+		o.Burnin = 10
+	}
+	return o
+}
+
+// Result reports learned weights and optimizer diagnostics.
+type Result struct {
+	Weights     []float64
+	LossByEpoch []float64 // filled when Options.TrackLoss
+	Epochs      int
+}
+
+// freeCopy builds a graph identical to g but with every evidence variable
+// released, sharing no mutable state with g.
+func freeCopy(g *factor.Graph) *factor.Graph {
+	b := factor.NewBuilderFrom(g)
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			b.ClearEvidence(factor.VarID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Trainer holds the two chains and the weight vector across updates, so
+// incremental learning can continue from a previous state (warmstart).
+type Trainer struct {
+	clamped *gibbs.Sampler
+	free    *gibbs.Sampler
+	g       *factor.Graph
+	fg      *factor.Graph
+	weights []float64
+	opt     Options
+
+	statsC []float64
+	statsF []float64
+}
+
+// NewTrainer prepares chains over g. The graph's current weights are
+// overwritten by opt.Warmstart (or zeros) before any sampling.
+func NewTrainer(g *factor.Graph, opt Options) *Trainer {
+	o := opt.fill()
+	w := make([]float64, g.NumWeights())
+	if o.Warmstart != nil {
+		if len(o.Warmstart) != len(w) {
+			panic(fmt.Sprintf("learn: warmstart has %d weights, want %d", len(o.Warmstart), len(w)))
+		}
+		copy(w, o.Warmstart)
+	}
+	g.SetWeights(w)
+	fg := freeCopy(g)
+	t := &Trainer{
+		clamped: gibbs.New(g, o.Seed),
+		free:    gibbs.New(fg, o.Seed+1),
+		g:       g,
+		fg:      fg,
+		weights: w,
+		opt:     o,
+		statsC:  make([]float64, len(w)),
+		statsF:  make([]float64, len(w)),
+	}
+	t.clamped.RandomizeState()
+	t.free.RandomizeState()
+	t.clamped.Run(o.Burnin)
+	t.free.Run(o.Burnin)
+	return t
+}
+
+// Weights returns the live weight vector.
+func (t *Trainer) Weights() []float64 { return t.weights }
+
+// syncWeights pushes the trainer's weights into both graphs.
+func (t *Trainer) syncWeights() {
+	t.g.SetWeights(t.weights)
+	t.fg.SetWeights(t.weights)
+}
+
+// gradient estimates the log-likelihood gradient using `sweeps` sweeps of
+// each chain, writing it into out.
+func (t *Trainer) gradient(sweeps int, out []float64) {
+	for i := range t.statsC {
+		t.statsC[i] = 0
+		t.statsF[i] = 0
+	}
+	for s := 0; s < sweeps; s++ {
+		t.clamped.Sweep()
+		t.clamped.State.WeightStats(t.statsC)
+		t.free.Sweep()
+		t.free.State.WeightStats(t.statsF)
+	}
+	inv := 1 / float64(sweeps)
+	for k := range out {
+		out[k] = (t.statsC[k]-t.statsF[k])*inv - t.opt.L2*t.weights[k]
+	}
+}
+
+// Epoch performs one optimizer epoch and returns the step size used.
+func (t *Trainer) Epoch(epoch int) float64 {
+	step := t.opt.StepSize * math.Pow(t.opt.Decay, float64(epoch))
+	grad := make([]float64, len(t.weights))
+	apply := func() {
+		for k := range t.weights {
+			if t.opt.Frozen != nil && k < len(t.opt.Frozen) && t.opt.Frozen[k] {
+				continue
+			}
+			t.weights[k] += step * grad[k]
+		}
+		t.syncWeights()
+	}
+	switch t.opt.Method {
+	case SGD:
+		// A handful of noisy single-sweep steps per epoch.
+		for s := 0; s < t.opt.BatchSweeps; s++ {
+			t.gradient(1, grad)
+			apply()
+		}
+	case GD:
+		t.gradient(t.opt.BatchSweeps, grad)
+		apply()
+	default:
+		panic(fmt.Sprintf("learn: unknown method %v", t.opt.Method))
+	}
+	return step
+}
+
+// Loss estimates the evidence loss of the current weights: the average
+// negative conditional log-likelihood of each evidence variable given the
+// rest of the clamped chain's world. Lower is better; 0 is perfect.
+func (t *Trainer) Loss(sweeps int) float64 {
+	return EvidenceLoss(t.g, t.clamped, sweeps)
+}
+
+// Train runs the full optimization and returns the learned weights.
+func Train(g *factor.Graph, opt Options) *Result {
+	t := NewTrainer(g, opt)
+	res := &Result{Epochs: t.opt.Epochs}
+	for e := 0; e < t.opt.Epochs; e++ {
+		t.Epoch(e)
+		if t.opt.TrackLoss {
+			res.LossByEpoch = append(res.LossByEpoch, t.Loss(3))
+		}
+	}
+	res.Weights = append([]float64(nil), t.weights...)
+	g.SetWeights(res.Weights)
+	return res
+}
+
+// EvidenceLoss measures, for the graph's evidence variables, the average
+// −log P(v = observed | rest) with the rest of the world drawn by the
+// given (clamped) sampler. A proxy for the training loss the paper plots
+// in Figures 16 and 17.
+func EvidenceLoss(g *factor.Graph, s *gibbs.Sampler, sweeps int) float64 {
+	var evs []factor.VarID
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			evs = append(evs, factor.VarID(v))
+		}
+	}
+	if len(evs) == 0 {
+		return 0
+	}
+	var total float64
+	var count int
+	for k := 0; k < sweeps; k++ {
+		s.Sweep()
+		st := s.State
+		for _, v := range evs {
+			p := st.CondProb(v)
+			if !g.EvidenceValue(v) {
+				p = 1 - p
+			}
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			total += -math.Log(p)
+			count++
+		}
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// unconstrainedOptimum: with λ = +inf and a full pattern, the maximizer of
+// log det X over the box is unconstrained except for the pinned diagonal;
+// log det is maximized at the diagonal matrix when off-diagonals are free
+// to go to zero... it is not, in general. We instead verify first-order
+// optimality via complementary slackness on small problems.
+func TestLogDetDiagonalProblem(t *testing.T) {
+	// With λ = 0 the box forces X = M + ridge·I exactly (on-pattern).
+	m, _ := FromRows([][]float64{{0.25, 0.1}, {0.1, 0.25}})
+	pat := []bool{true, true, true, true}
+	p := &LogDetProblem{M: m, Pattern: pat, Lambda: 0}
+	res, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiag := 0.25 + 1.0/3
+	if !almostEq(res.X.At(0, 0), wantDiag, 1e-9) {
+		t.Fatalf("X(0,0) = %v, want %v", res.X.At(0, 0), wantDiag)
+	}
+	if !almostEq(res.X.At(0, 1), 0.1, 1e-9) {
+		t.Fatalf("X(0,1) = %v, want 0.1 (pinned by λ=0)", res.X.At(0, 1))
+	}
+}
+
+func TestLogDetLargeLambdaDrivesOffDiagonalsTowardZero(t *testing.T) {
+	// For fixed diagonal, log det X is maximized when off-diagonals vanish.
+	// With a huge λ the box never binds, so the solution should approach
+	// the diagonal matrix.
+	m, _ := FromRows([][]float64{{0.2, 0.15}, {0.15, 0.2}})
+	p := &LogDetProblem{M: m, Pattern: []bool{true, true, true, true}, Lambda: 100}
+	res, err := p.Solve(&LogDetOptions{MaxIters: 2000, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X.At(0, 1)) > 1e-4 {
+		t.Fatalf("X(0,1) = %v, want ≈ 0 with non-binding box", res.X.At(0, 1))
+	}
+}
+
+func TestLogDetRespectsPattern(t *testing.T) {
+	// Three variables; pattern allows only the (0,1) edge.
+	m := NewSquare(3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 0.25)
+	}
+	m.Set(0, 1, 0.2)
+	m.Set(1, 0, 0.2)
+	m.Set(1, 2, 0.2)
+	m.Set(2, 1, 0.2)
+	pat := make([]bool, 9)
+	pat[0*3+1], pat[1*3+0] = true, true
+	p := &LogDetProblem{M: m, Pattern: pat, Lambda: 0.05}
+	res, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X.At(1, 2) != 0 || res.X.At(0, 2) != 0 {
+		t.Fatalf("off-pattern entries non-zero: X(1,2)=%v X(0,2)=%v", res.X.At(1, 2), res.X.At(0, 2))
+	}
+	// The (0,1) entry must lie inside its box.
+	if d := math.Abs(res.X.At(0, 1) - 0.2); d > 0.05+1e-9 {
+		t.Fatalf("X(0,1) = %v violates box around 0.2 (λ=0.05)", res.X.At(0, 1))
+	}
+}
+
+func TestLogDetMonotoneInLambda(t *testing.T) {
+	// A larger λ gives a weakly larger feasible set, so the optimum cannot
+	// decrease.
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	m := randomSPD(rng, n)
+	m.Scale(1.0 / float64(n))
+	pat := make([]bool, n*n)
+	for i := range pat {
+		pat[i] = true
+	}
+	prev := math.Inf(-1)
+	for _, lambda := range []float64{0, 0.01, 0.1, 1} {
+		p := &LogDetProblem{M: m, Pattern: pat, Lambda: lambda}
+		res, err := p.Solve(&LogDetOptions{MaxIters: 800})
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		if res.LogDet < prev-1e-6 {
+			t.Fatalf("λ=%v: logdet %v < previous %v", lambda, res.LogDet, prev)
+		}
+		prev = res.LogDet
+	}
+}
+
+func TestLogDetSolutionIsPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomSPD(rng, n)
+		m.Scale(0.1 / float64(n))
+		pat := make([]bool, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pat[i*n+j] = rng.Float64() < 0.5
+			}
+		}
+		// Symmetrize the pattern.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				v := pat[i*n+j] || pat[j*n+i]
+				pat[i*n+j], pat[j*n+i] = v, v
+			}
+		}
+		p := &LogDetProblem{M: m, Pattern: pat, Lambda: 0.05}
+		res, err := p.Solve(nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := Cholesky(res.X); err != nil {
+			t.Fatalf("trial %d: solution not PD: %v", trial, err)
+		}
+		if !res.X.IsSymmetric(1e-9) {
+			t.Fatalf("trial %d: solution not symmetric", trial)
+		}
+	}
+}
+
+func TestLogDetEmptyProblem(t *testing.T) {
+	p := &LogDetProblem{M: NewSquare(0)}
+	res, err := p.Solve(nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("empty problem: res=%+v err=%v", res, err)
+	}
+}
+
+func TestLogDetRejectsBadInputs(t *testing.T) {
+	if _, err := (&LogDetProblem{M: NewMatrix(2, 3)}).Solve(nil); err == nil {
+		t.Fatal("non-square M accepted")
+	}
+	if _, err := (&LogDetProblem{M: NewSquare(2), Pattern: make([]bool, 3)}).Solve(nil); err == nil {
+		t.Fatal("wrong pattern length accepted")
+	}
+}
+
+func TestLogDetCustomRidge(t *testing.T) {
+	m, _ := FromRows([][]float64{{0.5}})
+	p := &LogDetProblem{M: m, Lambda: 0, Ridge: 2}
+	res, err := p.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.X.At(0, 0), 2.5, 1e-12) {
+		t.Fatalf("X(0,0) = %v, want 2.5 with ridge 2", res.X.At(0, 0))
+	}
+}

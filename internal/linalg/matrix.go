@@ -1,0 +1,339 @@
+// Package linalg provides the small amount of dense linear algebra the
+// variational materialization strategy (Algorithm 1 of the paper) needs:
+// symmetric matrices, Cholesky factorization, log-determinants, and
+// inverses of symmetric positive definite matrices.
+//
+// The package is deliberately minimal — column pivoting, banded storage,
+// and BLAS-style blocking are out of scope. Matrices are row-major dense
+// float64. All operations are deterministic.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n×m matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[i*Cols+j] is element (i,j)
+}
+
+// NewMatrix returns a zero-initialized rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewSquare returns a zero-initialized n×n matrix.
+func NewSquare(n int) *Matrix { return NewMatrix(n, n) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewSquare(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: ragged rows: row 0 has %d cols, row %d has %d", cols, i, len(r))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom overwrites m with the contents of src. Dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("linalg: CopyFrom dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Scale multiplies every element by s, in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled adds s·other to m, in place. Dimensions must match.
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("linalg: AddScaled dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Symmetrize replaces m with (m + mᵀ)/2. m must be square.
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// IsSymmetric reports whether m is symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mul returns m·other as a new matrix.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			ok := other.Data[k*other.Cols : (k+1)*other.Cols]
+			for j, ov := range ok {
+				oi[j] += mv * ov
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x as a new vector. len(x) must equal m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// m and other. Dimensions must match.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: MaxAbsDiff dimension mismatch")
+	}
+	var worst float64
+	for i, v := range m.Data {
+		d := math.Abs(v - other.Data[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = m for a symmetric
+// positive definite m. The strictly-upper triangle of the result is zero.
+// Returns ErrNotPositiveDefinite when a non-positive pivot is encountered.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky on non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewSquare(n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// LogDet returns log(det(m)) for a symmetric positive definite m,
+// computed via Cholesky as 2·Σ log L_ii.
+func LogDet(m *Matrix) (float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s, nil
+}
+
+// solveLower solves L·y = b for lower-triangular L, in place into a new slice.
+func solveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	return y
+}
+
+// solveUpperT solves Lᵀ·x = y for lower-triangular L (i.e. upper-triangular Lᵀ).
+func solveUpperT(l *Matrix, y []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves m·x = b for symmetric positive definite m.
+func SolveSPD(m *Matrix, b []float64) ([]float64, error) {
+	if len(b) != m.Rows {
+		return nil, fmt.Errorf("linalg: SolveSPD dimension mismatch %dx%d vs %d", m.Rows, m.Cols, len(b))
+	}
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	return solveUpperT(l, solveLower(l, b)), nil
+}
+
+// InverseSPD returns the inverse of a symmetric positive definite matrix,
+// column by column through the Cholesky factor.
+func InverseSPD(m *Matrix) (*Matrix, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	inv := NewSquare(n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := solveUpperT(l, solveLower(l, e))
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	// Clean up asymmetry from round-off: the inverse of an SPD matrix is
+	// symmetric, and downstream projected-gradient steps rely on that.
+	inv.Symmetrize()
+	return inv, nil
+}
+
+// Covariance estimates the sample covariance matrix of the given
+// observations. samples[k][i] is observation k of variable i. With fewer
+// than two samples the result is the zero matrix.
+func Covariance(samples [][]float64) (*Matrix, error) {
+	if len(samples) == 0 {
+		return NewSquare(0), nil
+	}
+	n := len(samples[0])
+	for k, s := range samples {
+		if len(s) != n {
+			return nil, fmt.Errorf("linalg: sample %d has %d vars, want %d", k, len(s), n)
+		}
+	}
+	mean := make([]float64, n)
+	for _, s := range samples {
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(samples))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	cov := NewSquare(n)
+	if len(samples) < 2 {
+		return cov, nil
+	}
+	denom := 1 / float64(len(samples)-1)
+	for _, s := range samples {
+		for i := 0; i < n; i++ {
+			di := s[i] - mean[i]
+			if di == 0 {
+				continue
+			}
+			row := cov.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] += di * (s[j] - mean[j]) * denom
+			}
+		}
+	}
+	cov.Symmetrize()
+	return cov, nil
+}

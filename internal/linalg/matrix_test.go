@@ -1,0 +1,346 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewSquare(2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Fatalf("At(1,0) = %v, want 0", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("empty FromRows = %v rows, err=%v", empty.Rows, err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopyFromPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched dims did not panic")
+		}
+	}()
+	NewSquare(2).CopyFrom(NewSquare(3))
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatalf("Scale: At(1,1) = %v, want 8", m.At(1, 1))
+	}
+	other, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	m.AddScaled(other, -2)
+	if m.At(0, 0) != 0 || m.At(1, 1) != 6 {
+		t.Fatalf("AddScaled gave %v, %v; want 0, 6", m.At(0, 0), m.At(1, 1))
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 4}, {2, 1}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize gave off-diagonals %v, %v; want 3, 3", m.At(0, 1), m.At(1, 0))
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("IsSymmetric false after Symmetrize")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {2.1, 1}})
+	if m.IsSymmetric(0.01) {
+		t.Fatal("IsSymmetric true with diff 0.1 > tol 0.01")
+	}
+	if !m.IsSymmetric(0.2) {
+		t.Fatal("IsSymmetric false with diff 0.1 < tol 0.2")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square matrix reported symmetric")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{1, 2.5}, {3, 3}})
+	if d := a.MaxAbsDiff(b); d != 1 {
+		t.Fatalf("MaxAbsDiff = %v, want 1", d)
+	}
+}
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	// A·Aᵀ + n·I is SPD with overwhelming margin.
+	a := NewSquare(n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	m := NewSquare(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * a.At(j, k)
+			}
+			m.Set(i, j, s)
+		}
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 15} {
+		m := randomSPD(rng, n)
+		l, err := Cholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// L·Lᵀ must reconstruct m.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k <= min(i, j); k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEq(s, m.At(i, j), 1e-8) {
+					t.Fatalf("n=%d: (LLᵀ)(%d,%d) = %v, want %v", n, i, j, s, m.At(i, j))
+				}
+			}
+		}
+		// Strictly upper triangle must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: L(%d,%d) = %v, want 0", n, i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(m); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestLogDetKnown(t *testing.T) {
+	m, _ := FromRows([][]float64{{4, 0}, {0, 9}})
+	got, err := LogDet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, math.Log(36), 1e-12) {
+		t.Fatalf("LogDet = %v, want log(36) = %v", got, math.Log(36))
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 8} {
+		m := randomSPD(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := m.MulVec(want)
+		got, err := SolveSPD(m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := SolveSPD(NewSquare(2), []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 12} {
+		m := randomSPD(rng, n)
+		inv, err := InverseSPD(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := m.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(prod.At(i, j), want, 1e-8) {
+					t.Fatalf("n=%d: (M·M⁻¹)(%d,%d) = %v, want %v", n, i, j, prod.At(i, j), want)
+				}
+			}
+		}
+		if !inv.IsSymmetric(1e-12) {
+			t.Fatalf("n=%d: inverse is not symmetric", n)
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly anti-correlated pair.
+	samples := [][]float64{{1, 0}, {0, 1}, {1, 0}, {0, 1}}
+	cov, err := Covariance(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var = Σ(x-mean)²/(n-1) = 4·0.25/3 = 1/3
+	if !almostEq(cov.At(0, 0), 1.0/3, 1e-12) {
+		t.Fatalf("var = %v, want 1/3", cov.At(0, 0))
+	}
+	if !almostEq(cov.At(0, 1), -1.0/3, 1e-12) {
+		t.Fatalf("cov = %v, want -1/3", cov.At(0, 1))
+	}
+}
+
+func TestCovarianceEdgeCases(t *testing.T) {
+	if m, err := Covariance(nil); err != nil || m.Rows != 0 {
+		t.Fatalf("empty: %v rows, err=%v", m.Rows, err)
+	}
+	m, err := Covariance([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("single sample should give zero covariance")
+	}
+	if _, err := Covariance([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged samples accepted")
+	}
+}
+
+// Property: for random SPD matrices, LogDet(M) equals the log-determinant
+// computed from the product of Cholesky diagonal entries squared, and
+// InverseSPD round-trips through SolveSPD.
+func TestQuickCholeskyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		m := randomSPD(r, n)
+		ld, err := LogDet(m)
+		if err != nil {
+			return false
+		}
+		// det(M) > 0 ⇒ exp(logdet) finite & positive for these sizes.
+		if math.IsNaN(ld) || math.IsInf(ld, 0) {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := m.MulVec(x)
+		got, err := SolveSPD(m, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
