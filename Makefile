@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# Everything CI runs.
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel sampler's sweeps fan out across goroutines; run its tests
+# under the race detector.
+race:
+	$(GO) test -race ./internal/gibbs/...
+
+bench:
+	$(GO) test -bench='SamplerSequentialCorpus|SamplerParallelCorpus|GibbsSweep' -run=xxx .

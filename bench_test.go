@@ -7,13 +7,16 @@
 package deepdive_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
+	"deepdive/internal/corpus"
 	"deepdive/internal/exp"
 	"deepdive/internal/factor"
 	"deepdive/internal/gibbs"
 	"deepdive/internal/inc"
+	"deepdive/internal/kbc"
 )
 
 // BenchmarkFig4Semantics re-verifies the Figure 4 / Example 2.5 closed
@@ -158,7 +161,7 @@ func benchGraph(n int) *factor.Graph {
 }
 
 // BenchmarkGibbsSweep measures raw Gibbs throughput (the DimmWitted
-// substrate's hot loop).
+// substrate's hot loop) on the sequential CSR-counter sampler.
 func BenchmarkGibbsSweep(b *testing.B) {
 	g := benchGraph(1000)
 	s := gibbs.New(g, 1)
@@ -167,6 +170,80 @@ func BenchmarkGibbsSweep(b *testing.B) {
 		s.Sweep()
 	}
 	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "vars/s")
+}
+
+// BenchmarkGibbsSweepParallel measures the sharded sampler on the same
+// synthetic chain, one worker per core.
+func BenchmarkGibbsSweepParallel(b *testing.B) {
+	g := benchGraph(1000)
+	s := gibbs.NewParallel(g, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "vars/s")
+}
+
+// ---- Sampler throughput on the systems corpus --------------------------
+//
+// BenchmarkSamplerSequentialCorpus vs BenchmarkSamplerParallelCorpus is
+// the before/after pair for the CSR + sharded-worker refactor: identical
+// grounded News graph, sequential scan vs one worker shard per core. The
+// samples/s metric counts variable resamples; with GOMAXPROCS >= 4 the
+// parallel figure should be >= 2x the sequential one.
+
+var (
+	corpusGraphOnce sync.Once
+	corpusGraphVal  *factor.Graph
+)
+
+// corpusGraph grounds a Quick-scale News system once (generation and
+// grounding dominate otherwise) and returns its factor graph.
+func corpusGraph(b *testing.B) *factor.Graph {
+	b.Helper()
+	corpusGraphOnce.Do(func() {
+		spec := corpus.News()
+		spec.NumDocs = 120
+		if spec.TruePairsPerRel > 8 {
+			spec.TruePairsPerRel = 8
+		}
+		if spec.FalsePairsPerRel > 24 {
+			spec.FalsePairsPerRel = 24
+		}
+		sys := corpus.Generate(spec)
+		p, err := kbc.NewPipeline(sys, kbc.Config{Sem: factor.Ratio, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		corpusGraphVal = p.G.Graph()
+	})
+	return corpusGraphVal
+}
+
+// BenchmarkSamplerSequentialCorpus is the sequential baseline on the
+// grounded News graph.
+func BenchmarkSamplerSequentialCorpus(b *testing.B) {
+	g := corpusGraph(b)
+	s := gibbs.New(g, 1)
+	s.RandomizeState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkSamplerParallelCorpus shards the same graph one worker per
+// core.
+func BenchmarkSamplerParallelCorpus(b *testing.B) {
+	g := corpusGraph(b)
+	s := gibbs.NewParallel(g, 0, 1)
+	s.RandomizeState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sweep()
+	}
+	b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
 // BenchmarkSamplingAcceptanceTest measures the per-proposal cost of the

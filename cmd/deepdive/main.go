@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full]
+//	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full] [-parallel -1]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.9, "extraction threshold")
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "use the full scaled corpus (slower)")
+	parallel := flag.Int("parallel", 1, "Gibbs worker shards (<=1 sequential, -1 one per core)")
 	flag.Parse()
 
 	sem, err := factor.ParseSemantics(*semName)
@@ -44,7 +45,7 @@ func main() {
 		sys = corpus.Generate(spec)
 	}
 
-	cfg := kbc.Config{Sem: sem, Seed: *seed, Threshold: *threshold}
+	cfg := kbc.Config{Sem: sem, Seed: *seed, Threshold: *threshold, Parallelism: *parallel}
 	fmt.Printf("== %s (%d docs, %d relations) ==\n",
 		sys.Spec.Name, len(sys.Docs), len(sys.Spec.Relations))
 

@@ -84,6 +84,11 @@ type Options struct {
 	MatSamples int     // stored sample worlds (default 1200)
 	Lambda     float64 // variational regularization λ (default 0.01)
 
+	// Parallelism shards Gibbs sweeps (inference, learning chains, and
+	// materialization) across this many workers: <= 1 sequential, n > 1
+	// uses n worker shards, negative means one worker per core.
+	Parallelism int
+
 	Seed int64
 }
 
@@ -117,6 +122,11 @@ func WithInference(burnin, keep int) Option {
 func WithMaterialization(samples int, lambda float64) Option {
 	return func(o *Options) { o.MatSamples = samples; o.Lambda = lambda }
 }
+
+// WithParallelism shards every Gibbs chain the engine runs (inference,
+// learning, materialization) across n workers. n <= 1 keeps the
+// sequential sampler; a negative n means one worker per core.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
 func (o *Options) fill() {
 	if o.LearnEpochs <= 0 {
@@ -216,11 +226,12 @@ func (e *Engine) Learn() time.Duration {
 		warm[w] = 0
 	}
 	learn.Train(g, learn.Options{
-		Epochs:    e.opts.LearnEpochs,
-		StepSize:  e.opts.LearnStep,
-		Seed:      e.opts.Seed + 1,
-		Warmstart: warm,
-		Frozen:    e.frozen(g),
+		Epochs:      e.opts.LearnEpochs,
+		StepSize:    e.opts.LearnStep,
+		Parallelism: e.opts.Parallelism,
+		Seed:        e.opts.Seed + 1,
+		Warmstart:   warm,
+		Frozen:      e.frozen(g),
 	})
 	return time.Since(start)
 }
@@ -229,7 +240,7 @@ func (e *Engine) Learn() time.Duration {
 // marginals for every candidate fact.
 func (e *Engine) Infer() time.Duration {
 	start := time.Now()
-	e.marg = inc.Rerun(e.grounder.Graph(), e.opts.InferBurnin, e.opts.InferKeep, e.opts.Seed+2)
+	e.marg = inc.RerunParallel(e.grounder.Graph(), e.opts.InferBurnin, e.opts.InferKeep, e.opts.Seed+2, e.opts.Parallelism)
 	return time.Since(start)
 }
 
@@ -242,6 +253,7 @@ func (e *Engine) Materialize() (time.Duration, error) {
 		Burnin:                 e.opts.InferBurnin,
 		KeepSamples:            e.opts.InferKeep,
 		Lambda:                 e.opts.Lambda,
+		Parallelism:            e.opts.Parallelism,
 		Seed:                   e.opts.Seed + 3,
 	})
 	if err != nil {
@@ -311,11 +323,12 @@ func (e *Engine) Update(u Update) (*UpdateResult, error) {
 		start = time.Now()
 		g := newGraph
 		learn.Train(g, learn.Options{
-			Epochs:    e.opts.IncLearnEpochs,
-			StepSize:  e.opts.LearnStep,
-			Seed:      e.opts.Seed + 5,
-			Warmstart: append([]float64(nil), g.Weights()...),
-			Frozen:    e.frozen(g),
+			Epochs:      e.opts.IncLearnEpochs,
+			StepSize:    e.opts.LearnStep,
+			Parallelism: e.opts.Parallelism,
+			Seed:        e.opts.Seed + 5,
+			Warmstart:   append([]float64(nil), g.Weights()...),
+			Frozen:      e.frozen(g),
 		})
 		res.LearnTime = time.Since(start)
 	}

@@ -1,0 +1,169 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR exposes the frozen flat compressed-sparse-row arrays of a Graph —
+// the DimmWitted-style layout Build emits. Samplers that want contiguous
+// index arithmetic (e.g. the parallel Gibbs workers) read these arrays
+// directly instead of walking the nested Group view.
+//
+// All slices are shared with the Graph and must be treated as read-only.
+type CSR struct {
+	// Per-group attributes.
+	GroupHead   []int32
+	GroupWeight []int32
+	GroupSem    []Semantics
+
+	// Group g's groundings are the global grounding indices
+	// [GndOff[g], GndOff[g+1]); grounding k's literals are
+	// Lits[LitOff[k]:LitOff[k+1]], encoded LitVar/LitNeg.
+	GndOff []int32
+	LitOff []int32
+	Lits   []int32
+
+	// Per-variable adjacency: variable v touches groups
+	// AdjGroups[AdjOff[v]:AdjOff[v+1]] (deduplicated, ascending).
+	AdjOff    []int32
+	AdjGroups []int32
+}
+
+// LitVar decodes the variable of a pooled literal.
+func LitVar(l int32) int32 { return l >> 1 }
+
+// LitNeg decodes the negation flag of a pooled literal.
+func LitNeg(l int32) bool { return l&1 == 1 }
+
+// CSR returns the flat layout of the graph. The arrays are shared; treat
+// them as read-only.
+func (g *Graph) CSR() CSR {
+	return CSR{
+		GroupHead:   g.groupHead,
+		GroupWeight: g.groupWeight,
+		GroupSem:    g.groupSem,
+		GndOff:      g.gndOff,
+		LitOff:      g.litOff,
+		Lits:        g.lits,
+		AdjOff:      g.adjOff,
+		AdjGroups:   g.adjGroups,
+	}
+}
+
+// EnergyDeltaOf computes E(v=true) − E(v=false) conditioned on the rest of
+// assign by direct evaluation of v's adjacent groups over the flat layout —
+// no support counters required, so any goroutine holding a consistent view
+// of assign can call it.
+func (g *Graph) EnergyDeltaOf(assign []bool, v VarID) float64 {
+	return g.EnergyDeltaShard(assign, assign, 0, int32(g.numVars), v)
+}
+
+// EnergyDeltaShard is EnergyDeltaOf under a sharded read rule: variables
+// in [lo, hi] are read from cur, all others from snap. The parallel
+// sampler's workers pass their ownership range so they observe their own
+// in-sweep writes (Gauss-Seidel within the shard) and sweep-start
+// snapshots of every other shard. There is exactly one evaluator: the
+// sequential direct evaluation is the lo..hi-covers-everything case.
+func (g *Graph) EnergyDeltaShard(cur, snap []bool, lo, hi int32, v VarID) float64 {
+	vi := int32(v)
+	var delta float64
+	for _, gi := range g.adjGroups[g.adjOff[v]:g.adjOff[v+1]] {
+		// n1/n0: satisfied groundings of the group with v=true / v=false.
+		n1, n0 := 0, 0
+		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+			sat := true
+			hasPos, hasNeg := false, false
+			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+				l := g.lits[li]
+				u := l >> 1
+				neg := l&1 == 1
+				if u == vi {
+					if neg {
+						hasNeg = true
+					} else {
+						hasPos = true
+					}
+					continue
+				}
+				var uval bool
+				if u >= lo && u <= hi {
+					uval = cur[u]
+				} else {
+					uval = snap[u]
+				}
+				if uval == neg {
+					sat = false
+					break
+				}
+			}
+			if !sat {
+				continue
+			}
+			if !hasNeg {
+				n1++
+			}
+			if !hasPos {
+				n0++
+			}
+		}
+		w := g.weights[g.groupWeight[gi]]
+		sem := g.groupSem[gi]
+		if g.groupHead[gi] == vi {
+			// E(v=1) = +w·g(n1); E(v=0) = −w·g(n0) ⇒ diff = w·(g(n1)+g(n0)).
+			delta += w * (sem.G(n1) + sem.G(n0))
+		} else {
+			h := g.groupHead[gi]
+			var hv bool
+			if h >= lo && h <= hi {
+				hv = cur[h]
+			} else {
+				hv = snap[h]
+			}
+			if hv {
+				delta += w * (sem.G(n1) - sem.G(n0))
+			} else {
+				delta -= w * (sem.G(n1) - sem.G(n0))
+			}
+		}
+	}
+	return delta
+}
+
+// CondProbOf returns P(v = true | rest of assign) by direct evaluation
+// (see EnergyDeltaOf).
+func (g *Graph) CondProbOf(assign []bool, v VarID) float64 {
+	return 1 / (1 + math.Exp(-g.EnergyDeltaOf(assign, v)))
+}
+
+// WeightStatsOf accumulates, for each weight id, the statistic
+// Σ_groups sign(head)·g(n) of the given world into out — the same
+// sufficient statistic as State.WeightStats, but computed in one flat pass
+// over the literal pool from a bare assignment (no support counters).
+// len(out) must be NumWeights.
+func (g *Graph) WeightStatsOf(assign []bool, out []float64) {
+	if len(out) != len(g.weights) {
+		panic(fmt.Sprintf("factor: WeightStatsOf got %d slots, want %d", len(out), len(g.weights)))
+	}
+	for gi := range g.groupHead {
+		n := 0
+		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+			sat := true
+			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+				l := g.lits[li]
+				if assign[l>>1] == (l&1 == 1) {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				n++
+			}
+		}
+		sign := -1.0
+		if assign[g.groupHead[gi]] {
+			sign = 1.0
+		}
+		out[g.groupWeight[gi]] += sign * g.groupSem[gi].G(n)
+	}
+}

@@ -1,0 +1,181 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFlatGraph builds a random multi-literal graph exercising negation,
+// repeated variables within a grounding, heads appearing in their own
+// bodies, and all three semantics.
+func randomFlatGraph(rng *rand.Rand, nVars, nGroups int) *Graph {
+	b := NewBuilder()
+	vars := make([]VarID, nVars)
+	for i := range vars {
+		if rng.Intn(5) == 0 {
+			vars[i] = b.AddEvidenceVar(rng.Intn(2) == 0)
+		} else {
+			vars[i] = b.AddVar()
+		}
+	}
+	nW := 3 + rng.Intn(3)
+	ws := make([]WeightID, nW)
+	for i := range ws {
+		ws[i] = b.AddWeight(rng.Float64()*2 - 1)
+	}
+	sems := []Semantics{Linear, Logical, Ratio}
+	for gi := 0; gi < nGroups; gi++ {
+		head := vars[rng.Intn(nVars)]
+		nGnd := 1 + rng.Intn(4)
+		var gnds []Grounding
+		for k := 0; k < nGnd; k++ {
+			nLit := 1 + rng.Intn(3)
+			var lits []Literal
+			for l := 0; l < nLit; l++ {
+				lits = append(lits, Literal{Var: vars[rng.Intn(nVars)], Neg: rng.Intn(3) == 0})
+			}
+			gnds = append(gnds, Grounding{Lits: lits})
+		}
+		b.AddGroup(head, ws[rng.Intn(nW)], sems[rng.Intn(3)], gnds)
+	}
+	return b.MustBuild()
+}
+
+func randomAssign(rng *rand.Rand, g *Graph) []bool {
+	assign := make([]bool, g.NumVars())
+	for v := range assign {
+		if g.IsEvidence(VarID(v)) {
+			assign[v] = g.EvidenceValue(VarID(v))
+		} else {
+			assign[v] = rng.Intn(2) == 0
+		}
+	}
+	return assign
+}
+
+// TestFlatEnergyDeltaMatchesCounters checks the CSR direct evaluation
+// (what the parallel sampler's workers run) against the counter-based
+// incremental EnergyDelta on random graphs and assignments.
+func TestFlatEnergyDeltaMatchesCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomFlatGraph(rng, 4+rng.Intn(12), 1+rng.Intn(10))
+		assign := randomAssign(rng, g)
+		st := NewStateWith(g, assign)
+		for v := 0; v < g.NumVars(); v++ {
+			want := st.EnergyDelta(VarID(v))
+			got := g.EnergyDeltaOf(st.Assign, VarID(v))
+			if math.Abs(want-got) > 1e-9 {
+				t.Fatalf("trial %d var %d: counter delta %v, direct delta %v", trial, v, want, got)
+			}
+		}
+	}
+}
+
+// TestFlatEnergyDeltaMatchesBruteForce pins both evaluations to the
+// definition: E(v=true) − E(v=false) by full re-evaluation.
+func TestFlatEnergyDeltaMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		g := randomFlatGraph(rng, 3+rng.Intn(8), 1+rng.Intn(8))
+		assign := randomAssign(rng, g)
+		work := append([]bool(nil), assign...)
+		for v := 0; v < g.NumVars(); v++ {
+			work[v] = true
+			e1 := g.Energy(work)
+			work[v] = false
+			e0 := g.Energy(work)
+			work[v] = assign[v]
+			want := e1 - e0
+			got := g.EnergyDeltaOf(assign, VarID(v))
+			if math.Abs(want-got) > 1e-9 {
+				t.Fatalf("trial %d var %d: brute-force delta %v, direct delta %v", trial, v, want, got)
+			}
+		}
+	}
+}
+
+// TestFlatWeightStatsMatchesCounters cross-checks the one-pass flat
+// sufficient statistic against the counter-based one.
+func TestFlatWeightStatsMatchesCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := randomFlatGraph(rng, 4+rng.Intn(10), 1+rng.Intn(10))
+		assign := randomAssign(rng, g)
+		st := NewStateWith(g, assign)
+		want := make([]float64, g.NumWeights())
+		st.WeightStats(want)
+		got := make([]float64, g.NumWeights())
+		g.WeightStatsOf(assign, got)
+		for k := range want {
+			if math.Abs(want[k]-got[k]) > 1e-9 {
+				t.Fatalf("trial %d weight %d: counter stat %v, flat stat %v", trial, k, want[k], got[k])
+			}
+		}
+	}
+}
+
+// TestCSRShapeInvariants checks the frozen layout's structural invariants
+// on random graphs: monotone offsets, pool sizes, adjacency ordering and
+// deduplication.
+func TestCSRShapeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := randomFlatGraph(rng, 3+rng.Intn(10), rng.Intn(10))
+		c := g.CSR()
+		if len(c.GndOff) != g.NumGroups()+1 || int(c.GndOff[g.NumGroups()]) != g.NumGroundings() {
+			t.Fatalf("grounding offsets malformed: %v (groups=%d gnd=%d)", c.GndOff, g.NumGroups(), g.NumGroundings())
+		}
+		if len(c.LitOff) != g.NumGroundings()+1 || int(c.LitOff[g.NumGroundings()]) != len(c.Lits) {
+			t.Fatalf("literal offsets malformed")
+		}
+		for i := 1; i < len(c.GndOff); i++ {
+			if c.GndOff[i] < c.GndOff[i-1] {
+				t.Fatal("GndOff not monotone")
+			}
+		}
+		for i := 1; i < len(c.LitOff); i++ {
+			if c.LitOff[i] < c.LitOff[i-1] {
+				t.Fatal("LitOff not monotone")
+			}
+		}
+		for _, l := range c.Lits {
+			if v := LitVar(l); v < 0 || int(v) >= g.NumVars() {
+				t.Fatalf("literal var %d out of range", v)
+			}
+		}
+		for v := 0; v < g.NumVars(); v++ {
+			adj := c.AdjGroups[c.AdjOff[v]:c.AdjOff[v+1]]
+			for i := 1; i < len(adj); i++ {
+				if adj[i] <= adj[i-1] {
+					t.Fatalf("var %d adjacency not strictly ascending: %v", v, adj)
+				}
+			}
+			// Cross-check against the nested view.
+			want := map[int32]bool{}
+			for gi := 0; gi < g.NumGroups(); gi++ {
+				gr := g.Group(gi)
+				touches := gr.Head == VarID(v)
+				for _, gnd := range gr.Groundings {
+					for _, lit := range gnd.Lits {
+						if lit.Var == VarID(v) {
+							touches = true
+						}
+					}
+				}
+				if touches {
+					want[int32(gi)] = true
+				}
+			}
+			if len(want) != len(adj) {
+				t.Fatalf("var %d: adjacency %v, want %d groups", v, adj, len(want))
+			}
+			for _, gi := range adj {
+				if !want[gi] {
+					t.Fatalf("var %d: adjacency lists group %d it does not touch", v, gi)
+				}
+			}
+		}
+	}
+}

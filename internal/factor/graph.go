@@ -30,6 +30,10 @@ type Grounding struct {
 // Group is one grounded Boolean rule γ = (q, w): the head variable, the
 // tied weight, the counting semantics, and all body groundings. The energy
 // contribution of the group is w · sign(head) · g(#satisfied groundings).
+//
+// Group is the nested view of the graph; the frozen Graph additionally
+// holds a flat CSR encoding of the same structure (see CSR) that all hot
+// paths use.
 type Group struct {
 	Head       VarID
 	Weight     WeightID
@@ -37,34 +41,60 @@ type Group struct {
 	Groundings []Grounding
 }
 
-// headOcc and bodyOcc are adjacency records built by Freeze.
+// bodyOcc is one (variable, grounding) co-occurrence record built by
+// Build. gnd is the global grounding index (into the flat grounding
+// space), so counter updates index State.unsat directly.
 type bodyOcc struct {
 	group int32
-	gnd   int32
+	gnd   int32  // global grounding index
 	nPos  uint16 // positive occurrences of the var in the grounding
 	nNeg  uint16 // negated occurrences
 }
 
 // Graph is an immutable grounded factor graph: variables, evidence
-// assignments, tied weights, and rule groups, plus adjacency indexes for
-// fast Gibbs updates. Build one through a Builder.
+// assignments, tied weights, and rule groups. Build one through a Builder.
+//
+// Internally Build freezes the nested Group structure into a flat CSR
+// (compressed-sparse-row) layout — contiguous group attribute arrays, a
+// grounding-offset array, a literal pool, and per-variable adjacency
+// indexes — so sampling walks contiguous int32 arrays instead of chasing
+// nested slices (the DimmWitted layout). The nested []Group view is kept
+// for callers and tests.
 type Graph struct {
 	numVars  int
 	evidence []bool // per variable: value is fixed
 	evValue  []bool // fixed value (meaningful when evidence)
 	weights  []float64
-	groups   []Group
+	groups   []Group // nested view; hot paths use the flat arrays below
 
-	headAdj [][]int32   // var -> groups it heads
-	bodyAdj [][]bodyOcc // var -> body occurrences
-	nGnd    int         // total groundings across groups
+	// Flat per-group attribute arrays.
+	groupHead   []int32
+	groupWeight []int32
+	groupSem    []Semantics
+
+	// Grounding and literal pools. Group g's groundings are the global
+	// grounding indices [gndOff[g], gndOff[g+1]); grounding k's literals
+	// are lits[litOff[k]:litOff[k+1]], encoded var<<1|neg.
+	gndOff []int32
+	litOff []int32
+	lits   []int32
+
+	// Per-variable adjacency, CSR: v's body occurrence records (ascending
+	// group order, contiguous per group) and the deduplicated union of
+	// head and body groups (ascending).
+	bodyOff   []int32
+	bodyRecs  []bodyOcc
+	adjOff    []int32
+	adjGroups []int32
+
+	nGnd int // total groundings across groups
 }
 
 // NumVars returns the number of variables.
 func (g *Graph) NumVars() int { return g.numVars }
 
 // NumGroups returns the number of rule groups.
-func (g *Graph) NumGroups() int { return len(g.groups) }
+func (g *Graph) NumGroups() int { return len(g.groupHead) }
 
 // NumGroundings returns the total grounding (factor) count, the paper's
 // "# factors".
@@ -109,32 +139,20 @@ func (g *Graph) SetEvidence(v VarID, ev bool, val bool) {
 }
 
 // AdjacentGroups returns the indices of every group variable v touches
-// (as head or in a body), deduplicated, in ascending order of first touch.
+// (as head or in a body), deduplicated, in ascending order.
 func (g *Graph) AdjacentGroups(v VarID) []int32 {
-	seen := make(map[int32]struct{}, len(g.headAdj[v])+len(g.bodyAdj[v]))
-	var out []int32
-	for _, gi := range g.headAdj[v] {
-		if _, ok := seen[gi]; !ok {
-			seen[gi] = struct{}{}
-			out = append(out, gi)
-		}
-	}
-	for _, occ := range g.bodyAdj[v] {
-		if _, ok := seen[occ.group]; !ok {
-			seen[occ.group] = struct{}{}
-			out = append(out, occ.group)
-		}
-	}
-	return out
+	return append([]int32(nil), g.adjGroups[g.adjOff[v]:g.adjOff[v+1]]...)
 }
 
-// groupEnergy evaluates one group's energy from scratch under assign.
-func (g *Graph) groupEnergy(gr *Group, assign []bool) float64 {
+// groupEnergy evaluates one group's energy from scratch under assign,
+// walking the flat literal pool.
+func (g *Graph) groupEnergy(gi int32, assign []bool) float64 {
 	n := 0
-	for _, gnd := range gr.Groundings {
+	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
 		sat := true
-		for _, lit := range gnd.Lits {
-			if assign[lit.Var] == lit.Neg {
+		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+			l := g.lits[li]
+			if assign[l>>1] == (l&1 == 1) {
 				sat = false
 				break
 			}
@@ -144,10 +162,10 @@ func (g *Graph) groupEnergy(gr *Group, assign []bool) float64 {
 		}
 	}
 	sign := -1.0
-	if assign[gr.Head] {
+	if assign[g.groupHead[gi]] {
 		sign = 1.0
 	}
-	return g.weights[gr.Weight] * sign * gr.Sem.G(n)
+	return g.weights[g.groupWeight[gi]] * sign * g.groupSem[gi].G(n)
 }
 
 // Energy computes Ŵ(F, I) = Σ_γ w(γ, I) from scratch for the complete
@@ -158,8 +176,8 @@ func (g *Graph) Energy(assign []bool) float64 {
 		panic(fmt.Sprintf("factor: Energy got %d assignments, want %d", len(assign), g.numVars))
 	}
 	var e float64
-	for i := range g.groups {
-		e += g.groupEnergy(&g.groups[i], assign)
+	for gi := range g.groupHead {
+		e += g.groupEnergy(int32(gi), assign)
 	}
 	return e
 }
@@ -170,7 +188,7 @@ func (g *Graph) Energy(assign []bool) float64 {
 func (g *Graph) EnergyOfGroups(assign []bool, groups []int32) float64 {
 	var e float64
 	for _, gi := range groups {
-		e += g.groupEnergy(&g.groups[gi], assign)
+		e += g.groupEnergy(gi, assign)
 	}
 	return e
 }
@@ -304,23 +322,27 @@ func (b *Builder) AddGroup(head VarID, w WeightID, sem Semantics, groundings []G
 	return len(b.groups) - 1
 }
 
-// Build validates the accumulated structure and freezes it into a Graph
-// with adjacency indexes.
+// Build validates the accumulated structure and freezes it into a Graph:
+// the nested groups are flattened into the CSR layout (literal pool,
+// grounding offsets, group attribute arrays) and the per-variable
+// adjacency indexes are built.
 func (b *Builder) Build() (*Graph, error) {
 	n := len(b.evidence)
+	nG := len(b.groups)
 	g := &Graph{
-		numVars:  n,
-		evidence: b.evidence,
-		evValue:  b.evValue,
-		weights:  b.weights,
-		groups:   b.groups,
-		headAdj:  make([][]int32, n),
-		bodyAdj:  make([][]bodyOcc, n),
+		numVars:     n,
+		evidence:    b.evidence,
+		evValue:     b.evValue,
+		weights:     b.weights,
+		groups:      b.groups,
+		groupHead:   make([]int32, nG),
+		groupWeight: make([]int32, nG),
+		groupSem:    make([]Semantics, nG),
+		gndOff:      make([]int32, nG+1),
 	}
-	type occKey struct {
-		v   VarID
-		gnd int32
-	}
+
+	// Pass 1: validate and size the pools.
+	totalGnd, totalLit := 0, 0
 	for gi := range g.groups {
 		gr := &g.groups[gi]
 		if gr.Head < 0 || int(gr.Head) >= n {
@@ -329,20 +351,56 @@ func (b *Builder) Build() (*Graph, error) {
 		if gr.Weight < 0 || int(gr.Weight) >= len(g.weights) {
 			return nil, fmt.Errorf("factor: group %d weight %d out of range [0,%d)", gi, gr.Weight, len(g.weights))
 		}
-		g.headAdj[gr.Head] = append(g.headAdj[gr.Head], int32(gi))
-		g.nGnd += len(gr.Groundings)
-		// Collect per-(var, grounding) occurrence counts.
-		occ := make(map[occKey]*bodyOcc)
-		var order []occKey
+		totalGnd += len(gr.Groundings)
 		for gndi, gnd := range gr.Groundings {
 			for _, lit := range gnd.Lits {
 				if lit.Var < 0 || int(lit.Var) >= n {
 					return nil, fmt.Errorf("factor: group %d grounding %d references var %d out of range [0,%d)", gi, gndi, lit.Var, n)
 				}
-				k := occKey{lit.Var, int32(gndi)}
+			}
+			totalLit += len(gnd.Lits)
+		}
+	}
+	g.nGnd = totalGnd
+	g.litOff = make([]int32, totalGnd+1)
+	g.lits = make([]int32, 0, totalLit)
+
+	// Pass 2: fill the pools and accumulate per-variable adjacency.
+	bodyTmp := make([][]bodyOcc, n)
+	adjTmp := make([][]int32, n)
+	addAdj := func(v VarID, gi int32) {
+		a := adjTmp[v]
+		if len(a) == 0 || a[len(a)-1] != gi {
+			adjTmp[v] = append(a, gi)
+		}
+	}
+	type occKey struct {
+		v   VarID
+		gnd int32
+	}
+	var gk int32 // global grounding index
+	for gi := range g.groups {
+		gr := &g.groups[gi]
+		g.groupHead[gi] = int32(gr.Head)
+		g.groupWeight[gi] = int32(gr.Weight)
+		g.groupSem[gi] = gr.Sem
+		g.gndOff[gi] = gk
+		addAdj(gr.Head, int32(gi))
+		// Collect per-(var, grounding) occurrence counts.
+		occ := make(map[occKey]*bodyOcc)
+		var order []occKey
+		for _, gnd := range gr.Groundings {
+			g.litOff[gk] = int32(len(g.lits))
+			for _, lit := range gnd.Lits {
+				enc := int32(lit.Var) << 1
+				if lit.Neg {
+					enc |= 1
+				}
+				g.lits = append(g.lits, enc)
+				k := occKey{lit.Var, gk}
 				o := occ[k]
 				if o == nil {
-					o = &bodyOcc{group: int32(gi), gnd: int32(gndi)}
+					o = &bodyOcc{group: int32(gi), gnd: gk}
 					occ[k] = o
 					order = append(order, k)
 				}
@@ -352,12 +410,45 @@ func (b *Builder) Build() (*Graph, error) {
 					o.nPos++
 				}
 			}
+			gk++
 		}
 		for _, k := range order {
-			g.bodyAdj[k.v] = append(g.bodyAdj[k.v], *occ[k])
+			bodyTmp[k.v] = append(bodyTmp[k.v], *occ[k])
+			addAdj(k.v, int32(gi))
 		}
 	}
+	g.gndOff[nG] = gk
+	g.litOff[gk] = int32(len(g.lits))
+
+	g.adjOff, g.adjGroups = flattenInt32(adjTmp)
+	total := 0
+	for _, recs := range bodyTmp {
+		total += len(recs)
+	}
+	g.bodyOff = make([]int32, n+1)
+	g.bodyRecs = make([]bodyOcc, 0, total)
+	for v, recs := range bodyTmp {
+		g.bodyOff[v] = int32(len(g.bodyRecs))
+		g.bodyRecs = append(g.bodyRecs, recs...)
+	}
+	g.bodyOff[n] = int32(len(g.bodyRecs))
 	return g, nil
+}
+
+// flattenInt32 packs per-row slices into one CSR offset/value pair.
+func flattenInt32(rows [][]int32) (off, flat []int32) {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	off = make([]int32, len(rows)+1)
+	flat = make([]int32, 0, total)
+	for i, r := range rows {
+		off[i] = int32(len(flat))
+		flat = append(flat, r...)
+	}
+	off[len(rows)] = int32(len(flat))
+	return off, flat
 }
 
 // MustBuild is Build that panics on error; for tests and generators whose

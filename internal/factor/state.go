@@ -7,14 +7,17 @@ import (
 
 // State is one mutable possible world over a Graph: a full assignment plus
 // incrementally maintained support counters (per-grounding unsatisfied
-// literal counts and per-group satisfied-grounding counts). Multiple
-// States may share one Graph; a State is not safe for concurrent use.
+// literal counts and per-group satisfied-grounding counts). The counters
+// live in flat arrays indexed by the graph's global grounding indices, so
+// a Gibbs flip touches contiguous memory. Multiple States may share one
+// Graph; a State is not safe for concurrent use (gibbs.ParallelSampler
+// shards work across its own worker-local evaluation instead).
 type State struct {
 	G      *Graph
 	Assign []bool
 
-	unsat [][]uint16 // per group, per grounding: # unsatisfied literals
-	sat   []int32    // per group: # satisfied groundings
+	unsat []uint16 // per global grounding index: # unsatisfied literals
+	sat   []int32  // per group: # satisfied groundings
 }
 
 // NewState builds a State with every free variable false and evidence
@@ -38,8 +41,8 @@ func NewStateWith(g *Graph, assign []bool) *State {
 	s := &State{
 		G:      g,
 		Assign: append([]bool(nil), assign...),
-		unsat:  make([][]uint16, len(g.groups)),
-		sat:    make([]int32, len(g.groups)),
+		unsat:  make([]uint16, g.nGnd),
+		sat:    make([]int32, g.NumGroups()),
 	}
 	for v := 0; v < g.numVars; v++ {
 		if g.evidence[v] {
@@ -54,20 +57,23 @@ func NewStateWith(g *Graph, assign []bool) *State {
 // Needed after evidence changes on the shared Graph.
 func (s *State) Recount() {
 	g := s.G
-	for gi := range g.groups {
-		gr := &g.groups[gi]
-		if s.unsat[gi] == nil || len(s.unsat[gi]) != len(gr.Groundings) {
-			s.unsat[gi] = make([]uint16, len(gr.Groundings))
-		}
+	if len(s.unsat) != g.nGnd {
+		s.unsat = make([]uint16, g.nGnd)
+	}
+	if len(s.sat) != g.NumGroups() {
+		s.sat = make([]int32, g.NumGroups())
+	}
+	for gi := range g.groupHead {
 		var sat int32
-		for gndi, gnd := range gr.Groundings {
+		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
 			var u uint16
-			for _, lit := range gnd.Lits {
-				if s.Assign[lit.Var] == lit.Neg {
+			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+				l := g.lits[li]
+				if s.Assign[l>>1] == (l&1 == 1) {
 					u++
 				}
 			}
-			s.unsat[gi][gndi] = u
+			s.unsat[k] = u
 			if u == 0 {
 				sat++
 			}
@@ -84,28 +90,26 @@ func (s *State) Support(gi int) int { return int(s.sat[gi]) }
 func (s *State) Energy() float64 {
 	var e float64
 	g := s.G
-	for gi := range g.groups {
-		gr := &g.groups[gi]
+	for gi := range g.groupHead {
 		sign := -1.0
-		if s.Assign[gr.Head] {
+		if s.Assign[g.groupHead[gi]] {
 			sign = 1.0
 		}
-		e += g.weights[gr.Weight] * sign * gr.Sem.G(int(s.sat[gi]))
+		e += g.weights[g.groupWeight[gi]] * sign * g.groupSem[gi].G(int(s.sat[gi]))
 	}
 	return e
 }
 
-// supportIf returns the satisfied count of group gi if variable v were set
-// to val, leaving all other variables at their current values. Runs over
-// v's occurrences in the group only.
-func (s *State) supportIf(gi int32, v VarID, val bool) int32 {
+// supportRun returns the satisfied count of group gi if variable v (whose
+// current value is cur and whose occurrence records for this group are
+// run) were set to val, leaving all other variables at their values.
+func (s *State) supportRun(gi int32, run []bodyOcc, cur, val bool) int32 {
 	n := s.sat[gi]
-	cur := s.Assign[v]
-	for _, occ := range s.G.bodyAdj[v] {
-		if occ.group != gi {
-			continue
-		}
-		u := s.unsat[occ.group][occ.gnd]
+	if cur == val {
+		return n
+	}
+	for _, occ := range run {
+		u := s.unsat[occ.gnd]
 		// Contribution of v's literals to the unsat count now and after.
 		var now, after uint16
 		if cur {
@@ -131,44 +135,39 @@ func (s *State) supportIf(gi int32, v VarID, val bool) int32 {
 // EnergyDelta returns E(v=true) − E(v=false) conditioned on the rest of
 // the current assignment. This is the quantity Gibbs needs:
 // P(v=1 | rest) = sigmoid(EnergyDelta(v)).
+//
+// The walk is a single merged pass over v's deduplicated adjacency and its
+// body occurrence records (both ascending by group, records contiguous per
+// group), using the maintained counters for O(occurrences of v) work.
 func (s *State) EnergyDelta(v VarID) float64 {
 	g := s.G
+	cur := s.Assign[v]
+	recs := g.bodyRecs[g.bodyOff[v]:g.bodyOff[v+1]]
+	ri := 0
 	var delta float64
-	// Groups where v is the head: sign flips with v. If v also appears in
-	// the body of the same group, supportIf handles the count under each
-	// value; headAdj covers the sign part only, so treat those fully here.
-	for _, gi := range g.headAdj[v] {
-		gr := &g.groups[gi]
-		w := g.weights[gr.Weight]
-		n1 := s.supportIf(gi, v, true)
-		n0 := s.supportIf(gi, v, false)
-		delta += w * (gr.Sem.G(int(n1)) + gr.Sem.G(int(n0)))
-		// E(v=1) = +w·g(n1); E(v=0) = −w·g(n0) ⇒ diff = w·(g(n1)+g(n0)).
-	}
-	// Groups where v appears only in bodies (head ≠ v): sign fixed by the
-	// head's current value. Deduplicate body groups (a var can occur in
-	// many groundings of one group); bodyAdj entries for one group are
-	// contiguous because Build appends per group.
-	adj := g.bodyAdj[v]
-	for i := 0; i < len(adj); {
-		gi := adj[i].group
-		j := i + 1
-		for j < len(adj) && adj[j].group == gi {
-			j++
+	for _, gi := range g.adjGroups[g.adjOff[v]:g.adjOff[v+1]] {
+		start := ri
+		for ri < len(recs) && recs[ri].group == gi {
+			ri++
 		}
-		i = j
-		gr := &g.groups[gi]
-		if gr.Head == v {
-			continue
+		run := recs[start:ri]
+		n1 := s.supportRun(gi, run, cur, true)
+		n0 := s.supportRun(gi, run, cur, false)
+		w := g.weights[g.groupWeight[gi]]
+		sem := g.groupSem[gi]
+		if g.groupHead[gi] == int32(v) {
+			// Head group: sign flips with v. If v also appears in the body,
+			// the run handles the count under each value.
+			// E(v=1) = +w·g(n1); E(v=0) = −w·g(n0) ⇒ diff = w·(g(n1)+g(n0)).
+			delta += w * (sem.G(int(n1)) + sem.G(int(n0)))
+		} else {
+			// Body-only group: sign fixed by the head's current value.
+			sign := -1.0
+			if s.Assign[g.groupHead[gi]] {
+				sign = 1.0
+			}
+			delta += w * sign * (sem.G(int(n1)) - sem.G(int(n0)))
 		}
-		sign := -1.0
-		if s.Assign[gr.Head] {
-			sign = 1.0
-		}
-		w := g.weights[gr.Weight]
-		n1 := s.supportIf(gi, v, true)
-		n0 := s.supportIf(gi, v, false)
-		delta += w * sign * (gr.Sem.G(int(n1)) - gr.Sem.G(int(n0)))
 	}
 	return delta
 }
@@ -194,8 +193,9 @@ func (s *State) setAny(v VarID, val bool) {
 		return
 	}
 	s.Assign[v] = val
-	for _, occ := range s.G.bodyAdj[v] {
-		u := s.unsat[occ.group][occ.gnd]
+	g := s.G
+	for _, occ := range g.bodyRecs[g.bodyOff[v]:g.bodyOff[v+1]] {
+		u := s.unsat[occ.gnd]
 		var now, after uint16
 		if cur {
 			now = occ.nNeg
@@ -209,7 +209,7 @@ func (s *State) setAny(v VarID, val bool) {
 		}
 		uAfter := u - now + after
 		if uAfter != u {
-			s.unsat[occ.group][occ.gnd] = uAfter
+			s.unsat[occ.gnd] = uAfter
 			if u == 0 && uAfter != 0 {
 				s.sat[occ.group]--
 			} else if u != 0 && uAfter == 0 {
@@ -264,12 +264,11 @@ func (s *State) WeightStats(out []float64) {
 	if len(out) != len(g.weights) {
 		panic(fmt.Sprintf("factor: WeightStats got %d slots, want %d", len(out), len(g.weights)))
 	}
-	for gi := range g.groups {
-		gr := &g.groups[gi]
+	for gi := range g.groupHead {
 		sign := -1.0
-		if s.Assign[gr.Head] {
+		if s.Assign[g.groupHead[gi]] {
 			sign = 1.0
 		}
-		out[gr.Weight] += sign * gr.Sem.G(int(s.sat[gi]))
+		out[g.groupWeight[gi]] += sign * g.groupSem[gi].G(int(s.sat[gi]))
 	}
 }

@@ -1,0 +1,51 @@
+package gibbs
+
+import "deepdive/internal/factor"
+
+// Chain is a Gibbs chain over a factor graph — either the sequential
+// Sampler or the sharded ParallelSampler. Weight learning and incremental
+// materialization are written against this interface so parallelism is a
+// configuration knob, not a code path.
+type Chain interface {
+	// Sweep performs one full scan over all free variables.
+	Sweep()
+	// Run performs n sweeps.
+	Run(n int)
+	// RandomizeState assigns every free variable uniformly at random.
+	RandomizeState()
+	// Assign returns the chain's current world (read between sweeps only;
+	// shared, not a copy).
+	Assign() []bool
+	// Marginals runs burnin then keep sweeps and returns empirical
+	// per-variable P(v = true); evidence variables report their fixed value.
+	Marginals(burnin, keep int) []float64
+	// CollectSamples runs burnin sweeps then stores n worlds.
+	CollectSamples(burnin, n int) *Store
+	// CondProb returns P(v = true | rest) under the current world.
+	CondProb(v factor.VarID) float64
+	// WeightStats accumulates the current world's per-weight sufficient
+	// statistic into out.
+	WeightStats(out []float64)
+	// NumFree returns the number of free (sampled) variables.
+	NumFree() int
+	// Graph returns the underlying factor graph.
+	Graph() *factor.Graph
+}
+
+var (
+	_ Chain = (*Sampler)(nil)
+	_ Chain = (*ParallelSampler)(nil)
+)
+
+// NewChain returns a chain over g: the sequential Sampler when workers <= 1,
+// otherwise a ParallelSampler with that many worker shards. Negative
+// workers select one worker per core (runtime.GOMAXPROCS).
+func NewChain(g *factor.Graph, seed int64, workers int) Chain {
+	if workers < 0 {
+		return NewParallel(g, workers, seed) // resolves to GOMAXPROCS
+	}
+	if workers <= 1 {
+		return New(g, seed)
+	}
+	return NewParallel(g, workers, seed)
+}

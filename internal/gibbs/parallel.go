@@ -1,0 +1,236 @@
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"deepdive/internal/factor"
+)
+
+// ParallelSampler runs Gibbs sweeps with the free variables sharded across
+// workers, in the style of DimmWitted's one-worker-per-core engine: every
+// worker owns a contiguous range of the free-variable scan order, samples
+// it Gauss-Seidel within the shard, and evaluates conditionals directly
+// over the graph's flat CSR arrays (no shared support counters to
+// contend on). Cross-shard neighbors are read from a snapshot taken at
+// sweep start, so workers never observe each other's in-flight writes:
+// sweeps are race-free and the chain is bit-for-bit deterministic for a
+// fixed (seed, worker count) pair. Each worker draws from its own
+// splitmix64-derived rand.Rand.
+//
+// Contiguous sharding preserves the locality of grounded per-document
+// clusters, so only shard-boundary dependencies see one-sweep-stale
+// values — the standard Hogwild-style approximation, which leaves
+// marginals statistically indistinguishable from the sequential scan on
+// sparse KBC graphs.
+//
+// The sampler itself is driven from one goroutine; only its internal
+// sweeps fan out.
+type ParallelSampler struct {
+	g    *factor.Graph
+	free []factor.VarID // non-evidence variables, scan order
+
+	workers int
+	shards  [][]factor.VarID // contiguous slices of free
+	lo, hi  []int32          // ownership bounds (VarID) per worker
+	rngs    []*rand.Rand     // per-worker streams
+	master  *rand.Rand       // for RandomizeState and other driver-side draws
+
+	cur  []bool // live assignment; workers write only their own shard
+	snap []bool // sweep-start snapshot for cross-shard reads
+
+	collecting bool
+	counts     []float64 // per-variable true counts; workers write own shard only
+}
+
+// splitmix64 is the SplitMix64 mixer; used to derive independent,
+// deterministic per-worker seeds from one master seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewParallel creates a parallel sampler over g with workers shards.
+// workers <= 0 selects runtime.GOMAXPROCS(0); the worker count is capped
+// at the number of free variables.
+func NewParallel(g *factor.Graph, workers int, seed int64) *ParallelSampler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelSampler{
+		g:      g,
+		master: rand.New(rand.NewSource(seed)),
+		cur:    make([]bool, g.NumVars()),
+		snap:   make([]bool, g.NumVars()),
+	}
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			p.cur[v] = g.EvidenceValue(factor.VarID(v))
+		} else {
+			p.free = append(p.free, factor.VarID(v))
+		}
+	}
+	copy(p.snap, p.cur)
+	if workers > len(p.free) {
+		workers = len(p.free)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p.workers = workers
+	p.shards = make([][]factor.VarID, workers)
+	p.lo = make([]int32, workers)
+	p.hi = make([]int32, workers)
+	p.rngs = make([]*rand.Rand, workers)
+	base, rem := len(p.free)/workers, len(p.free)%workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		shard := p.free[start : start+size]
+		p.shards[w] = shard
+		if len(shard) > 0 {
+			p.lo[w] = int32(shard[0])
+			p.hi[w] = int32(shard[len(shard)-1])
+		} else {
+			p.lo[w], p.hi[w] = 1, 0 // empty range
+		}
+		// Mix the master seed before adding the worker index: chains built
+		// from adjacent master seeds (the learner's clamped/free pair, the
+		// engine's phase offsets) must not share worker streams, which
+		// splitmix64(seed+w) alone would allow.
+		p.rngs[w] = rand.New(rand.NewSource(int64(splitmix64(splitmix64(uint64(seed)) + uint64(w)))))
+		start += size
+	}
+	return p
+}
+
+// Workers returns the number of worker shards.
+func (p *ParallelSampler) Workers() int { return p.workers }
+
+// NumFree returns the number of free (sampled) variables.
+func (p *ParallelSampler) NumFree() int { return len(p.free) }
+
+// Graph returns the underlying factor graph.
+func (p *ParallelSampler) Graph() *factor.Graph { return p.g }
+
+// Assign returns the live assignment (read it only between sweeps).
+func (p *ParallelSampler) Assign() []bool { return p.cur }
+
+// RandomizeState assigns every free variable uniformly at random from the
+// master stream; useful for over-dispersed chain starts.
+func (p *ParallelSampler) RandomizeState() {
+	for _, v := range p.free {
+		p.cur[v] = p.master.Intn(2) == 0
+	}
+}
+
+// sweepShard samples worker w's shard once. Reads of variables inside the
+// shard see this sweep's values (Gauss-Seidel); reads of other shards see
+// the sweep-start snapshot (factor.EnergyDeltaShard's read rule). Writes
+// touch only cur[v] for owned v (and the owned slots of counts when
+// collecting), so concurrent shards never race.
+func (p *ParallelSampler) sweepShard(w int) {
+	g := p.g
+	cur, snap := p.cur, p.snap
+	lo, hi := p.lo[w], p.hi[w]
+	rng := p.rngs[w]
+	for _, v := range p.shards[w] {
+		delta := g.EnergyDeltaShard(cur, snap, lo, hi, v)
+		val := rng.Float64() < 1/(1+math.Exp(-delta))
+		cur[v] = val
+		if p.collecting && val {
+			p.counts[v]++
+		}
+	}
+}
+
+// Sweep performs one full scan over all free variables, fanning the shards
+// out across the workers.
+func (p *ParallelSampler) Sweep() {
+	if len(p.free) == 0 {
+		return
+	}
+	copy(p.snap, p.cur)
+	if p.workers == 1 {
+		p.sweepShard(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			p.sweepShard(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run performs n sweeps.
+func (p *ParallelSampler) Run(n int) {
+	for i := 0; i < n; i++ {
+		p.Sweep()
+	}
+}
+
+// Marginals runs burnin sweeps, then keep sweeps with per-worker marginal
+// accumulators (each worker counts only its own shard — no shared
+// accumulator contention), and returns the merged empirical P(v = true)
+// for every variable. Evidence variables report their fixed value.
+func (p *ParallelSampler) Marginals(burnin, keep int) []float64 {
+	p.Run(burnin)
+	n := p.g.NumVars()
+	p.counts = make([]float64, n)
+	p.collecting = true
+	for i := 0; i < keep; i++ {
+		p.Sweep()
+	}
+	p.collecting = false
+	out := make([]float64, n)
+	inv := 0.0
+	if keep > 0 {
+		inv = 1 / float64(keep)
+	}
+	for v := 0; v < n; v++ {
+		if p.g.IsEvidence(factor.VarID(v)) {
+			if p.g.EvidenceValue(factor.VarID(v)) {
+				out[v] = 1
+			}
+		} else {
+			out[v] = p.counts[v] * inv
+		}
+	}
+	return out
+}
+
+// CollectSamples runs burnin sweeps and then stores n worlds (one per
+// sweep) into a new Store — the materialization loop of the sampling
+// approach (Section 3.2.2), now fed by the parallel chain.
+func (p *ParallelSampler) CollectSamples(burnin, n int) *Store {
+	st := NewStore(p.g.NumVars())
+	p.Run(burnin)
+	for i := 0; i < n; i++ {
+		p.Sweep()
+		st.Add(p.cur)
+	}
+	return st
+}
+
+// CondProb returns P(v = true | rest) under the current assignment by
+// direct evaluation. Driver-side only (not safe during a Sweep).
+func (p *ParallelSampler) CondProb(v factor.VarID) float64 {
+	return p.g.CondProbOf(p.cur, v)
+}
+
+// WeightStats accumulates the current world's per-weight sufficient
+// statistic into out (like State.WeightStats, via direct evaluation).
+func (p *ParallelSampler) WeightStats(out []float64) {
+	p.g.WeightStatsOf(p.cur, out)
+}

@@ -1,8 +1,11 @@
 // Package gibbs implements the Gibbs sampling machinery DeepDive uses for
-// statistical inference (Section 2.5 of the paper): a scan sampler over a
-// factor.Graph, marginal-probability estimation, bit-packed sample
-// storage ("tuple bundles", after MCDB), and convergence probes used by
-// the semantics experiments of Appendix A.
+// statistical inference (Section 2.5 of the paper): a sequential scan
+// sampler over a factor.Graph, a sharded ParallelSampler in the style of
+// the production DimmWitted engine (one worker per core over the flat CSR
+// layout), marginal-probability estimation, bit-packed sample storage
+// ("tuple bundles", after MCDB), and convergence probes used by the
+// semantics experiments of Appendix A. The Chain interface abstracts over
+// the two samplers so callers opt into parallelism by configuration.
 package gibbs
 
 import (
@@ -41,6 +44,19 @@ func FromState(st *factor.State, seed int64) *Sampler {
 
 // NumFree returns the number of free (sampled) variables.
 func (s *Sampler) NumFree() int { return len(s.free) }
+
+// Graph returns the underlying factor graph.
+func (s *Sampler) Graph() *factor.Graph { return s.State.G }
+
+// Assign returns the chain's current world (shared, not a copy).
+func (s *Sampler) Assign() []bool { return s.State.Assign }
+
+// CondProb returns P(v = true | rest) under the current world.
+func (s *Sampler) CondProb(v factor.VarID) float64 { return s.State.CondProb(v) }
+
+// WeightStats accumulates the current world's per-weight sufficient
+// statistic into out, from the state's maintained support counters.
+func (s *Sampler) WeightStats(out []float64) { s.State.WeightStats(out) }
 
 // FreeVars returns the free-variable scan order (shared slice; do not
 // mutate).

@@ -51,7 +51,11 @@ type Options struct {
 	Lambda float64
 	// MaxDenseComponent caps the dense log-det solve (default 300).
 	MaxDenseComponent int
-	Seed              int64
+	// Parallelism selects the Gibbs chain for materialization and rerun
+	// fallbacks: <= 1 sequential, n > 1 shards sweeps across n workers,
+	// negative means one worker per core.
+	Parallelism int
+	Seed        int64
 
 	// Lesion switches (Section 4.3): disable one side, or ignore workload
 	// information (NoWorkloadInfo: always try sampling first, regardless
@@ -99,19 +103,21 @@ type Result struct {
 type Engine struct {
 	opts    Options
 	old     *factor.Graph
-	sampler *gibbs.Sampler
+	sampler gibbs.Chain
 	store   *gibbs.Store
 	vm      *Variational
 
 	matElapsed time.Duration
 }
 
-// NewEngine materializes g under both strategies.
+// NewEngine materializes g under both strategies. The materialization
+// chain (the dominant cost at scale) runs on the parallel sampler when
+// Options.Parallelism asks for it.
 func NewEngine(g *factor.Graph, opts Options) (*Engine, error) {
 	o := opts.fill()
 	e := &Engine{opts: o, old: g}
 	start := time.Now()
-	e.sampler = gibbs.New(g, o.Seed)
+	e.sampler = gibbs.NewChain(g, o.Seed, o.Parallelism)
 	e.sampler.RandomizeState()
 	e.store = e.sampler.CollectSamples(o.Burnin, o.MaterializationSamples)
 	if !o.DisableVariational {
@@ -135,7 +141,7 @@ func (e *Engine) MaterializeForBudget(budget time.Duration) int {
 	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		e.sampler.Sweep()
-		e.store.Add(e.sampler.State.Assign)
+		e.store.Add(e.sampler.Assign())
 	}
 	return e.store.Len()
 }
@@ -196,7 +202,7 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 				res.FellBack = true
 			} else {
 				// Lesion configuration without the variational side: rerun.
-				res.Marginals = Rerun(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29)
+				res.Marginals = RerunParallel(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.Parallelism)
 				res.Strategy = StrategyRerun
 				res.FellBack = true
 			}
@@ -207,7 +213,7 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
 			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
 	default:
-		res.Marginals = Rerun(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29)
+		res.Marginals = RerunParallel(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.Parallelism)
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -216,7 +222,13 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 // Rerun is the from-scratch baseline ("Rerun" in Section 4.2): Gibbs over
 // the full new graph.
 func Rerun(newG *factor.Graph, burnin, keep int, seed int64) []float64 {
-	s := gibbs.New(newG, seed)
+	return RerunParallel(newG, burnin, keep, seed, 1)
+}
+
+// RerunParallel is Rerun on a chain with the given worker count (<= 1
+// sequential, negative means one worker per core).
+func RerunParallel(newG *factor.Graph, burnin, keep int, seed int64, workers int) []float64 {
+	s := gibbs.NewChain(newG, seed, workers)
 	s.RandomizeState()
 	return s.Marginals(burnin, keep)
 }

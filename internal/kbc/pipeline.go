@@ -28,6 +28,11 @@ type Config struct {
 	MatSamples int // materialized sample count (default 1200)
 	Lambda     float64
 
+	// Parallelism shards Gibbs sweeps (learning chains, materialization,
+	// rerun inference) across this many workers: <= 1 sequential, n > 1
+	// uses n worker shards, negative means one worker per core.
+	Parallelism int
+
 	Seed int64
 
 	// Lesion switches forwarded to the incremental engine.
@@ -127,11 +132,12 @@ func (p *Pipeline) LearnFull() time.Duration {
 		warm[w] = 0
 	}
 	learn.Train(graph, learn.Options{
-		Epochs:    p.Cfg.LearnEpochs,
-		StepSize:  p.Cfg.LearnStep,
-		Seed:      p.Cfg.Seed + 101,
-		Warmstart: warm,
-		Frozen:    p.frozenMask(graph),
+		Epochs:      p.Cfg.LearnEpochs,
+		StepSize:    p.Cfg.LearnStep,
+		Parallelism: p.Cfg.Parallelism,
+		Seed:        p.Cfg.Seed + 101,
+		Warmstart:   warm,
+		Frozen:      p.frozenMask(graph),
 	})
 	return time.Since(start)
 }
@@ -147,6 +153,7 @@ func (p *Pipeline) learnIncremental() time.Duration {
 		StepSize:    p.Cfg.LearnStep,
 		BatchSweeps: 5,
 		Burnin:      5,
+		Parallelism: p.Cfg.Parallelism,
 		Seed:        p.Cfg.Seed + 103,
 		Warmstart:   append([]float64(nil), graph.Weights()...),
 		Frozen:      p.frozenMask(graph),
@@ -163,6 +170,7 @@ func (p *Pipeline) Materialize() time.Duration {
 		Burnin:                 p.Cfg.InferBurnin,
 		KeepSamples:            p.Cfg.InferKeep,
 		Lambda:                 p.Cfg.Lambda,
+		Parallelism:            p.Cfg.Parallelism,
 		Seed:                   p.Cfg.Seed + 107,
 		DisableSampling:        p.Cfg.DisableSampling,
 		DisableVariational:     p.Cfg.DisableVariational,
@@ -183,7 +191,7 @@ func (p *Pipeline) Engine() *inc.Engine { return p.engine }
 // inference phase) and stores the marginals.
 func (p *Pipeline) InferFromScratch() time.Duration {
 	start := time.Now()
-	p.Marginals = inc.Rerun(p.G.Graph(), p.Cfg.InferBurnin, p.Cfg.InferKeep, p.Cfg.Seed+109)
+	p.Marginals = inc.RerunParallel(p.G.Graph(), p.Cfg.InferBurnin, p.Cfg.InferKeep, p.Cfg.Seed+109, p.Cfg.Parallelism)
 	return time.Since(start)
 }
 

@@ -58,6 +58,10 @@ type Options struct {
 	L2          float64 // ℓ2 regularization strength (default 1e-4)
 	BatchSweeps int     // sweeps averaged per GD gradient (default 10)
 	Burnin      int     // chain burn-in sweeps before learning (default 10)
+	// Parallelism selects the Gibbs chain driving the gradient estimates:
+	// <= 1 uses the sequential sampler, n > 1 shards sweeps across n
+	// workers, negative means one worker per core.
+	Parallelism int
 	Seed        int64
 	Warmstart   []float64 // initial weights; nil means start from zero
 	// Frozen marks weights excluded from learning (fixed-value rule
@@ -117,8 +121,8 @@ func freeCopy(g *factor.Graph) *factor.Graph {
 // Trainer holds the two chains and the weight vector across updates, so
 // incremental learning can continue from a previous state (warmstart).
 type Trainer struct {
-	clamped *gibbs.Sampler
-	free    *gibbs.Sampler
+	clamped gibbs.Chain
+	free    gibbs.Chain
 	g       *factor.Graph
 	fg      *factor.Graph
 	weights []float64
@@ -142,8 +146,8 @@ func NewTrainer(g *factor.Graph, opt Options) *Trainer {
 	g.SetWeights(w)
 	fg := freeCopy(g)
 	t := &Trainer{
-		clamped: gibbs.New(g, o.Seed),
-		free:    gibbs.New(fg, o.Seed+1),
+		clamped: gibbs.NewChain(g, o.Seed, o.Parallelism),
+		free:    gibbs.NewChain(fg, o.Seed+1, o.Parallelism),
 		g:       g,
 		fg:      fg,
 		weights: w,
@@ -176,9 +180,9 @@ func (t *Trainer) gradient(sweeps int, out []float64) {
 	}
 	for s := 0; s < sweeps; s++ {
 		t.clamped.Sweep()
-		t.clamped.State.WeightStats(t.statsC)
+		t.clamped.WeightStats(t.statsC)
 		t.free.Sweep()
-		t.free.State.WeightStats(t.statsF)
+		t.free.WeightStats(t.statsF)
 	}
 	inv := 1 / float64(sweeps)
 	for k := range out {
@@ -239,9 +243,9 @@ func Train(g *factor.Graph, opt Options) *Result {
 
 // EvidenceLoss measures, for the graph's evidence variables, the average
 // −log P(v = observed | rest) with the rest of the world drawn by the
-// given (clamped) sampler. A proxy for the training loss the paper plots
+// given (clamped) chain. A proxy for the training loss the paper plots
 // in Figures 16 and 17.
-func EvidenceLoss(g *factor.Graph, s *gibbs.Sampler, sweeps int) float64 {
+func EvidenceLoss(g *factor.Graph, s gibbs.Chain, sweeps int) float64 {
 	var evs []factor.VarID
 	for v := 0; v < g.NumVars(); v++ {
 		if g.IsEvidence(factor.VarID(v)) {
@@ -255,9 +259,8 @@ func EvidenceLoss(g *factor.Graph, s *gibbs.Sampler, sweeps int) float64 {
 	var count int
 	for k := 0; k < sweeps; k++ {
 		s.Sweep()
-		st := s.State
 		for _, v := range evs {
-			p := st.CondProb(v)
+			p := s.CondProb(v)
 			if !g.EvidenceValue(v) {
 				p = 1 - p
 			}
