@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-incupdate
 
 # Everything CI runs.
-check: fmt vet build test race
+check: fmt vet build test race fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -18,10 +18,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel sampler's sweeps fan out across goroutines; run its tests
+# The parallel sampler's sweeps fan out across goroutines, and patched
+# graphs share pool backing arrays across the lineage; run both packages
 # under the race detector.
 race:
-	$(GO) test -race ./internal/gibbs/...
+	$(GO) test -race ./internal/gibbs/... ./internal/factor/...
+
+# Short native-fuzz pass over the datalog parser (no-panic + String
+# round-trip); extend -fuzztime for a real hunt.
+fuzz-smoke:
+	$(GO) test ./internal/datalog -run='^$$' -fuzz=FuzzDatalogParser -fuzztime=10s
 
 bench:
 	$(GO) test -bench='SamplerSequentialCorpus|SamplerParallelCorpus|GibbsSweep' -run=xxx .
+
+# Δ-vs-full graph update cost (results recorded in BENCH_incupdate.json).
+bench-incupdate:
+	$(GO) test -bench='ApplyUpdatePatched|ApplyUpdateRebuild' -run=xxx .

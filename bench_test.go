@@ -246,6 +246,92 @@ func BenchmarkSamplerParallelCorpus(b *testing.B) {
 	b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
+// ---- Incremental graph update: Δ-cost patch vs full rebuild ------------
+//
+// BenchmarkApplyUpdatePatched vs BenchmarkApplyUpdateRebuild is the
+// before/after pair for the in-place CSR patch path: the same delta —
+// new groups with one grounding each over existing variables, the shape
+// incremental grounding emits for new documents — is applied to the
+// grounded News corpus graph either through factor.Patch (O(|Δ|)) or by
+// deep-copy-and-rebuild through factor.NewBuilderFrom (O(V+F)). Sub-
+// benchmarks sweep the delta at 1%, 5%, and 25% of the group count;
+// measured ratios are recorded in BENCH_incupdate.json.
+//
+// Patching the same base repeatedly (rather than chaining the lineage)
+// keeps the measured delta size constant; the discarded patch results may
+// share grown pool capacity, which is safe because only the base graph's
+// length-delimited view is ever reused.
+
+var benchDeltaFracs = []struct {
+	name string
+	frac float64
+}{{"delta=1%", 0.01}, {"delta=5%", 0.05}, {"delta=25%", 0.25}}
+
+// benchDelta generates a deterministic delta of k new single-grounding
+// groups over the graph's existing variables.
+type benchDeltaGroup struct {
+	head factor.VarID
+	body factor.VarID
+}
+
+func benchDelta(g *factor.Graph, frac float64) []benchDeltaGroup {
+	k := int(float64(g.NumGroups()) * frac)
+	if k < 1 {
+		k = 1
+	}
+	out := make([]benchDeltaGroup, k)
+	n := int32(g.NumVars())
+	state := uint64(12345)
+	next := func() int32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int32((state >> 33) % uint64(n))
+	}
+	for i := range out {
+		out[i] = benchDeltaGroup{head: factor.VarID(next()), body: factor.VarID(next())}
+	}
+	return out
+}
+
+// BenchmarkApplyUpdateRebuild applies the delta by rebuilding the flat
+// pools from a deep copy — the pre-patch update path.
+func BenchmarkApplyUpdateRebuild(b *testing.B) {
+	g := corpusGraph(b)
+	for _, d := range benchDeltaFracs {
+		delta := benchDelta(g, d.frac)
+		b.Run(d.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nb := factor.NewBuilderFrom(g)
+				w := nb.AddWeight(0.3)
+				for _, dg := range delta {
+					nb.AddGroup(dg.head, w, factor.Ratio,
+						[]factor.Grounding{{Lits: []factor.Literal{{Var: dg.body}}}})
+				}
+				nb.MustBuild()
+			}
+		})
+	}
+}
+
+// BenchmarkApplyUpdatePatched applies the identical delta through the
+// in-place patch path.
+func BenchmarkApplyUpdatePatched(b *testing.B) {
+	g := corpusGraph(b)
+	for _, d := range benchDeltaFracs {
+		delta := benchDelta(g, d.frac)
+		b.Run(d.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := factor.NewPatch(g)
+				w := p.AddWeight(0.3)
+				for _, dg := range delta {
+					gi := p.AddGroup(dg.head, w, factor.Ratio)
+					p.AddGrounding(gi, []factor.Literal{{Var: dg.body}})
+				}
+				p.Apply()
+			}
+		})
+	}
+}
+
 // BenchmarkSamplingAcceptanceTest measures the per-proposal cost of the
 // incremental Metropolis-Hastings acceptance test — the quantity the
 // paper's cost model calls C(nf, f′).

@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "use the full scaled corpus (slower)")
 	parallel := flag.Int("parallel", 1, "Gibbs worker shards (<=1 sequential, -1 one per core)")
+	inplace := flag.Bool("inplace", false, "apply updates to the factor graph in place (O(Δ) patch) instead of rebuilding")
 	flag.Parse()
 
 	sem, err := factor.ParseSemantics(*semName)
@@ -45,7 +46,7 @@ func main() {
 		sys = corpus.Generate(spec)
 	}
 
-	cfg := kbc.Config{Sem: sem, Seed: *seed, Threshold: *threshold, Parallelism: *parallel}
+	cfg := kbc.Config{Sem: sem, Seed: *seed, Threshold: *threshold, Parallelism: *parallel, InPlaceUpdates: *inplace}
 	fmt.Printf("== %s (%d docs, %d relations) ==\n",
 		sys.Spec.Name, len(sys.Docs), len(sys.Spec.Relations))
 

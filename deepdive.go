@@ -89,6 +89,12 @@ type Options struct {
 	// uses n worker shards, negative means one worker per core.
 	Parallelism int
 
+	// InPlaceUpdates makes Update splice (ΔV, ΔF) into the live factor
+	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
+	// pools in O(V+F); fragmentation from accumulated tombstones triggers
+	// an occasional compacting rebuild. Off by default.
+	InPlaceUpdates bool
+
 	Seed int64
 }
 
@@ -127,6 +133,10 @@ func WithMaterialization(samples int, lambda float64) Option {
 // learning, materialization) across n workers. n <= 1 keeps the
 // sequential sampler; a negative n means one worker per core.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching on
+// Update (see Options.InPlaceUpdates).
+func WithInPlaceUpdates(on bool) Option { return func(o *Options) { o.InPlaceUpdates = on } }
 
 func (o *Options) fill() {
 	if o.LearnEpochs <= 0 {
@@ -182,6 +192,7 @@ func Open(source string, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.SetInPlaceUpdates(o.InPlaceUpdates)
 	return &Engine{opts: o, grounder: g}, nil
 }
 
@@ -364,7 +375,7 @@ func addWeightChanges(cs *inc.ChangeSet, eng *inc.Engine, newGraph *factor.Graph
 		if seen[int32(gi)] {
 			continue
 		}
-		w := oldG.Group(gi).Weight
+		w := oldG.GroupWeight(gi)
 		if int(w) < newGraph.NumWeights() {
 			if d := oldG.Weight(w) - newGraph.Weight(w); d > eps || d < -eps {
 				cs.ChangedOld = append(cs.ChangedOld, int32(gi))

@@ -1,0 +1,51 @@
+package datalog
+
+import (
+	"testing"
+)
+
+// FuzzDatalogParser drives Parse with arbitrary program text. The parser
+// must never panic, and any program it accepts must round-trip: the
+// String rendering of the parsed program must parse again to the same
+// number of declarations and rules (the incremental-update path relies on
+// re-parsing Program.String plus appended rule source).
+//
+// Run the smoke pass with `make fuzz-smoke`; a short pass also runs in CI.
+func FuzzDatalogParser(f *testing.F) {
+	seeds := []string{
+		spouseProgram,
+		"@variable Q(x).\n@relation R(x).\nQ(x) :- R(x) weight = -1.5 sem = ratio.",
+		"@variable Q(x).\n@relation R(x, f).\nQ(x) :- R(x, f) weight = w(f).",
+		"@relation R(x).\n@relation S(x).\n@relation Out(x).\nOut(x) :- R(x), !S(x).",
+		"@semantics(logical).\n@relation R(a, b).\n",
+		"R1: Head(x) :- Body(x), x != y.",
+		"@variable V(a).\n@relation V_Ev(a, label).\nS: V_Ev(a, true) :- V(a).",
+		"# comment\n// comment\n@relation R(x). R(x) :-",
+		"@relation R(\"quoted\", x).",
+		"weight = 1.5 sem = linear.",
+		"@variable Q(x).\nQ(true) :- .",
+		"∆∆∆ @relation ümlaut(x).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := prog.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse its String rendering:\nsource: %q\nrendered: %q\nerror: %v",
+				src, rendered, err)
+		}
+		if len(again.Rules) != len(prog.Rules) || len(again.Decls) != len(prog.Decls) {
+			t.Fatalf("round-trip changed shape: %d/%d rules, %d/%d decls\nsource: %q\nrendered: %q",
+				len(prog.Rules), len(again.Rules), len(prog.Decls), len(again.Decls), src, rendered)
+		}
+	})
+}

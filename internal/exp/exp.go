@@ -138,7 +138,7 @@ func perturbWeights(g *factor.Graph, k int, delta float64) (*factor.Graph, []int
 	changed := make([]int32, 0, k)
 	seen := map[factor.WeightID]bool{}
 	for gi := 0; gi < k; gi++ {
-		w := newG.Group(gi).Weight
+		w := newG.GroupWeight(gi)
 		if !seen[w] {
 			seen[w] = true
 			newG.SetWeight(w, newG.Weight(w)+delta)

@@ -1,0 +1,151 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DiffGraphs compares two graphs for semantic equivalence — identical
+// distributions, not identical layouts — and returns a list of
+// discrepancies (empty when equivalent). It is the oracle behind the
+// patched-vs-rebuilt differential harness: a graph updated in place
+// through a Patch must be indistinguishable from one rebuilt from
+// scratch on
+//
+//   - dimensions (variables, groups, weights, live groundings),
+//   - evidence flags and values,
+//   - per-variable adjacency as sets,
+//   - total energy on random assignments,
+//   - per-variable conditional energy deltas, by direct evaluation and by
+//     counter-based State evaluation (exercising both sampler paths), and
+//   - per-weight sufficient statistics.
+//
+// probes random assignments are drawn from the given seed. Comparisons
+// use a small epsilon: layouts may sum float contributions in different
+// orders.
+func DiffGraphs(a, b *Graph, probes int, seed int64) []string {
+	const eps = 1e-9
+	var diffs []string
+	report := func(format string, args ...any) {
+		if len(diffs) < 20 {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		}
+	}
+
+	if a.NumVars() != b.NumVars() {
+		report("NumVars %d vs %d", a.NumVars(), b.NumVars())
+		return diffs
+	}
+	if a.NumGroups() != b.NumGroups() {
+		report("NumGroups %d vs %d", a.NumGroups(), b.NumGroups())
+		return diffs
+	}
+	if a.NumWeights() != b.NumWeights() {
+		report("NumWeights %d vs %d", a.NumWeights(), b.NumWeights())
+		return diffs
+	}
+	if a.NumGroundings() != b.NumGroundings() {
+		report("NumGroundings %d vs %d", a.NumGroundings(), b.NumGroundings())
+	}
+	for v := 0; v < a.NumVars(); v++ {
+		id := VarID(v)
+		if a.IsEvidence(id) != b.IsEvidence(id) {
+			report("var %d evidence flag %v vs %v", v, a.IsEvidence(id), b.IsEvidence(id))
+		} else if a.IsEvidence(id) && a.EvidenceValue(id) != b.EvidenceValue(id) {
+			report("var %d evidence value %v vs %v", v, a.EvidenceValue(id), b.EvidenceValue(id))
+		}
+	}
+	for w := 0; w < a.NumWeights(); w++ {
+		if math.Abs(a.Weight(WeightID(w))-b.Weight(WeightID(w))) > eps {
+			report("weight %d value %v vs %v", w, a.Weight(WeightID(w)), b.Weight(WeightID(w)))
+		}
+	}
+
+	// Adjacency as sets (layout may order rows differently). A patched
+	// graph may carry stale superset entries — groups whose groundings for
+	// the variable were all tombstoned stay in its rows until compaction;
+	// the conditional-delta probes below verify they contribute nothing.
+	// Anything missing is always an error, as is any superset entry on an
+	// unpatched graph.
+	for v := 0; v < a.NumVars(); v++ {
+		sa := adjSet(a, VarID(v))
+		sb := adjSet(b, VarID(v))
+		for gi := range sb {
+			if !sa[gi] {
+				report("var %d adjacency: group %d missing from first graph", v, gi)
+				break
+			}
+		}
+		for gi := range sa {
+			if !sb[gi] && !a.Patched() {
+				report("var %d adjacency: group %d missing from second graph", v, gi)
+				break
+			}
+		}
+	}
+	if len(diffs) > 0 {
+		return diffs
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	statsA := make([]float64, a.NumWeights())
+	statsB := make([]float64, b.NumWeights())
+	for p := 0; p < probes; p++ {
+		assign := make([]bool, a.NumVars())
+		for v := range assign {
+			if a.IsEvidence(VarID(v)) {
+				assign[v] = a.EvidenceValue(VarID(v))
+			} else {
+				assign[v] = rng.Intn(2) == 0
+			}
+		}
+		if ea, eb := a.Energy(assign), b.Energy(assign); math.Abs(ea-eb) > eps*(1+math.Abs(ea)) {
+			report("probe %d: energy %v vs %v", p, ea, eb)
+		}
+		sa := NewStateWith(a, assign)
+		sb := NewStateWith(b, assign)
+		if ea, eb := sa.Energy(), sb.Energy(); math.Abs(ea-eb) > eps*(1+math.Abs(ea)) {
+			report("probe %d: counter energy %v vs %v", p, ea, eb)
+		}
+		for v := 0; v < a.NumVars(); v++ {
+			id := VarID(v)
+			da := a.EnergyDeltaOf(assign, id)
+			db := b.EnergyDeltaOf(assign, id)
+			if math.Abs(da-db) > eps*(1+math.Abs(da)) {
+				report("probe %d var %d: direct delta %v vs %v", p, v, da, db)
+			}
+			ca := sa.EnergyDelta(id)
+			cb := sb.EnergyDelta(id)
+			if math.Abs(ca-cb) > eps*(1+math.Abs(ca)) {
+				report("probe %d var %d: counter delta %v vs %v", p, v, ca, cb)
+			}
+			if math.Abs(da-ca) > eps*(1+math.Abs(da)) {
+				report("probe %d var %d: direct %v vs counter %v on first graph", p, v, da, ca)
+			}
+		}
+		for i := range statsA {
+			statsA[i], statsB[i] = 0, 0
+		}
+		a.WeightStatsOf(assign, statsA)
+		b.WeightStatsOf(assign, statsB)
+		for k := range statsA {
+			if math.Abs(statsA[k]-statsB[k]) > eps*(1+math.Abs(statsA[k])) {
+				report("probe %d weight %d: stat %v vs %v", p, k, statsA[k], statsB[k])
+			}
+		}
+		if len(diffs) >= 20 {
+			break
+		}
+	}
+	return diffs
+}
+
+// adjSet returns v's adjacent groups as a set.
+func adjSet(g *Graph, v VarID) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, gi := range g.AdjacentGroups(v) {
+		out[gi] = true
+	}
+	return out
+}

@@ -5,10 +5,16 @@ import (
 	"math"
 )
 
-// CSR exposes the frozen flat compressed-sparse-row arrays of a Graph —
-// the DimmWitted-style layout Build emits. Samplers that want contiguous
+// CSR exposes the flat compressed-sparse-row arrays of a Graph — the
+// DimmWitted-style layout Build emits. Samplers that want contiguous
 // index arithmetic (e.g. the parallel Gibbs workers) read these arrays
 // directly instead of walking the nested Group view.
+//
+// On a patched graph the frozen arrays alone are not the whole story:
+// overflow rows (GndExtra, AdjExtra) hold the patched-in groundings and
+// adjacency entries, and DeadAt/Epoch mark tombstoned groundings (a
+// grounding k is dead when DeadAt[k] != 0 && DeadAt[k] <= Epoch). Rebuild
+// through NewBuilderFrom to recover a purely contiguous view.
 //
 // All slices are shared with the Graph and must be treated as read-only.
 type CSR struct {
@@ -17,7 +23,7 @@ type CSR struct {
 	GroupWeight []int32
 	GroupSem    []Semantics
 
-	// Group g's groundings are the global grounding indices
+	// Group g's frozen groundings are the global grounding indices
 	// [GndOff[g], GndOff[g+1]); grounding k's literals are
 	// Lits[LitOff[k]:LitOff[k+1]], encoded LitVar/LitNeg.
 	GndOff []int32
@@ -28,6 +34,12 @@ type CSR struct {
 	// AdjGroups[AdjOff[v]:AdjOff[v+1]] (deduplicated, ascending).
 	AdjOff    []int32
 	AdjGroups []int32
+
+	// Patch extensions (zero-valued on freshly built graphs).
+	GndExtra [][]int32 // per group: overflow grounding ids
+	AdjExtra [][]int32 // per var: overflow adjacent group ids
+	DeadAt   []int32   // per grounding: tombstoning epoch (0 = live)
+	Epoch    int32     // this view's patch generation
 }
 
 // LitVar decodes the variable of a pooled literal.
@@ -48,6 +60,10 @@ func (g *Graph) CSR() CSR {
 		Lits:        g.lits,
 		AdjOff:      g.adjOff,
 		AdjGroups:   g.adjGroups,
+		GndExtra:    g.gndExtra,
+		AdjExtra:    g.adjExtra,
+		DeadAt:      g.deadAt,
+		Epoch:       g.epoch,
 	}
 }
 
@@ -59,6 +75,72 @@ func (g *Graph) EnergyDeltaOf(assign []bool, v VarID) float64 {
 	return g.EnergyDeltaShard(assign, assign, 0, int32(g.numVars), v)
 }
 
+// shardGnd evaluates one grounding of a group adjacent to vi under the
+// sharded read rule and reports its contribution to the group's
+// satisfied-grounding counts with vi=true (n1) and vi=false (n0).
+func (g *Graph) shardGnd(k, vi int32, cur, snap []bool, lo, hi int32) (n1, n0 int) {
+	sat := true
+	hasPos, hasNeg := false, false
+	for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+		l := g.lits[li]
+		u := l >> 1
+		neg := l&1 == 1
+		if u == vi {
+			if neg {
+				hasNeg = true
+			} else {
+				hasPos = true
+			}
+			continue
+		}
+		var uval bool
+		if u >= lo && u <= hi {
+			uval = cur[u]
+		} else {
+			uval = snap[u]
+		}
+		if uval == neg {
+			sat = false
+			break
+		}
+	}
+	if !sat {
+		return 0, 0
+	}
+	if !hasNeg {
+		n1 = 1
+	}
+	if !hasPos {
+		n0 = 1
+	}
+	return n1, n0
+}
+
+// shardSupport counts group gi's satisfied live groundings with vi=true
+// (n1) and vi=false (n0), frozen range plus overflow, under the sharded
+// read rule.
+func (g *Graph) shardSupport(gi, vi int32, cur, snap []bool, lo, hi int32) (n1, n0 int) {
+	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+		if !g.gndLive(k) {
+			continue
+		}
+		i1, i0 := g.shardGnd(k, vi, cur, snap, lo, hi)
+		n1 += i1
+		n0 += i0
+	}
+	if g.gndExtra != nil {
+		for _, k := range g.gndExtra[gi] {
+			if !g.gndLive(k) {
+				continue
+			}
+			i1, i0 := g.shardGnd(k, vi, cur, snap, lo, hi)
+			n1 += i1
+			n0 += i0
+		}
+	}
+	return n1, n0
+}
+
 // EnergyDeltaShard is EnergyDeltaOf under a sharded read rule: variables
 // in [lo, hi] are read from cur, all others from snap. The parallel
 // sampler's workers pass their ownership range so they observe their own
@@ -68,45 +150,20 @@ func (g *Graph) EnergyDeltaOf(assign []bool, v VarID) float64 {
 func (g *Graph) EnergyDeltaShard(cur, snap []bool, lo, hi int32, v VarID) float64 {
 	vi := int32(v)
 	var delta float64
-	for _, gi := range g.adjGroups[g.adjOff[v]:g.adjOff[v+1]] {
-		// n1/n0: satisfied groundings of the group with v=true / v=false.
-		n1, n0 := 0, 0
-		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
-			sat := true
-			hasPos, hasNeg := false, false
-			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
-				l := g.lits[li]
-				u := l >> 1
-				neg := l&1 == 1
-				if u == vi {
-					if neg {
-						hasNeg = true
-					} else {
-						hasPos = true
-					}
-					continue
-				}
-				var uval bool
-				if u >= lo && u <= hi {
-					uval = cur[u]
-				} else {
-					uval = snap[u]
-				}
-				if uval == neg {
-					sat = false
-					break
-				}
-			}
-			if !sat {
-				continue
-			}
-			if !hasNeg {
-				n1++
-			}
-			if !hasPos {
-				n0++
-			}
+	adj := g.adjGroups[g.adjOff[v]:g.adjOff[v+1]]
+	var xadj []int32
+	if g.adjExtra != nil {
+		xadj = g.adjExtra[v]
+	}
+	for ai := 0; ai < len(adj)+len(xadj); ai++ {
+		var gi int32
+		if ai < len(adj) {
+			gi = adj[ai]
+		} else {
+			gi = xadj[ai-len(adj)]
 		}
+		// n1/n0: satisfied groundings of the group with v=true / v=false.
+		n1, n0 := g.shardSupport(gi, vi, cur, snap, lo, hi)
 		w := g.weights[g.groupWeight[gi]]
 		sem := g.groupSem[gi]
 		if g.groupHead[gi] == vi {
@@ -146,20 +203,7 @@ func (g *Graph) WeightStatsOf(assign []bool, out []float64) {
 		panic(fmt.Sprintf("factor: WeightStatsOf got %d slots, want %d", len(out), len(g.weights)))
 	}
 	for gi := range g.groupHead {
-		n := 0
-		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
-			sat := true
-			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
-				l := g.lits[li]
-				if assign[l>>1] == (l&1 == 1) {
-					sat = false
-					break
-				}
-			}
-			if sat {
-				n++
-			}
-		}
+		n := g.groupSupport(int32(gi), assign)
 		sign := -1.0
 		if assign[g.groupHead[gi]] {
 			sign = 1.0

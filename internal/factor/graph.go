@@ -31,9 +31,9 @@ type Grounding struct {
 // tied weight, the counting semantics, and all body groundings. The energy
 // contribution of the group is w · sign(head) · g(#satisfied groundings).
 //
-// Group is the nested view of the graph; the frozen Graph additionally
-// holds a flat CSR encoding of the same structure (see CSR) that all hot
-// paths use.
+// Group is the nested view of the graph. The Graph stores only the flat
+// CSR encoding; Graph.Group synthesizes this view on demand from the flat
+// pools, so it always reflects the live (non-tombstoned) groundings.
 type Group struct {
 	Head       VarID
 	Weight     WeightID
@@ -51,43 +51,63 @@ type bodyOcc struct {
 	nNeg  uint16 // negated occurrences
 }
 
-// Graph is an immutable grounded factor graph: variables, evidence
-// assignments, tied weights, and rule groups. Build one through a Builder.
+// Graph is a grounded factor graph: variables, evidence assignments, tied
+// weights, and rule groups. Build one through a Builder, or derive one
+// from an existing graph in O(|Δ|) through a Patch.
 //
-// Internally Build freezes the nested Group structure into a flat CSR
+// Internally Build freezes the structure into a flat CSR
 // (compressed-sparse-row) layout — contiguous group attribute arrays, a
 // grounding-offset array, a literal pool, and per-variable adjacency
 // indexes — so sampling walks contiguous int32 arrays instead of chasing
-// nested slices (the DimmWitted layout). The nested []Group view is kept
-// for callers and tests.
+// nested slices (the DimmWitted layout).
+//
+// A Patch extends the frozen layout without rewriting it: new groundings
+// are appended to the pools and linked to their group (and to the
+// adjacency rows of the variables they touch) through small per-row
+// overflow slices, and removed groundings are tombstoned in an
+// epoch-stamped deadAt array. Graphs along a patch lineage share the pool
+// backing arrays; each graph's slice lengths and epoch delimit its own
+// consistent view, so the pre-patch graph keeps evaluating the old
+// distribution while the patched graph evaluates the new one.
 type Graph struct {
 	numVars  int
 	evidence []bool // per variable: value is fixed
 	evValue  []bool // fixed value (meaningful when evidence)
 	weights  []float64
-	groups   []Group // nested view; hot paths use the flat arrays below
 
 	// Flat per-group attribute arrays.
 	groupHead   []int32
 	groupWeight []int32
 	groupSem    []Semantics
 
-	// Grounding and literal pools. Group g's groundings are the global
-	// grounding indices [gndOff[g], gndOff[g+1]); grounding k's literals
-	// are lits[litOff[k]:litOff[k+1]], encoded var<<1|neg.
+	// Grounding and literal pools. Group g's frozen groundings are the
+	// global grounding indices [gndOff[g], gndOff[g+1]); grounding k's
+	// literals are lits[litOff[k]:litOff[k+1]], encoded var<<1|neg.
+	// Patched-in groundings live at pool positions past the frozen region
+	// and are reached through gndExtra instead of gndOff.
 	gndOff []int32
 	litOff []int32
 	lits   []int32
 
 	// Per-variable adjacency, CSR: v's body occurrence records (ascending
 	// group order, contiguous per group) and the deduplicated union of
-	// head and body groups (ascending).
+	// head and body groups (ascending). Patched-in entries live in the
+	// bodyExtra/adjExtra overflow rows.
 	bodyOff   []int32
 	bodyRecs  []bodyOcc
 	adjOff    []int32
 	adjGroups []int32
 
-	nGnd int // total groundings across groups
+	nGnd int // grounding pool size (live + tombstoned)
+
+	// Patch state (zero on freshly built graphs); see Patch.
+	epoch     int32       // patch generation of this view
+	deadAt    []int32     // per grounding: epoch that tombstoned it (0 = live)
+	gndExtra  [][]int32   // per group: overflow grounding ids (nil = none)
+	bodyExtra [][]bodyOcc // per var: overflow occurrence records
+	adjExtra  [][]int32   // per var: overflow adjacent group ids
+	nDead     int         // tombstoned groundings visible at this epoch
+	nExtra    int         // groundings living in overflow rows
 }
 
 // NumVars returns the number of variables.
@@ -96,15 +116,91 @@ func (g *Graph) NumVars() int { return g.numVars }
 // NumGroups returns the number of rule groups.
 func (g *Graph) NumGroups() int { return len(g.groupHead) }
 
-// NumGroundings returns the total grounding (factor) count, the paper's
-// "# factors".
-func (g *Graph) NumGroundings() int { return g.nGnd }
+// NumGroundings returns the live grounding (factor) count, the paper's
+// "# factors". Tombstoned groundings are excluded.
+func (g *Graph) NumGroundings() int { return g.nGnd - g.nDead }
 
 // NumWeights returns the size of the tied-weight table.
 func (g *Graph) NumWeights() int { return len(g.weights) }
 
-// Group returns group i. The caller must not mutate it.
-func (g *Graph) Group(i int) *Group { return &g.groups[i] }
+// Patched reports whether this graph was derived through a Patch (rather
+// than frozen directly by a Builder).
+func (g *Graph) Patched() bool { return g.epoch > 0 }
+
+// Fragmentation returns the fraction of the grounding pool that costs the
+// evaluators extra work: tombstoned groundings (dead weight in the frozen
+// CSR rows) plus overflow groundings (reached through per-row indirection
+// instead of the contiguous ranges). Callers compact by rebuilding —
+// NewBuilderFrom(g).Build() — when this crosses their threshold.
+func (g *Graph) Fragmentation() float64 {
+	if g.nGnd == 0 { // patched-in groundings count toward nGnd, so the pool is truly empty
+		return 0
+	}
+	return float64(g.nDead+g.nExtra) / float64(g.nGnd)
+}
+
+// gndLive reports whether grounding k is visible at this graph's epoch.
+// Tombstones written by later patches in the lineage carry later epochs
+// and are ignored.
+func (g *Graph) gndLive(k int32) bool {
+	if g.deadAt == nil {
+		return true
+	}
+	d := g.deadAt[k]
+	return d == 0 || d > g.epoch
+}
+
+// extraGnds returns group gi's overflow grounding ids (nil when none).
+func (g *Graph) extraGnds(gi int32) []int32 {
+	if g.gndExtra == nil {
+		return nil
+	}
+	return g.gndExtra[gi]
+}
+
+// eachLiveGnd calls f for every live grounding of group gi, frozen range
+// first, then overflow. Non-hot-path helper; the samplers use the manual
+// loops in groupSupport/shardSupport instead.
+func (g *Graph) eachLiveGnd(gi int32, f func(k int32)) {
+	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+		if g.gndLive(k) {
+			f(k)
+		}
+	}
+	for _, k := range g.extraGnds(gi) {
+		if g.gndLive(k) {
+			f(k)
+		}
+	}
+}
+
+// Group synthesizes the nested view of group i from the flat pools (live
+// groundings only). The returned value is a fresh copy; mutating it does
+// not affect the graph.
+func (g *Graph) Group(i int) *Group {
+	gr := &Group{
+		Head:   VarID(g.groupHead[i]),
+		Weight: WeightID(g.groupWeight[i]),
+		Sem:    g.groupSem[i],
+	}
+	g.eachLiveGnd(int32(i), func(k int32) {
+		lits := make([]Literal, 0, g.litOff[k+1]-g.litOff[k])
+		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+			l := g.lits[li]
+			lits = append(lits, Literal{Var: VarID(l >> 1), Neg: l&1 == 1})
+		}
+		gr.Groundings = append(gr.Groundings, Grounding{Lits: lits})
+	})
+	return gr
+}
+
+// GroupWeight returns group i's tied weight id without synthesizing the
+// nested view (Group allocates the full grounding list; callers that only
+// need attributes should use this or GroupHead).
+func (g *Graph) GroupWeight(i int) WeightID { return WeightID(g.groupWeight[i]) }
+
+// GroupHead returns group i's head variable.
+func (g *Graph) GroupHead(i int) VarID { return VarID(g.groupHead[i]) }
 
 // Weight returns the current value of weight w.
 func (g *Graph) Weight(w WeightID) float64 { return g.weights[w] }
@@ -139,28 +235,50 @@ func (g *Graph) SetEvidence(v VarID, ev bool, val bool) {
 }
 
 // AdjacentGroups returns the indices of every group variable v touches
-// (as head or in a body), deduplicated, in ascending order.
+// (as head or in a body), deduplicated. The frozen entries come first in
+// ascending order, followed by patched-in entries in patch order.
 func (g *Graph) AdjacentGroups(v VarID) []int32 {
-	return append([]int32(nil), g.adjGroups[g.adjOff[v]:g.adjOff[v+1]]...)
+	out := append([]int32(nil), g.adjGroups[g.adjOff[v]:g.adjOff[v+1]]...)
+	if g.adjExtra != nil {
+		out = append(out, g.adjExtra[v]...)
+	}
+	return out
+}
+
+// gndSatisfied reports whether grounding k holds under assign.
+func (g *Graph) gndSatisfied(k int32, assign []bool) bool {
+	for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+		l := g.lits[li]
+		if assign[l>>1] == (l&1 == 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// groupSupport counts the satisfied live groundings of group gi under
+// assign (frozen range plus overflow, tombstones skipped).
+func (g *Graph) groupSupport(gi int32, assign []bool) int {
+	n := 0
+	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+		if g.gndLive(k) && g.gndSatisfied(k, assign) {
+			n++
+		}
+	}
+	if g.gndExtra != nil {
+		for _, k := range g.gndExtra[gi] {
+			if g.gndLive(k) && g.gndSatisfied(k, assign) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // groupEnergy evaluates one group's energy from scratch under assign,
 // walking the flat literal pool.
 func (g *Graph) groupEnergy(gi int32, assign []bool) float64 {
-	n := 0
-	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
-		sat := true
-		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
-			l := g.lits[li]
-			if assign[l>>1] == (l&1 == 1) {
-				sat = false
-				break
-			}
-		}
-		if sat {
-			n++
-		}
-	}
+	n := g.groupSupport(gi, assign)
 	sign := -1.0
 	if assign[g.groupHead[gi]] {
 		sign = 1.0
@@ -208,16 +326,18 @@ func (g *Graph) PairAdjacency() []bool {
 	for i := 0; i < n; i++ {
 		pat[i*n+i] = true
 	}
-	for gi := range g.groups {
-		gr := &g.groups[gi]
-		for _, gnd := range gr.Groundings {
-			for ai, la := range gnd.Lits {
-				mark(gr.Head, la.Var)
-				for _, lb := range gnd.Lits[ai+1:] {
-					mark(la.Var, lb.Var)
+	for gi := range g.groupHead {
+		head := VarID(g.groupHead[gi])
+		g.eachLiveGnd(int32(gi), func(k int32) {
+			lits := g.lits[g.litOff[k]:g.litOff[k+1]]
+			for ai, la := range lits {
+				va := VarID(la >> 1)
+				mark(head, va)
+				for _, lb := range lits[ai+1:] {
+					mark(va, VarID(lb>>1))
 				}
 			}
-		}
+		})
 	}
 	return pat
 }
@@ -229,16 +349,19 @@ func (g *Graph) PairAdjacency() []bool {
 func (g *Graph) MarginalOfIsolated(v VarID, assign []bool) float64 {
 	adj := g.AdjacentGroups(v)
 	for _, gi := range adj {
-		gr := &g.groups[gi]
-		if gr.Head != v && !g.evidence[gr.Head] {
+		if h := VarID(g.groupHead[gi]); h != v && !g.evidence[h] {
 			return math.NaN()
 		}
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				if lit.Var != v && !g.evidence[lit.Var] {
-					return math.NaN()
+		free := false
+		g.eachLiveGnd(gi, func(k int32) {
+			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+				if u := VarID(g.lits[li] >> 1); u != v && !g.evidence[u] {
+					free = true
 				}
 			}
+		})
+		if free {
+			return math.NaN()
 		}
 	}
 	work := make([]bool, len(assign))
@@ -262,21 +385,20 @@ type Builder struct {
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder { return &Builder{} }
 
-// NewBuilderFrom seeds a Builder with a deep copy of an existing graph, so
-// incremental updates can extend it (ΔV, ΔF) and rebuild.
+// NewBuilderFrom seeds a Builder with a deep copy of an existing graph's
+// live structure, so incremental updates can extend it (ΔV, ΔF) and
+// rebuild. On a patched graph this is the compaction path: tombstoned
+// groundings are dropped and overflow rows fold back into contiguous CSR
+// ranges.
 func NewBuilderFrom(g *Graph) *Builder {
 	b := &Builder{
 		evidence: append([]bool(nil), g.evidence...),
 		evValue:  append([]bool(nil), g.evValue...),
 		weights:  append([]float64(nil), g.weights...),
-		groups:   make([]Group, len(g.groups)),
+		groups:   make([]Group, g.NumGroups()),
 	}
-	for i, gr := range g.groups {
-		ng := Group{Head: gr.Head, Weight: gr.Weight, Sem: gr.Sem, Groundings: make([]Grounding, len(gr.Groundings))}
-		for j, gnd := range gr.Groundings {
-			ng.Groundings[j] = Grounding{Lits: append([]Literal(nil), gnd.Lits...)}
-		}
-		b.groups[i] = ng
+	for i := range b.groups {
+		b.groups[i] = *g.Group(i) // synthesized views are already deep copies
 	}
 	return b
 }
@@ -325,7 +447,8 @@ func (b *Builder) AddGroup(head VarID, w WeightID, sem Semantics, groundings []G
 // Build validates the accumulated structure and freezes it into a Graph:
 // the nested groups are flattened into the CSR layout (literal pool,
 // grounding offsets, group attribute arrays) and the per-variable
-// adjacency indexes are built.
+// adjacency indexes are built. The nested view is not retained; Graph.Group
+// synthesizes it back from the flat pools on demand.
 func (b *Builder) Build() (*Graph, error) {
 	n := len(b.evidence)
 	nG := len(b.groups)
@@ -334,7 +457,6 @@ func (b *Builder) Build() (*Graph, error) {
 		evidence:    b.evidence,
 		evValue:     b.evValue,
 		weights:     b.weights,
-		groups:      b.groups,
 		groupHead:   make([]int32, nG),
 		groupWeight: make([]int32, nG),
 		groupSem:    make([]Semantics, nG),
@@ -343,8 +465,8 @@ func (b *Builder) Build() (*Graph, error) {
 
 	// Pass 1: validate and size the pools.
 	totalGnd, totalLit := 0, 0
-	for gi := range g.groups {
-		gr := &g.groups[gi]
+	for gi := range b.groups {
+		gr := &b.groups[gi]
 		if gr.Head < 0 || int(gr.Head) >= n {
 			return nil, fmt.Errorf("factor: group %d head %d out of range [0,%d)", gi, gr.Head, n)
 		}
@@ -379,8 +501,8 @@ func (b *Builder) Build() (*Graph, error) {
 		gnd int32
 	}
 	var gk int32 // global grounding index
-	for gi := range g.groups {
-		gr := &g.groups[gi]
+	for gi := range b.groups {
+		gr := &b.groups[gi]
 		g.groupHead[gi] = int32(gr.Head)
 		g.groupWeight[gi] = int32(gr.Weight)
 		g.groupSem[gi] = gr.Sem

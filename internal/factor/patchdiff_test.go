@@ -1,0 +1,343 @@
+package factor_test
+
+// Differential harness for the O(Δ) in-place patch path: randomized
+// update sequences are applied twice — through factor.Patch on a live
+// graph, and to an independent nested model that is rebuilt from scratch
+// through factor.Builder after every step — and the two graphs must stay
+// semantically identical (energies, conditional deltas under both
+// evaluation paths, weight statistics, adjacency sets, marginals at a
+// fixed seed). The pre-patch graph is also re-checked after each step:
+// lineage sharing must leave the old distribution untouched.
+//
+// Failures print the subtest seed (t.Run("seed=N")); re-run with
+// -run 'TestPatchDifferential/seed=N' to reproduce.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// modelGnd is one grounding of the oracle model with its flat-pool id in
+// the patched lineage (for targeted removal).
+type modelGnd struct {
+	lits   []factor.Literal
+	live   bool
+	flatID int32
+}
+
+type modelGroup struct {
+	head factor.VarID
+	w    factor.WeightID
+	sem  factor.Semantics
+	gnds []*modelGnd
+}
+
+// model is the independent nested representation the harness trusts: it
+// never touches the flat layout, so a bug that corrupts both the patched
+// pools and the synthesized Group view cannot hide from it.
+type model struct {
+	evidence []bool
+	evValue  []bool
+	weights  []float64
+	groups   []*modelGroup
+}
+
+func (m *model) clone() *model {
+	c := &model{
+		evidence: append([]bool(nil), m.evidence...),
+		evValue:  append([]bool(nil), m.evValue...),
+		weights:  append([]float64(nil), m.weights...),
+	}
+	for _, gr := range m.groups {
+		ng := &modelGroup{head: gr.head, w: gr.w, sem: gr.sem}
+		for _, gnd := range gr.gnds {
+			ng.gnds = append(ng.gnds, &modelGnd{
+				lits:   append([]factor.Literal(nil), gnd.lits...),
+				live:   gnd.live,
+				flatID: gnd.flatID,
+			})
+		}
+		c.groups = append(c.groups, ng)
+	}
+	return c
+}
+
+// build rebuilds a compact reference graph from the model's live state.
+func (m *model) build(t *testing.T) *factor.Graph {
+	t.Helper()
+	b := factor.NewBuilder()
+	for v := range m.evidence {
+		if m.evidence[v] {
+			b.AddEvidenceVar(m.evValue[v])
+		} else {
+			b.AddVar()
+		}
+	}
+	for _, w := range m.weights {
+		b.AddWeight(w)
+	}
+	for _, gr := range m.groups {
+		var gnds []factor.Grounding
+		for _, gnd := range gr.gnds {
+			if gnd.live {
+				gnds = append(gnds, factor.Grounding{Lits: append([]factor.Literal(nil), gnd.lits...)})
+			}
+		}
+		b.AddGroup(gr.head, gr.w, gr.sem, gnds)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("reference rebuild failed: %v", err)
+	}
+	return g
+}
+
+func (m *model) liveRefs() (out [][2]int) {
+	for gi, gr := range m.groups {
+		for ni, gnd := range gr.gnds {
+			if gnd.live {
+				out = append(out, [2]int{gi, ni})
+			}
+		}
+	}
+	return out
+}
+
+var allSems = []factor.Semantics{factor.Linear, factor.Logical, factor.Ratio}
+
+// seedModel builds the starting graph and its model, and stamps the
+// initial flat ids (Build assigns them sequentially in group order).
+func seedModel(rng *rand.Rand, t *testing.T) (*model, *factor.Graph) {
+	m := &model{}
+	nVars := 8 + rng.Intn(8)
+	for i := 0; i < nVars; i++ {
+		ev := rng.Intn(5) == 0
+		m.evidence = append(m.evidence, ev)
+		m.evValue = append(m.evValue, ev && rng.Intn(2) == 0)
+	}
+	nW := 2 + rng.Intn(4)
+	for i := 0; i < nW; i++ {
+		m.weights = append(m.weights, rng.Float64()*2-1)
+	}
+	nG := 4 + rng.Intn(8)
+	for gi := 0; gi < nG; gi++ {
+		gr := &modelGroup{
+			head: factor.VarID(rng.Intn(nVars)),
+			w:    factor.WeightID(rng.Intn(nW)),
+			sem:  allSems[rng.Intn(3)],
+		}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			gr.gnds = append(gr.gnds, &modelGnd{lits: randLits(rng, nVars), live: true})
+		}
+		m.groups = append(m.groups, gr)
+	}
+	var id int32
+	for _, gr := range m.groups {
+		for _, gnd := range gr.gnds {
+			gnd.flatID = id
+			id++
+		}
+	}
+	return m, m.build(t)
+}
+
+func randLits(rng *rand.Rand, nVars int) []factor.Literal {
+	var lits []factor.Literal
+	for l := 0; l < 1+rng.Intn(3); l++ {
+		lits = append(lits, factor.Literal{
+			Var: factor.VarID(rng.Intn(nVars)),
+			Neg: rng.Intn(3) == 0,
+		})
+	}
+	return lits
+}
+
+// mutateStep applies 1..4 random update operations to both the patch and
+// the model.
+func mutateStep(rng *rand.Rand, p *factor.Patch, m *model) {
+	ops := 1 + rng.Intn(4)
+	for o := 0; o < ops; o++ {
+		switch rng.Intn(6) {
+		case 0: // new variable (sometimes evidence)
+			v := p.AddVar()
+			m.evidence = append(m.evidence, false)
+			m.evValue = append(m.evValue, false)
+			if rng.Intn(3) == 0 {
+				val := rng.Intn(2) == 0
+				p.SetEvidence(v, true, val)
+				m.evidence[v] = true
+				m.evValue[v] = val
+			}
+		case 1: // new weight
+			val := rng.Float64()*2 - 1
+			p.AddWeight(val)
+			m.weights = append(m.weights, val)
+		case 2: // new group with groundings (a new rule's ΔF)
+			head := factor.VarID(rng.Intn(len(m.evidence)))
+			w := factor.WeightID(rng.Intn(len(m.weights)))
+			sem := allSems[rng.Intn(3)]
+			gi := p.AddGroup(head, w, sem)
+			gr := &modelGroup{head: head, w: w, sem: sem}
+			m.groups = append(m.groups, gr)
+			if gi != len(m.groups)-1 {
+				panic(fmt.Sprintf("group index drift: patch %d model %d", gi, len(m.groups)-1))
+			}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				lits := randLits(rng, len(m.evidence))
+				id := p.AddGrounding(gi, lits)
+				gr.gnds = append(gr.gnds, &modelGnd{lits: lits, live: true, flatID: id})
+			}
+		case 3: // new grounding in an existing group (modified ΔF)
+			gi := rng.Intn(len(m.groups))
+			lits := randLits(rng, len(m.evidence))
+			id := p.AddGrounding(gi, lits)
+			m.groups[gi].gnds = append(m.groups[gi].gnds, &modelGnd{lits: lits, live: true, flatID: id})
+		case 4: // remove a live grounding (retracted derivation)
+			refs := m.liveRefs()
+			if len(refs) == 0 {
+				continue
+			}
+			ref := refs[rng.Intn(len(refs))]
+			gnd := m.groups[ref[0]].gnds[ref[1]]
+			p.RemoveGrounding(gnd.flatID)
+			gnd.live = false
+		case 5: // supervision change on an existing variable
+			v := factor.VarID(rng.Intn(len(m.evidence)))
+			if m.evidence[v] && rng.Intn(2) == 0 {
+				p.SetEvidence(v, false, false)
+				m.evidence[v] = false
+			} else {
+				val := rng.Intn(2) == 0
+				p.SetEvidence(v, true, val)
+				m.evidence[v] = true
+				m.evValue[v] = val
+			}
+		}
+	}
+}
+
+// TestPatchDifferential is the headline harness: 8 seeds × 30 steps = 240
+// randomized update steps, each asserting patched ≡ rebuilt, plus
+// old-lineage preservation and periodic fixed-seed marginal agreement.
+func TestPatchDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m, g := seedModel(rng, t)
+			for step := 0; step < 30; step++ {
+				prevG, prevM := g, m.clone()
+
+				p := factor.NewPatch(g)
+				mutateStep(rng, p, m)
+				g = p.Apply()
+
+				ref := m.build(t)
+				if diffs := factor.DiffGraphs(g, ref, 4, seed*1000+int64(step)); len(diffs) > 0 {
+					t.Fatalf("seed %d step %d: patched != rebuilt:\n%s", seed, step, joinLines(diffs))
+				}
+				// The pre-patch graph must still present the old distribution.
+				prevRef := prevM.build(t)
+				if diffs := factor.DiffGraphs(prevG, prevRef, 2, seed*2000+int64(step)); len(diffs) > 0 {
+					t.Fatalf("seed %d step %d: patch corrupted its base graph:\n%s", seed, step, joinLines(diffs))
+				}
+				// NewBuilderFrom over the patched graph must compact to the
+				// same distribution (the synthesized nested view is what the
+				// rebuild path and learn.freeCopy consume).
+				compact := factor.NewBuilderFrom(g).MustBuild()
+				if diffs := factor.DiffGraphs(g, compact, 2, seed*3000+int64(step)); len(diffs) > 0 {
+					t.Fatalf("seed %d step %d: patched != NewBuilderFrom compaction:\n%s", seed, step, joinLines(diffs))
+				}
+
+				if step%10 == 9 {
+					mp := gibbs.New(g, seed+99).Marginals(20, 400)
+					mr := gibbs.New(ref, seed+99).Marginals(20, 400)
+					for v := range mp {
+						if math.Abs(mp[v]-mr[v]) > 0.02 {
+							t.Fatalf("seed %d step %d var %d: fixed-seed marginal %v vs %v",
+								seed, step, v, mp[v], mr[v])
+						}
+					}
+				}
+			}
+			if frag := g.Fragmentation(); frag <= 0 {
+				t.Fatalf("seed %d: expected fragmentation after 30 patch steps, got %v", seed, frag)
+			}
+		})
+	}
+}
+
+func joinLines(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += "  " + x + "\n"
+	}
+	return out
+}
+
+// TestPatchBasics pins the small patch invariants the harness relies on.
+func TestPatchBasics(t *testing.T) {
+	b := factor.NewBuilder()
+	v0 := b.AddVar()
+	v1 := b.AddVar()
+	w := b.AddWeight(0.5)
+	b.AddGroup(v0, w, factor.Linear,
+		[]factor.Grounding{{Lits: []factor.Literal{{Var: v1}}}})
+	g := b.MustBuild()
+
+	p := factor.NewPatch(g)
+	v2 := p.AddVar()
+	w2 := p.AddWeight(-1)
+	gi := p.AddGroup(v2, w2, factor.Ratio)
+	id := p.AddGrounding(gi, []factor.Literal{{Var: v0}, {Var: v1, Neg: true}})
+	ng := p.Apply()
+
+	if ng == g {
+		t.Fatal("Apply returned the base graph")
+	}
+	if !ng.Patched() || g.Patched() {
+		t.Fatal("Patched flags wrong")
+	}
+	if ng.NumVars() != 3 || ng.NumGroups() != 2 || ng.NumWeights() != 2 {
+		t.Fatalf("patched dims: vars=%d groups=%d weights=%d", ng.NumVars(), ng.NumGroups(), ng.NumWeights())
+	}
+	if g.NumVars() != 2 || g.NumGroups() != 1 || g.NumGroundings() != 1 {
+		t.Fatalf("base dims mutated: vars=%d groups=%d gnds=%d", g.NumVars(), g.NumGroups(), g.NumGroundings())
+	}
+	if ng.NumGroundings() != 2 {
+		t.Fatalf("patched NumGroundings = %d, want 2", ng.NumGroundings())
+	}
+	// Adjacency picked up the new group for the old vars.
+	if adj := ng.AdjacentGroups(v0); len(adj) != 2 {
+		t.Fatalf("v0 adjacency after patch: %v", adj)
+	}
+	if adj := g.AdjacentGroups(v0); len(adj) != 1 {
+		t.Fatalf("base v0 adjacency grew: %v", adj)
+	}
+
+	// Tombstone the patched-in grounding on a second patch.
+	p2 := factor.NewPatch(ng)
+	p2.RemoveGrounding(id)
+	ng2 := p2.Apply()
+	if ng2.NumGroundings() != 1 {
+		t.Fatalf("after tombstone NumGroundings = %d, want 1", ng2.NumGroundings())
+	}
+	if ng.NumGroundings() != 2 {
+		t.Fatalf("tombstone leaked into earlier epoch: %d", ng.NumGroundings())
+	}
+	if ng2.Fragmentation() <= 0 {
+		t.Fatal("fragmentation not reported")
+	}
+	// The dead group contributes zero energy, like an empty group.
+	assign := []bool{true, true, true}
+	e2 := ng2.Energy(assign)
+	eBase := g.Energy(assign[:2])
+	if math.Abs(e2-eBase) > 1e-12 {
+		t.Fatalf("energy after tombstone %v, want base %v", e2, eBase)
+	}
+}

@@ -55,6 +55,11 @@ func NewStateWith(g *Graph, assign []bool) *State {
 
 // Recount rebuilds all support counters from the current assignment.
 // Needed after evidence changes on the shared Graph.
+//
+// Tombstoned groundings get a permanent +1 floor on their unsatisfied
+// count: flips adjust the counter relatively (u − now + after), so a
+// floored counter can never reach zero and the dead grounding never
+// contributes to a group's support — with no per-flip liveness check.
 func (s *State) Recount() {
 	g := s.G
 	if len(s.unsat) != g.nGnd {
@@ -66,20 +71,37 @@ func (s *State) Recount() {
 	for gi := range g.groupHead {
 		var sat int32
 		for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
-			var u uint16
-			for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
-				l := g.lits[li]
-				if s.Assign[l>>1] == (l&1 == 1) {
-					u++
-				}
-			}
-			s.unsat[k] = u
-			if u == 0 {
-				sat++
+			sat += s.recountGnd(k)
+		}
+		if g.gndExtra != nil {
+			for _, k := range g.gndExtra[gi] {
+				sat += s.recountGnd(k)
 			}
 		}
 		s.sat[gi] = sat
 	}
+}
+
+// recountGnd refreshes the unsatisfied-literal counter of grounding k and
+// reports 1 when it counts toward its group's support.
+func (s *State) recountGnd(k int32) int32 {
+	g := s.G
+	var u uint16
+	for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+		l := g.lits[li]
+		if s.Assign[l>>1] == (l&1 == 1) {
+			u++
+		}
+	}
+	if !g.gndLive(k) {
+		s.unsat[k] = u + 1 // tombstone floor: never satisfiable
+		return 0
+	}
+	s.unsat[k] = u
+	if u == 0 {
+		return 1
+	}
+	return 0
 }
 
 // Support returns the current satisfied-grounding count of group gi.
@@ -139,8 +161,14 @@ func (s *State) supportRun(gi int32, run []bodyOcc, cur, val bool) int32 {
 // The walk is a single merged pass over v's deduplicated adjacency and its
 // body occurrence records (both ascending by group, records contiguous per
 // group), using the maintained counters for O(occurrences of v) work.
+// Variables with patched-in adjacency (overflow rows) fall back to direct
+// evaluation over the flat layout — such variables are Δ-sized after a
+// patch, so the counter fast path still covers the untouched bulk.
 func (s *State) EnergyDelta(v VarID) float64 {
 	g := s.G
+	if (g.bodyExtra != nil && g.bodyExtra[v] != nil) || (g.adjExtra != nil && g.adjExtra[v] != nil) {
+		return g.EnergyDeltaOf(s.Assign, v)
+	}
 	cur := s.Assign[v]
 	recs := g.bodyRecs[g.bodyOff[v]:g.bodyOff[v+1]]
 	ri := 0
@@ -195,26 +223,37 @@ func (s *State) setAny(v VarID, val bool) {
 	s.Assign[v] = val
 	g := s.G
 	for _, occ := range g.bodyRecs[g.bodyOff[v]:g.bodyOff[v+1]] {
-		u := s.unsat[occ.gnd]
-		var now, after uint16
-		if cur {
-			now = occ.nNeg
-		} else {
-			now = occ.nPos
+		s.applyOcc(occ, cur, val)
+	}
+	if g.bodyExtra != nil {
+		for _, occ := range g.bodyExtra[v] {
+			s.applyOcc(occ, cur, val)
 		}
-		if val {
-			after = occ.nNeg
-		} else {
-			after = occ.nPos
-		}
-		uAfter := u - now + after
-		if uAfter != u {
-			s.unsat[occ.gnd] = uAfter
-			if u == 0 && uAfter != 0 {
-				s.sat[occ.group]--
-			} else if u != 0 && uAfter == 0 {
-				s.sat[occ.group]++
-			}
+	}
+}
+
+// applyOcc folds one occurrence record of a v flip (cur → val) into the
+// support counters.
+func (s *State) applyOcc(occ bodyOcc, cur, val bool) {
+	u := s.unsat[occ.gnd]
+	var now, after uint16
+	if cur {
+		now = occ.nNeg
+	} else {
+		now = occ.nPos
+	}
+	if val {
+		after = occ.nNeg
+	} else {
+		after = occ.nPos
+	}
+	uAfter := u - now + after
+	if uAfter != u {
+		s.unsat[occ.gnd] = uAfter
+		if u == 0 && uAfter != 0 {
+			s.sat[occ.group]--
+		} else if u != 0 && uAfter == 0 {
+			s.sat[occ.group]++
 		}
 	}
 }

@@ -174,7 +174,12 @@ type tracker struct {
 	evChanged      map[factor.VarID]bool
 	modifiedGroups map[int]bool
 	addedGroups    []int
+	addedSet       map[int]bool
 	newWeights     []factor.WeightID
+	// touched records, per pre-existing group, the binding keys of
+	// groundings whose visibility toggled — the grounding-grained ΔF the
+	// in-place patch path splices into the flat graph.
+	touched map[int]map[string]bool
 }
 
 func newTracker() *tracker {
@@ -184,7 +189,17 @@ func newTracker() *tracker {
 		olds:           make(map[string]*db.Relation),
 		evChanged:      make(map[factor.VarID]bool),
 		modifiedGroups: make(map[int]bool),
+		addedSet:       make(map[int]bool),
+		touched:        make(map[int]map[string]bool),
 	}
+}
+
+// touch records a grounding visibility toggle in a pre-existing group.
+func (tr *tracker) touch(gi int, key string) {
+	if tr.touched[gi] == nil {
+		tr.touched[gi] = make(map[string]bool)
+	}
+	tr.touched[gi][key] = true
 }
 
 // snapshot records the pre-update state of a relation once.
@@ -311,9 +326,16 @@ func (g *Grounder) applyBinding(re *ruleEval, b db.Binding, sign int, tr *tracke
 	gi, isNewG := g.groupFor(gkey, headVar, wid, g.prog.SemOf(re.rule))
 	if isNewG {
 		tr.addedGroups = append(tr.addedGroups, gi)
+		tr.addedSet[gi] = true
 	}
-	if g.addGrounding(gi, bindingKey(re, b), lits, sign) && !isNewG {
+	// Groups created earlier in this same pass count as added, not
+	// modified: they do not exist in the pre-update graph, so reporting
+	// them in ModifiedGroups would leak an out-of-range index into
+	// ChangedGroupsOld.
+	bkey := bindingKey(re, b)
+	if g.addGrounding(gi, bkey, lits, sign) && !tr.addedSet[gi] {
 		tr.modifiedGroups[gi] = true
+		tr.touch(gi, bkey)
 	}
 	g.graphDirty = true
 	return nil

@@ -40,10 +40,14 @@ type varInfo struct {
 	key string // tuple key
 }
 
-// gndState is one grounding of a group with its derivation count.
+// gndState is one grounding of a group with its derivation count. flatID
+// is the grounding's index in the flat pool of the grounder's current
+// graph when the grounding is visible there, -1 otherwise — the handle
+// the in-place patch path uses to tombstone retracted groundings.
 type gndState struct {
-	lits  []factor.Literal
-	count int
+	lits   []factor.Literal
+	count  int
+	flatID int32
 }
 
 // groupState accumulates the groundings of one grounded rule instance
@@ -119,6 +123,37 @@ type Grounder struct {
 
 	graphDirty bool
 	lastGraph  *factor.Graph
+
+	// In-place update state: when enabled, ApplyUpdate splices the delta
+	// into the current graph through a factor.Patch in O(|Δ|) instead of
+	// leaving it dirty for an O(V+F) rebuild, falling back to a compacting
+	// rebuild when fragmentation crosses compactThresh.
+	inPlace       bool
+	compactThresh float64
+}
+
+// DefaultCompactionThreshold is the fragmentation ratio (tombstoned plus
+// overflow groundings over the pool size) at which the in-place update
+// path schedules a compacting rebuild.
+const DefaultCompactionThreshold = 0.25
+
+// SetInPlaceUpdates toggles O(Δ)-cost in-place graph patching on
+// ApplyUpdate. Off (the default), every update marks the graph dirty and
+// the next Graph call rebuilds the flat pools from scratch.
+func (g *Grounder) SetInPlaceUpdates(on bool) { g.inPlace = on }
+
+// InPlaceUpdates reports whether in-place patching is enabled.
+func (g *Grounder) InPlaceUpdates() bool { return g.inPlace }
+
+// SetCompactionThreshold overrides DefaultCompactionThreshold. t <= 0
+// restores the default.
+func (g *Grounder) SetCompactionThreshold(t float64) { g.compactThresh = t }
+
+func (g *Grounder) compactionThreshold() float64 {
+	if g.compactThresh > 0 {
+		return g.compactThresh
+	}
+	return DefaultCompactionThreshold
 }
 
 // New creates a Grounder for a validated program. Relations declared in
@@ -366,7 +401,7 @@ func (g *Grounder) addGrounding(gi int, key string, lits []factor.Literal, count
 	k := key
 	gnd := gs.gnds[k]
 	if gnd == nil {
-		gnd = &gndState{lits: lits}
+		gnd = &gndState{lits: lits, flatID: -1}
 		gs.gnds[k] = gnd
 		gs.gndOrder = append(gs.gndOrder, k)
 	}
@@ -408,12 +443,20 @@ func (g *Grounder) Graph() *factor.Graph {
 		}
 		b.AddWeight(v)
 	}
+	// Build assigns global grounding indices sequentially over the visible
+	// groundings in group order; record them so the in-place patch path
+	// can address groundings in the flat pool later.
+	var flatID int32
 	for _, gs := range g.groups {
 		var gnds []factor.Grounding
 		for _, k := range gs.gndOrder {
 			gnd := gs.gnds[k]
 			if gnd.count > 0 {
 				gnds = append(gnds, factor.Grounding{Lits: gnd.lits})
+				gnd.flatID = flatID
+				flatID++
+			} else {
+				gnd.flatID = -1
 			}
 		}
 		b.AddGroup(gs.head, gs.weight, gs.sem, gnds)

@@ -85,6 +85,12 @@ func (d *Delta) ChangedGroupsNew() []int32 {
 // delta terms; untouched rules are skipped), and new rules are evaluated
 // once in full. Returns the Δ bookkeeping for incremental inference.
 func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
+	// In-place patching needs the cached graph to reflect the pre-update
+	// state; decide before mutating anything. The dirty flag is set
+	// eagerly so error paths (which may leave the grounder partially
+	// updated) can never serve a stale cached graph.
+	canPatch := g.inPlace && g.lastGraph != nil && !g.graphDirty
+	g.graphDirty = true
 	tr := newTracker()
 
 	// 1. Register new rules (program-level validation, compile, re-topo).
@@ -153,7 +159,6 @@ func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
 		}
 	}
 
-	g.graphDirty = true
 	d := &Delta{
 		NewVars:    tr.newVars,
 		NewWeights: tr.newWeights,
@@ -168,7 +173,98 @@ func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
 		d.EvidenceChanged = append(d.EvidenceChanged, v)
 	}
 	sortVarIDs(d.EvidenceChanged)
+	if canPatch {
+		g.patchGraph(tr)
+	}
 	return d, nil
+}
+
+// patchGraph splices the update's ΔV/ΔF into the current graph through a
+// factor.Patch in O(|Δ|): new variables, weights, and groups are
+// appended, toggled groundings of pre-existing groups are appended or
+// tombstoned by their recorded flat ids, and evidence changes are applied
+// — the pools of untouched variables and factors are never rewritten. The
+// pre-patch graph object keeps presenting the old distribution (the
+// incremental-inference engine scores proposals against both), and the
+// grounder's cached graph advances to the patched lineage head. When
+// fragmentation from accumulated tombstones and overflow rows crosses the
+// compaction threshold, the graph is left dirty so the next Graph call
+// performs an O(V+F) compacting rebuild.
+func (g *Grounder) patchGraph(tr *tracker) {
+	old := g.lastGraph
+	p := factor.NewPatch(old)
+	for i := old.NumVars(); i < len(g.vars); i++ {
+		p.AddVar()
+	}
+	for i := old.NumWeights(); i < len(g.weightKeys); i++ {
+		p.AddWeight(g.weightInit[i])
+	}
+	// Groups created by this update, with their visible groundings.
+	// addedGroups is in creation order, i.e. consecutive indices starting
+	// at the old graph's group count.
+	for _, gi := range tr.addedGroups {
+		gs := g.groups[gi]
+		if pgi := p.AddGroup(gs.head, gs.weight, gs.sem); pgi != gi {
+			panic(fmt.Sprintf("ground: patch group index %d does not match grounder group %d", pgi, gi))
+		}
+		for _, key := range gs.gndOrder {
+			gnd := gs.gnds[key]
+			if gnd.count > 0 {
+				gnd.flatID = p.AddGrounding(gi, gnd.lits)
+			} else {
+				gnd.flatID = -1
+			}
+		}
+	}
+	// Visibility toggles in pre-existing groups, in deterministic order
+	// (group index, then the group's stable grounding order) so repeated
+	// runs produce identical layouts.
+	var modGroups []int
+	for gi := range tr.touched {
+		modGroups = append(modGroups, gi)
+	}
+	sortInts(modGroups)
+	for _, gi := range modGroups {
+		gs := g.groups[gi]
+		keys := tr.touched[gi]
+		for _, key := range gs.gndOrder {
+			if !keys[key] {
+				continue
+			}
+			gnd := gs.gnds[key]
+			if gnd.count > 0 {
+				if gnd.flatID < 0 {
+					gnd.flatID = p.AddGrounding(gi, gnd.lits)
+				}
+			} else if gnd.flatID >= 0 {
+				p.RemoveGrounding(gnd.flatID)
+				gnd.flatID = -1
+			}
+		}
+	}
+	// Evidence: supervision changes on existing variables plus the labels
+	// of variables created by this update.
+	applyEv := func(v factor.VarID) {
+		if g.evTrue[v]+g.evFalse[v] > 0 {
+			p.SetEvidence(v, true, g.evTrue[v] >= g.evFalse[v])
+		} else {
+			p.SetEvidence(v, false, false)
+		}
+	}
+	var evs []factor.VarID
+	for v := range tr.evChanged {
+		evs = append(evs, v)
+	}
+	sortVarIDs(evs)
+	for _, v := range evs {
+		applyEv(v)
+	}
+	for i := old.NumVars(); i < len(g.vars); i++ {
+		applyEv(factor.VarID(i))
+	}
+	ng := p.Apply()
+	g.lastGraph = ng
+	g.graphDirty = ng.Fragmentation() > g.compactionThreshold()
 }
 
 func isNewHead(newRules map[*ruleEval]bool, rel string) bool {

@@ -29,6 +29,63 @@ func chainGraph(n int, w float64) *factor.Graph {
 	return b.MustBuild()
 }
 
+// deriveModes are the two ways to produce the post-update graph the
+// incremental strategies consume: a full rebuild through factor.Builder
+// (the historical path) and an O(Δ) in-place factor.Patch. The strategies
+// must behave identically on either derivation, so the affected tests run
+// under both as subtests.
+var deriveModes = []string{"rebuild", "patch"}
+
+// graphEditor abstracts the mutation surface the two derivations share.
+type graphEditor interface {
+	AddVar() factor.VarID
+	AddWeight(v float64) factor.WeightID
+	AddGroup(head factor.VarID, w factor.WeightID, sem factor.Semantics, gnds []factor.Grounding) int
+}
+
+type builderEditor struct{ b *factor.Builder }
+
+func (e builderEditor) AddVar() factor.VarID                { return e.b.AddVar() }
+func (e builderEditor) AddWeight(v float64) factor.WeightID { return e.b.AddWeight(v) }
+func (e builderEditor) AddGroup(head factor.VarID, w factor.WeightID, sem factor.Semantics, gnds []factor.Grounding) int {
+	return e.b.AddGroup(head, w, sem, gnds)
+}
+
+type patchEditor struct{ p *factor.Patch }
+
+func (e patchEditor) AddVar() factor.VarID                { return e.p.AddVar() }
+func (e patchEditor) AddWeight(v float64) factor.WeightID { return e.p.AddWeight(v) }
+func (e patchEditor) AddGroup(head factor.VarID, w factor.WeightID, sem factor.Semantics, gnds []factor.Grounding) int {
+	gi := e.p.AddGroup(head, w, sem)
+	for _, gnd := range gnds {
+		e.p.AddGrounding(gi, gnd.Lits)
+	}
+	return gi
+}
+
+// rebuildOrPatch derives a new graph from g in the given mode, applying
+// edit (when non-nil) through the mode's mutation surface.
+func rebuildOrPatch(t *testing.T, g *factor.Graph, mode string, edit func(graphEditor)) *factor.Graph {
+	t.Helper()
+	switch mode {
+	case "rebuild":
+		nb := factor.NewBuilderFrom(g)
+		if edit != nil {
+			edit(builderEditor{nb})
+		}
+		return nb.MustBuild()
+	case "patch":
+		p := factor.NewPatch(g)
+		if edit != nil {
+			edit(patchEditor{p})
+		}
+		return p.Apply()
+	default:
+		t.Fatalf("unknown derivation mode %q", mode)
+		return nil
+	}
+}
+
 func maxAbsDiff(a, b []float64, skipEvidence *factor.Graph) float64 {
 	worst := 0.0
 	for i := range a {
@@ -61,28 +118,31 @@ func TestStrawmanExactMatchesEnumeration(t *testing.T) {
 }
 
 func TestStrawmanInferTracksChangedDistribution(t *testing.T) {
-	g := chainGraph(5, 0.8)
-	s, err := MaterializeStrawman(g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// New graph: same structure but the bias weight flipped negative
-	// (a changed factor). Group 4 is the bias group.
-	nb := factor.NewBuilderFrom(g)
-	newG := nb.MustBuild()
-	biasGroup := int32(newG.NumGroups() - 1)
-	newG.SetWeight(newG.Group(int(biasGroup)).Weight, -0.7)
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(5, 0.8)
+			s, err := MaterializeStrawman(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// New graph: same structure but the bias weight flipped negative
+			// (a changed factor). Group 4 is the bias group.
+			newG := rebuildOrPatch(t, g, mode, nil)
+			biasGroup := int32(newG.NumGroups() - 1)
+			newG.SetWeight(newG.Group(int(biasGroup)).Weight, -0.7)
 
-	changed := []int32{biasGroup}
-	exact := s.ExactMarginals(newG, changed, changed)
-	got := s.Infer(newG, changed, changed, 200, 20000, 7)
-	if d := maxAbsDiff(exact, got, g); d > 0.03 {
-		t.Fatalf("strawman incremental gibbs vs exact diff %v", d)
-	}
-	// And the change must actually lower P(v1=first chain var).
-	orig := s.ExactMarginals(nil, nil, nil)
-	if !(exact[1] < orig[1]) {
-		t.Fatalf("bias flip did not lower marginal: %v -> %v", orig[1], exact[1])
+			changed := []int32{biasGroup}
+			exact := s.ExactMarginals(newG, changed, changed)
+			got := s.Infer(newG, changed, changed, 200, 20000, 7)
+			if d := maxAbsDiff(exact, got, g); d > 0.03 {
+				t.Fatalf("strawman incremental gibbs vs exact diff %v", d)
+			}
+			// And the change must actually lower P(v1=first chain var).
+			orig := s.ExactMarginals(nil, nil, nil)
+			if !(exact[1] < orig[1]) {
+				t.Fatalf("bias flip did not lower marginal: %v -> %v", orig[1], exact[1])
+			}
+		})
 	}
 }
 
@@ -120,47 +180,60 @@ func MaterializeStrawmanMust(t *testing.T, g *factor.Graph) *Strawman {
 }
 
 func TestSamplingTracksChangedWeights(t *testing.T) {
-	g := chainGraph(6, 0.6)
-	store := gibbs.New(g, 13).CollectSamples(100, 20000)
-	// New graph: the shared coupling weight flipped, changing all five
-	// coupling groups (indexes 0..4).
-	newG := factor.NewBuilderFrom(g).MustBuild()
-	newG.SetWeight(newG.Group(0).Weight, -0.6)
-	changed := []int32{0, 1, 2, 3, 4}
-	cs := ChangeSet{ChangedOld: changed, ChangedNew: changed}
-	res := SamplingInfer(g, newG, store, cs, 19000, 14)
-	if res.AcceptanceRate() >= 1 {
-		t.Fatalf("acceptance = %v, want < 1 for changed distribution", res.AcceptanceRate())
-	}
-	truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, changed, changed)
-	if d := maxAbsDiff(res.Marginals, truth, g); d > 0.06 {
-		t.Fatalf("sampling marginals diff %v from exact", d)
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(6, 0.6)
+			store := gibbs.New(g, 13).CollectSamples(100, 20000)
+			// New graph: the shared coupling weight flipped, changing all five
+			// coupling groups (indexes 0..4).
+			newG := rebuildOrPatch(t, g, mode, nil)
+			newG.SetWeight(newG.Group(0).Weight, -0.6)
+			changed := []int32{0, 1, 2, 3, 4}
+			cs := ChangeSet{ChangedOld: changed, ChangedNew: changed}
+			res := SamplingInfer(g, newG, store, cs, 19000, 14)
+			if res.AcceptanceRate() >= 1 {
+				t.Fatalf("acceptance = %v, want < 1 for changed distribution", res.AcceptanceRate())
+			}
+			truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, changed, changed)
+			if d := maxAbsDiff(res.Marginals, truth, g); d > 0.06 {
+				t.Fatalf("sampling marginals diff %v from exact", d)
+			}
+		})
 	}
 }
 
 func TestSamplingHandlesNewVariablesAndEvidence(t *testing.T) {
-	g := chainGraph(4, 0.6)
-	store := gibbs.New(g, 15).CollectSamples(100, 3000)
-	// Extend: new variable coupled to the chain tail; evidence set on v2.
-	nb := factor.NewBuilderFrom(g)
-	nv := nb.AddVar()
-	w := nb.AddWeight(1.5)
-	tail := factor.VarID(4) // last chain var (anchor=0, chain=1..4)
-	gi := nb.AddGroup(nv, w, factor.Linear,
-		[]factor.Grounding{{Lits: []factor.Literal{{Var: tail}}}})
-	newG := nb.MustBuild()
-	newG.SetEvidence(2, true, true)
-	cs := ChangeSet{
-		ChangedNew:      []int32{int32(gi)},
-		EvidenceChanged: []factor.VarID{2},
-	}
-	res := SamplingInfer(g, newG, store, cs, 2500, 16)
-	if res.Marginals[2] != 1 {
-		t.Fatalf("evidence var marginal = %v, want 1", res.Marginals[2])
-	}
-	truth := MaterializeStrawmanMust(t, newG).ExactMarginals(nil, nil, nil)
-	if d := math.Abs(res.Marginals[nv] - truth[nv]); d > 0.12 {
-		t.Fatalf("new-var marginal %v vs exact %v", res.Marginals[nv], truth[nv])
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(4, 0.6)
+			store := gibbs.New(g, 15).CollectSamples(100, 3000)
+			// Extend: new variable coupled to the chain tail; evidence set on v2.
+			var nv factor.VarID
+			var gi int
+			tail := factor.VarID(4) // last chain var (anchor=0, chain=1..4)
+			newG := rebuildOrPatch(t, g, mode, func(e graphEditor) {
+				nv = e.AddVar()
+				w := e.AddWeight(1.5)
+				gi = e.AddGroup(nv, w, factor.Linear,
+					[]factor.Grounding{{Lits: []factor.Literal{{Var: tail}}}})
+			})
+			newG.SetEvidence(2, true, true)
+			cs := ChangeSet{
+				ChangedNew:      []int32{int32(gi)},
+				EvidenceChanged: []factor.VarID{2},
+			}
+			res := SamplingInfer(g, newG, store, cs, 2500, 16)
+			if res.Marginals[2] != 1 {
+				t.Fatalf("evidence var marginal = %v, want 1", res.Marginals[2])
+			}
+			if g.IsEvidence(2) {
+				t.Fatal("evidence change leaked into the pre-update graph")
+			}
+			truth := MaterializeStrawmanMust(t, newG).ExactMarginals(nil, nil, nil)
+			if d := math.Abs(res.Marginals[nv] - truth[nv]); d > 0.12 {
+				t.Fatalf("new-var marginal %v vs exact %v", res.Marginals[nv], truth[nv])
+			}
+		})
 	}
 }
 
@@ -177,19 +250,23 @@ func TestSamplingExhaustion(t *testing.T) {
 }
 
 func TestEstimateAcceptanceRate(t *testing.T) {
-	g := chainGraph(6, 0.6)
-	store := gibbs.New(g, 19).CollectSamples(100, 1000)
-	// Unchanged: rate 1.
-	if r := EstimateAcceptanceRate(g, g, store, ChangeSet{}, 100, 20); r != 1 {
-		t.Fatalf("unchanged estimate = %v, want 1", r)
-	}
-	// Heavily changed: rate < 1.
-	newG := factor.NewBuilderFrom(g).MustBuild()
-	newG.SetWeight(newG.Group(0).Weight, -3)
-	changed := []int32{0, 1, 2, 3, 4}
-	r := EstimateAcceptanceRate(g, newG, store, ChangeSet{ChangedOld: changed, ChangedNew: changed}, 200, 21)
-	if r >= 0.95 {
-		t.Fatalf("heavy change estimate = %v, want < 0.95", r)
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(6, 0.6)
+			store := gibbs.New(g, 19).CollectSamples(100, 1000)
+			// Unchanged: rate 1.
+			if r := EstimateAcceptanceRate(g, g, store, ChangeSet{}, 100, 20); r != 1 {
+				t.Fatalf("unchanged estimate = %v, want 1", r)
+			}
+			// Heavily changed: rate < 1.
+			newG := rebuildOrPatch(t, g, mode, nil)
+			newG.SetWeight(newG.Group(0).Weight, -3)
+			changed := []int32{0, 1, 2, 3, 4}
+			r := EstimateAcceptanceRate(g, newG, store, ChangeSet{ChangedOld: changed, ChangedNew: changed}, 200, 21)
+			if r >= 0.95 {
+				t.Fatalf("heavy change estimate = %v, want < 0.95", r)
+			}
+		})
 	}
 }
 
@@ -427,32 +504,36 @@ func TestDecomposePartition(t *testing.T) {
 }
 
 func TestInferDecomposedUntouchedBlocksFree(t *testing.T) {
-	// Two chains, each anchored on its own active variable, so the
-	// decomposition keeps them separate. Change only the second chain's
-	// factor; the first block adopts samples without acceptance testing.
-	b := factor.NewBuilder()
-	a1, a2 := b.AddVar(), b.AddVar()
-	v1, v2 := b.AddVar(), b.AddVar()
-	w1 := b.AddWeight(1.0)
-	w2 := b.AddWeight(1.0)
-	b.AddGroup(v1, w1, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a1}}}})
-	b.AddGroup(v2, w2, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a2}}}})
-	g := b.MustBuild()
-	e, err := NewEngine(g, Options{MaterializationSamples: 4000, KeepSamples: 3000, Burnin: 100, Seed: 39})
-	if err != nil {
-		t.Fatal(err)
-	}
-	newG := factor.NewBuilderFrom(g).MustBuild()
-	newG.SetWeight(newG.Group(1).Weight, -1.0)
-	cs := ChangeSet{ChangedOld: []int32{1}, ChangedNew: []int32{1}}
-	groups := Decompose(g, []factor.VarID{a1, a2})
-	if len(groups) != 2 {
-		t.Fatalf("decomposition groups = %d, want 2: %+v", len(groups), groups)
-	}
-	res := e.InferDecomposed(newG, cs, groups)
-	truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, cs.ChangedOld, cs.ChangedNew)
-	if d := maxAbsDiff(res.Marginals, truth, newG); d > 0.08 {
-		t.Fatalf("decomposed marginals diff %v (truth %v, got %v)", d, truth, res.Marginals)
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			// Two chains, each anchored on its own active variable, so the
+			// decomposition keeps them separate. Change only the second chain's
+			// factor; the first block adopts samples without acceptance testing.
+			b := factor.NewBuilder()
+			a1, a2 := b.AddVar(), b.AddVar()
+			v1, v2 := b.AddVar(), b.AddVar()
+			w1 := b.AddWeight(1.0)
+			w2 := b.AddWeight(1.0)
+			b.AddGroup(v1, w1, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a1}}}})
+			b.AddGroup(v2, w2, factor.Linear, []factor.Grounding{{Lits: []factor.Literal{{Var: a2}}}})
+			g := b.MustBuild()
+			e, err := NewEngine(g, Options{MaterializationSamples: 4000, KeepSamples: 3000, Burnin: 100, Seed: 39})
+			if err != nil {
+				t.Fatal(err)
+			}
+			newG := rebuildOrPatch(t, g, mode, nil)
+			newG.SetWeight(newG.Group(1).Weight, -1.0)
+			cs := ChangeSet{ChangedOld: []int32{1}, ChangedNew: []int32{1}}
+			groups := Decompose(g, []factor.VarID{a1, a2})
+			if len(groups) != 2 {
+				t.Fatalf("decomposition groups = %d, want 2: %+v", len(groups), groups)
+			}
+			res := e.InferDecomposed(newG, cs, groups)
+			truth := MaterializeStrawmanMust(t, g).ExactMarginals(newG, cs.ChangedOld, cs.ChangedNew)
+			if d := maxAbsDiff(res.Marginals, truth, newG); d > 0.08 {
+				t.Fatalf("decomposed marginals diff %v (truth %v, got %v)", d, truth, res.Marginals)
+			}
+		})
 	}
 }
 

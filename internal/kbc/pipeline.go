@@ -33,6 +33,11 @@ type Config struct {
 	// uses n worker shards, negative means one worker per core.
 	Parallelism int
 
+	// InPlaceUpdates applies each iteration's (ΔV, ΔF) to the live factor
+	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
+	// pools from the grounding state in O(V+F).
+	InPlaceUpdates bool
+
 	Seed int64
 
 	// Lesion switches forwarded to the incremental engine.
@@ -100,6 +105,7 @@ func NewPipeline(sys *corpus.System, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.SetInPlaceUpdates(c.InPlaceUpdates)
 	for rel, tuples := range BaseTuples(sys) {
 		if err := g.LoadBase(rel, tuples); err != nil {
 			return nil, err
@@ -275,7 +281,7 @@ func (p *Pipeline) addWeightChanges(cs *inc.ChangeSet, newGraph *factor.Graph) {
 		if already[int32(gi)] {
 			continue
 		}
-		w := oldG.Group(gi).Weight
+		w := oldG.GroupWeight(gi)
 		if int(w) < newGraph.NumWeights() {
 			if diff := oldG.Weight(w) - newGraph.Weight(w); diff > eps || diff < -eps {
 				cs.ChangedOld = append(cs.ChangedOld, int32(gi))
