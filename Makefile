@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-incupdate
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-incupdate bench-replicas
 
 # Everything CI runs.
 check: fmt vet build test race fuzz-smoke
@@ -18,11 +18,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel sampler's sweeps fan out across goroutines, and patched
-# graphs share pool backing arrays across the lineage; run both packages
-# under the race detector.
+# The parallel and replica samplers' sweeps fan out across goroutines,
+# patched graphs share pool backing arrays across the lineage, and the
+# replica learner steps weight replicas concurrently; run all three
+# packages under the race detector.
 race:
-	$(GO) test -race ./internal/gibbs/... ./internal/factor/...
+	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/...
 
 # Short native-fuzz pass over the datalog parser (no-panic + String
 # round-trip); extend -fuzztime for a real hunt.
@@ -35,3 +36,8 @@ bench:
 # Δ-vs-full graph update cost (results recorded in BENCH_incupdate.json).
 bench-incupdate:
 	$(GO) test -bench='ApplyUpdatePatched|ApplyUpdateRebuild' -run=xxx .
+
+# Replica vs sharded sampler throughput (results recorded in
+# BENCH_replicas.json). The smoke variant runs the 1-worker pair once.
+bench-replicas:
+	$(GO) test -bench='ReplicaVsShardedCorpus/mode=(sharded|replica)/workers=1$$' -benchtime=1x -run=xxx .

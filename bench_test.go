@@ -7,6 +7,7 @@
 package deepdive_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -244,6 +245,42 @@ func BenchmarkSamplerParallelCorpus(b *testing.B) {
 		s.Sweep()
 	}
 	b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// ---- Replica vs sharded engine on the systems corpus -------------------
+//
+// BenchmarkReplicaVsShardedCorpus is the before/after pair for the
+// replica engine: the identical grounded News graph sampled by the
+// sharded ParallelSampler (one shared assignment, per-sweep snapshot,
+// workers own contiguous shards) and by the ReplicaSampler (full private
+// assignment per worker, merge every 8 sweeps). The samples/s metric
+// counts variable resamples, so the two modes are directly comparable:
+// a sharded sweep resamples NumFree variables, a replica sweep
+// NumFree × workers. Measured ratios are recorded in BENCH_replicas.json
+// (reproduce with `make bench-replicas`).
+
+func BenchmarkReplicaVsShardedCorpus(b *testing.B) {
+	g := corpusGraph(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("mode=sharded/workers=%d", workers), func(b *testing.B) {
+			s := gibbs.NewParallel(g, workers, 1)
+			s.RandomizeState()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sweep()
+			}
+			b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+		b.Run(fmt.Sprintf("mode=replica/workers=%d", workers), func(b *testing.B) {
+			s := gibbs.NewReplica(g, workers, 8, 1)
+			s.RandomizeState()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sweep()
+			}
+			b.ReportMetric(float64(s.NumFree()*s.Replicas()*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
 }
 
 // ---- Incremental graph update: Δ-cost patch vs full rebuild ------------

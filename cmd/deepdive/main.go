@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full] [-parallel -1]
+//	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full]
+//	         [-parallel -1 | -replicas -1 [-syncevery 8]] [-inplace]
 package main
 
 import (
@@ -25,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "use the full scaled corpus (slower)")
 	parallel := flag.Int("parallel", 1, "Gibbs worker shards (<=1 sequential, -1 one per core)")
+	replicas := flag.Int("replicas", 0, "replica engine workers (0 off, -1 one per core); overrides -parallel")
+	syncEvery := flag.Int("syncevery", 0, "replica merge interval in sweeps/steps (0 = default)")
 	inplace := flag.Bool("inplace", false, "apply updates to the factor graph in place (O(Δ) patch) instead of rebuilding")
 	flag.Parse()
 
@@ -46,7 +49,11 @@ func main() {
 		sys = corpus.Generate(spec)
 	}
 
-	cfg := kbc.Config{Sem: sem, Seed: *seed, Threshold: *threshold, Parallelism: *parallel, InPlaceUpdates: *inplace}
+	cfg := kbc.Config{
+		Sem: sem, Seed: *seed, Threshold: *threshold,
+		Parallelism: *parallel, Replicas: *replicas, SyncEvery: *syncEvery,
+		InPlaceUpdates: *inplace,
+	}
 	fmt.Printf("== %s (%d docs, %d relations) ==\n",
 		sys.Spec.Name, len(sys.Docs), len(sys.Spec.Relations))
 

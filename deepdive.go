@@ -35,6 +35,7 @@ import (
 	"deepdive/internal/datalog"
 	"deepdive/internal/db"
 	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
 	"deepdive/internal/ground"
 	"deepdive/internal/inc"
 	"deepdive/internal/learn"
@@ -86,8 +87,21 @@ type Options struct {
 
 	// Parallelism shards Gibbs sweeps (inference, learning chains, and
 	// materialization) across this many workers: <= 1 sequential, n > 1
-	// uses n worker shards, negative means one worker per core.
+	// uses n worker shards, negative means one worker per core. Ignored
+	// when Replicas selects the replica engine.
 	Parallelism int
+
+	// Replicas selects the DimmWitted-style replica engine for every Gibbs
+	// chain the engine runs: each of n workers owns a full private
+	// assignment copy (and, during learning, a private weight vector) over
+	// the shared CSR pools, and the driver merges every SyncEvery sweeps —
+	// assignments by consensus vote and ring exchange, weights by model
+	// averaging. n >= 1 replicas, negative means one per core, 0 keeps the
+	// sharded/sequential runtime.
+	Replicas int
+	// SyncEvery is the replica merge interval in sweeps (learning:
+	// gradient steps); <= 0 selects the default (8).
+	SyncEvery int
 
 	// InPlaceUpdates makes Update splice (ΔV, ΔF) into the live factor
 	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
@@ -133,6 +147,14 @@ func WithMaterialization(samples int, lambda float64) Option {
 // learning, materialization) across n workers. n <= 1 keeps the
 // sequential sampler; a negative n means one worker per core.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithReplicas runs every Gibbs chain on the replica engine: n workers
+// with full private assignment (and, during learning, weight) copies,
+// merged every syncEvery sweeps/steps (see Options.Replicas). n negative
+// means one replica per core; syncEvery <= 0 selects the default.
+func WithReplicas(n, syncEvery int) Option {
+	return func(o *Options) { o.Replicas = n; o.SyncEvery = syncEvery }
+}
 
 // WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching on
 // Update (see Options.InPlaceUpdates).
@@ -240,6 +262,8 @@ func (e *Engine) Learn() time.Duration {
 		Epochs:      e.opts.LearnEpochs,
 		StepSize:    e.opts.LearnStep,
 		Parallelism: e.opts.Parallelism,
+		Replicas:    e.opts.Replicas,
+		SyncEvery:   e.opts.SyncEvery,
 		Seed:        e.opts.Seed + 1,
 		Warmstart:   warm,
 		Frozen:      e.frozen(g),
@@ -251,7 +275,8 @@ func (e *Engine) Learn() time.Duration {
 // marginals for every candidate fact.
 func (e *Engine) Infer() time.Duration {
 	start := time.Now()
-	e.marg = inc.RerunParallel(e.grounder.Graph(), e.opts.InferBurnin, e.opts.InferKeep, e.opts.Seed+2, e.opts.Parallelism)
+	e.marg = inc.RerunWith(e.grounder.Graph(), e.opts.InferBurnin, e.opts.InferKeep, e.opts.Seed+2,
+		gibbs.Runtime{Workers: e.opts.Parallelism, Replicas: e.opts.Replicas, SyncEvery: e.opts.SyncEvery})
 	return time.Since(start)
 }
 
@@ -265,6 +290,8 @@ func (e *Engine) Materialize() (time.Duration, error) {
 		KeepSamples:            e.opts.InferKeep,
 		Lambda:                 e.opts.Lambda,
 		Parallelism:            e.opts.Parallelism,
+		Replicas:               e.opts.Replicas,
+		SyncEvery:              e.opts.SyncEvery,
 		Seed:                   e.opts.Seed + 3,
 	})
 	if err != nil {
@@ -337,6 +364,8 @@ func (e *Engine) Update(u Update) (*UpdateResult, error) {
 			Epochs:      e.opts.IncLearnEpochs,
 			StepSize:    e.opts.LearnStep,
 			Parallelism: e.opts.Parallelism,
+			Replicas:    e.opts.Replicas,
+			SyncEvery:   e.opts.SyncEvery,
 			Seed:        e.opts.Seed + 5,
 			Warmstart:   append([]float64(nil), g.Weights()...),
 			Frozen:      e.frozen(g),

@@ -220,6 +220,37 @@ func (g *Graph) SetWeights(vals []float64) {
 	copy(g.weights, vals)
 }
 
+// WeightView returns a graph that shares every structural array with g —
+// the CSR pools, adjacency rows, evidence tables, and patch state — but
+// reads weight values from the caller-owned weights slice instead of g's.
+// This is the replica engine's model-copy primitive: per-worker learners
+// mutate their private vector freely while all views keep evaluating over
+// one immutable pool lineage. len(weights) must match NumWeights.
+//
+// The view is a read-only alias of g's structure: do not patch it, and do
+// not call SetEvidence on it (evidence arrays are shared with g).
+func (g *Graph) WeightView(weights []float64) *Graph {
+	if len(weights) != len(g.weights) {
+		panic(fmt.Sprintf("factor: WeightView got %d weights, want %d", len(weights), len(g.weights)))
+	}
+	ng := *g
+	ng.weights = weights
+	return &ng
+}
+
+// GroupVars calls f for group gi's head and for every variable of each
+// live grounding, reading the CSR pools directly — no nested-view
+// synthesis, no allocation. Variables referenced more than once are
+// reported more than once.
+func (g *Graph) GroupVars(gi int32, f func(VarID)) {
+	f(VarID(g.groupHead[gi]))
+	g.eachLiveGnd(gi, func(k int32) {
+		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+			f(VarID(g.lits[li] >> 1))
+		}
+	})
+}
+
 // IsEvidence reports whether v has a fixed value.
 func (g *Graph) IsEvidence(v VarID) bool { return g.evidence[v] }
 

@@ -1,0 +1,131 @@
+package factor
+
+import (
+	"math"
+	"testing"
+)
+
+// viewGraph builds a small coupled graph for the view tests.
+func viewGraph() *Graph {
+	b := NewBuilder()
+	v0, v1, v2 := b.AddVar(), b.AddVar(), b.AddVar()
+	ev := b.AddEvidenceVar(true)
+	w0, w1 := b.AddWeight(0.5), b.AddWeight(-0.3)
+	b.AddGroup(v0, w0, Linear, []Grounding{{Lits: []Literal{{Var: v1}}}})
+	b.AddGroup(v1, w1, Ratio, []Grounding{
+		{Lits: []Literal{{Var: v2}, {Var: ev}}},
+		{Lits: []Literal{{Var: v0, Neg: true}}},
+	})
+	return b.MustBuild()
+}
+
+// TestWeightViewIsolatesWeights checks the replica model-copy primitive:
+// views share the CSR structure but read their own weight vector, and
+// mutating a view's vector never leaks into the base graph or siblings.
+func TestWeightViewIsolatesWeights(t *testing.T) {
+	g := viewGraph()
+	wA := append([]float64(nil), g.Weights()...)
+	wB := append([]float64(nil), g.Weights()...)
+	a, b := g.WeightView(wA), g.WeightView(wB)
+
+	assign := []bool{true, true, true, true} // group 0's grounding satisfied, so weight 0 matters
+	if got, want := a.Energy(assign), g.Energy(assign); got != want {
+		t.Fatalf("fresh view energy %v, base %v", got, want)
+	}
+
+	wA[0] = 2.5
+	if a.Weight(0) != 2.5 {
+		t.Fatalf("view does not read its private vector: %v", a.Weight(0))
+	}
+	if g.Weight(0) != 0.5 || b.Weight(0) != 0.5 {
+		t.Fatalf("private mutation leaked: base %v, sibling %v", g.Weight(0), b.Weight(0))
+	}
+	if a.Energy(assign) == g.Energy(assign) {
+		t.Fatal("view energy ignores its private weights")
+	}
+	// Structure stays shared: same groups, same adjacency.
+	if a.NumGroups() != g.NumGroups() || a.NumVars() != g.NumVars() {
+		t.Fatal("view changed structure")
+	}
+	// SetWeight on the view writes the private vector only.
+	a.SetWeight(1, 9)
+	if wA[1] != 9 || g.Weight(1) != -0.3 {
+		t.Fatalf("SetWeight on view: private %v, base %v", wA[1], g.Weight(1))
+	}
+}
+
+// TestWeightViewOnPatchedGraph checks views over a patch lineage: the
+// view evaluates the patched structure (shared immutable pools) under
+// private weights.
+func TestWeightViewOnPatchedGraph(t *testing.T) {
+	g := viewGraph()
+	p := NewPatch(g)
+	w := p.AddWeight(1.1)
+	nv := p.AddVar()
+	gi := p.AddGroup(nv, w, Linear)
+	p.AddGrounding(gi, []Literal{{Var: 0}})
+	patched := p.Apply()
+
+	priv := append([]float64(nil), patched.Weights()...)
+	view := patched.WeightView(priv)
+	assign := []bool{true, false, true, true, true}
+	if view.Energy(assign) != patched.Energy(assign) {
+		t.Fatal("patched view energy differs under identical weights")
+	}
+	priv[len(priv)-1] = -1.1
+	d := view.Energy(assign) - patched.Energy(assign)
+	if math.Abs(d-(-2.2)) > 1e-12 { // flipped the satisfied new group's weight
+		t.Fatalf("patched view energy delta %v, want -2.2", d)
+	}
+}
+
+// TestWeightViewPanicsOnBadLength guards the vector-length contract.
+func TestWeightViewPanicsOnBadLength(t *testing.T) {
+	g := viewGraph()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short weight vector did not panic")
+		}
+	}()
+	g.WeightView([]float64{1})
+}
+
+// TestGroupVarsMatchesNestedView checks the CSR-direct group-variable
+// walk against the synthesized nested view, on both fresh and patched
+// graphs (live groundings only).
+func TestGroupVarsMatchesNestedView(t *testing.T) {
+	g := viewGraph()
+	p := NewPatch(g)
+	w := p.AddWeight(0.2)
+	nv := p.AddVar()
+	gi := p.AddGroup(nv, w, Logical)
+	p.AddGrounding(gi, []Literal{{Var: 1}, {Var: 2, Neg: true}})
+	p.RemoveGrounding(1) // tombstone group 1's first grounding (global index 1)
+	patched := p.Apply()
+
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{{"fresh", g}, {"patched", patched}} {
+		for i := 0; i < tc.g.NumGroups(); i++ {
+			want := map[VarID]int{}
+			gr := tc.g.Group(i)
+			want[gr.Head]++
+			for _, gnd := range gr.Groundings {
+				for _, lit := range gnd.Lits {
+					want[lit.Var]++
+				}
+			}
+			got := map[VarID]int{}
+			tc.g.GroupVars(int32(i), func(v VarID) { got[v]++ })
+			if len(got) != len(want) {
+				t.Fatalf("%s group %d: GroupVars saw %v, nested view %v", tc.name, i, got, want)
+			}
+			for v, n := range want {
+				if got[v] != n {
+					t.Fatalf("%s group %d var %d: %d visits, want %d", tc.name, i, v, got[v], n)
+				}
+			}
+		}
+	}
+}

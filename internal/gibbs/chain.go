@@ -21,6 +21,11 @@ type Chain interface {
 	Marginals(burnin, keep int) []float64
 	// CollectSamples runs burnin sweeps then stores n worlds.
 	CollectSamples(burnin, n int) *Store
+	// StoreWorlds appends the current sweep's exact sample world(s) to st
+	// — one world for the single-assignment chains, one per replica for
+	// the replica engine (never a derived/consensus world, which would
+	// bias the store). Call between sweeps only.
+	StoreWorlds(st *Store)
 	// CondProb returns P(v = true | rest) under the current world.
 	CondProb(v factor.VarID) float64
 	// WeightStats accumulates the current world's per-weight sufficient
@@ -35,11 +40,13 @@ type Chain interface {
 var (
 	_ Chain = (*Sampler)(nil)
 	_ Chain = (*ParallelSampler)(nil)
+	_ Chain = (*ReplicaSampler)(nil)
 )
 
 // NewChain returns a chain over g: the sequential Sampler when workers <= 1,
 // otherwise a ParallelSampler with that many worker shards. Negative
-// workers select one worker per core (runtime.GOMAXPROCS).
+// workers select one worker per core (runtime.GOMAXPROCS). Replica-mode
+// selection goes through Runtime.NewChain.
 func NewChain(g *factor.Graph, seed int64, workers int) Chain {
 	if workers < 0 {
 		return NewParallel(g, workers, seed) // resolves to GOMAXPROCS
@@ -48,4 +55,35 @@ func NewChain(g *factor.Graph, seed int64, workers int) Chain {
 		return New(g, seed)
 	}
 	return NewParallel(g, workers, seed)
+}
+
+// Runtime selects the sampling runtime by configuration: the replica
+// engine when Replicas is non-zero, otherwise the sharded/sequential
+// chain by worker count. It is the single knob every layer (learning,
+// materialization, rerun inference) threads through, so the sharded
+// sampler stays available as the lesion configuration of the replica
+// engine.
+type Runtime struct {
+	// Workers shards sweeps over one shared assignment (ParallelSampler):
+	// <= 1 sequential, n > 1 that many shards, negative one per core.
+	// Ignored when Replicas is non-zero.
+	Workers int
+	// Replicas selects the replica engine (ReplicaSampler): n >= 1 runs n
+	// full per-worker assignment copies, negative one per core, 0 disables
+	// replica mode.
+	Replicas int
+	// SyncEvery is the replica merge interval in sweeps (learning: gradient
+	// steps); <= 0 selects DefaultSyncEvery. Unused outside replica mode.
+	SyncEvery int
+}
+
+// ReplicaMode reports whether the runtime selects the replica engine.
+func (rt Runtime) ReplicaMode() bool { return rt.Replicas != 0 }
+
+// NewChain builds the chain the runtime selects over g.
+func (rt Runtime) NewChain(g *factor.Graph, seed int64) Chain {
+	if rt.ReplicaMode() {
+		return NewReplica(g, rt.Replicas, rt.SyncEvery, seed)
+	}
+	return NewChain(g, seed, rt.Workers)
 }

@@ -105,7 +105,7 @@ func NewParallel(g *factor.Graph, workers int, seed int64) *ParallelSampler {
 		// from adjacent master seeds (the learner's clamped/free pair, the
 		// engine's phase offsets) must not share worker streams, which
 		// splitmix64(seed+w) alone would allow.
-		p.rngs[w] = rand.New(rand.NewSource(int64(splitmix64(splitmix64(uint64(seed)) + uint64(w)))))
+		p.rngs[w] = rand.New(rand.NewSource(DeriveSeed(MixSeed(seed), w)))
 		start += size
 	}
 	return p
@@ -207,8 +207,14 @@ func (p *ParallelSampler) Marginals(burnin, keep int) []float64 {
 			out[v] = p.counts[v] * inv
 		}
 	}
+	// Release the accumulator: leaving it allocated would let a later
+	// collecting run double-count into stale totals.
+	p.counts = nil
 	return out
 }
+
+// StoreWorlds appends the chain's current world to st.
+func (p *ParallelSampler) StoreWorlds(st *Store) { st.Add(p.cur) }
 
 // CollectSamples runs burnin sweeps and then stores n worlds (one per
 // sweep) into a new Store — the materialization loop of the sampling

@@ -146,6 +146,61 @@ func TestNewChainSelection(t *testing.T) {
 	}
 }
 
+// TestParallelMarginalsRepeatedCalls is the regression test for the
+// stale-accumulator bug: Marginals used to leave p.counts allocated (and
+// pointing at the previous run's totals) after returning, so a later
+// collecting run could fold new sweeps into stale counts. The accumulator
+// must be released on return, and a second Marginals call on the same
+// sampler must report values from its own keep window only.
+func TestParallelMarginalsRepeatedCalls(t *testing.T) {
+	base := chainGraph(90, 0.5)
+	patch := factor.NewPatch(base)
+	w := patch.AddWeight(0.4)
+	gi := patch.AddGroup(factor.VarID(1), w, factor.Ratio)
+	patch.AddGrounding(gi, []factor.Literal{{Var: factor.VarID(2)}})
+	for _, tc := range []struct {
+		name string
+		g    *factor.Graph
+	}{{"rebuild", base}, {"patch", patch.Apply()}} {
+		t.Run(tc.name, func(t *testing.T) { testMarginalsRepeated(t, tc.g) })
+	}
+}
+
+func testMarginalsRepeated(t *testing.T, g *factor.Graph) {
+	p := NewParallel(g, 3, 21)
+	p.RandomizeState()
+	first := p.Marginals(20, 400)
+	if p.counts != nil {
+		t.Fatal("Marginals left the count accumulator allocated")
+	}
+	if p.collecting {
+		t.Fatal("Marginals left collecting enabled")
+	}
+	second := p.Marginals(0, 400)
+	for v := range second {
+		if second[v] < 0 || second[v] > 1 {
+			t.Fatalf("second call marginal[%d] = %v out of [0,1] — stale counts double-counted", v, second[v])
+		}
+	}
+	// Both estimates target the same distribution; with stale counts the
+	// second would be systematically inflated.
+	var mad float64
+	n := 0
+	for v := range first {
+		if g.IsEvidence(factor.VarID(v)) {
+			continue
+		}
+		mad += math.Abs(first[v] - second[v])
+		n++
+	}
+	if mad/float64(n) > 0.1 {
+		t.Fatalf("repeated Marginals drifted: MAD %.4f", mad/float64(n))
+	}
+	if p.counts != nil {
+		t.Fatal("second Marginals left the accumulator allocated")
+	}
+}
+
 // TestParallelWeightStatsMatchesState cross-checks the direct-evaluation
 // sufficient statistic against the counter-based one on a shared world.
 func TestParallelWeightStatsMatchesState(t *testing.T) {

@@ -1,0 +1,390 @@
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"deepdive/internal/factor"
+)
+
+// DefaultSyncEvery is the default number of sweeps (sampling) or gradient
+// steps (learning) between replica merges.
+const DefaultSyncEvery = 8
+
+// MixSeed scrambles a master seed through splitmix64 so that per-stream
+// seeds derived by DeriveSeed never collide with streams another caller
+// derives from an adjacent master seed (engines hand stages seeds like
+// seed+1, seed+5, ...).
+func MixSeed(seed int64) uint64 { return splitmix64(uint64(seed)) }
+
+// DeriveSeed yields the i-th independent stream seed of a mixed master
+// seed (the samplers' per-worker derivation rule, exported for the
+// replica learner).
+func DeriveSeed(mixed uint64, i int) int64 {
+	return int64(splitmix64(mixed + uint64(i)))
+}
+
+// ReplicaSampler runs Gibbs sweeps in the style of DimmWitted's NUMA-node
+// replica engine: every worker owns a *full private copy* of the
+// assignment and runs independent Gauss-Seidel sweeps over it — zero
+// cross-worker reads or writes during a sweep, where the sharded
+// ParallelSampler still shares one assignment array and re-snapshots it
+// every sweep. The workers' chains are merged by the driver every
+// SyncEvery sweeps:
+//
+//   - vote: a per-variable majority vote across the replicas refreshes
+//     the consensus world, the driver-visible assignment (the role the
+//     sweep-start snapshot plays for the sharded sampler);
+//   - exchange: the replica worlds rotate one position around the worker
+//     ring, so every worker stream keeps continuing a stationary chain
+//     (the merge never invents a world, which would bias the samples
+//     toward the consensus mode).
+//
+// Marginal counts are pooled across all replicas — one Sweep yields one
+// observation per replica, so a keep-sweep run pools keep×R worlds, the
+// replica analogue of DimmWitted averaging per-node sample batches.
+//
+// Because each worker touches only its own arrays between merges, sweeps
+// are race-free and the chain is bit-for-bit deterministic for a fixed
+// (seed, replicas, syncEvery) triple. Replicas share one graph — on a
+// patch lineage that means one immutable CSR pool backing all workers.
+//
+// The sampler itself is driven from one goroutine; only its internal
+// sweeps fan out.
+type ReplicaSampler struct {
+	g    *factor.Graph
+	free []factor.VarID // non-evidence variables, scan order
+
+	replicas  int
+	syncEvery int
+	rngs      []*rand.Rand // per-replica streams
+	master    *rand.Rand   // driver-side draws (RandomizeState)
+
+	worlds [][]bool // per-replica private assignments
+	cons   []bool   // consensus world (majority vote), driver view
+	fresh  bool     // cons reflects the current worlds
+	since  int      // sweeps since the last merge
+
+	collecting bool
+	counts     [][]float64 // per-replica true counts
+}
+
+// NewReplica creates a replica sampler over g with the given replica
+// count. replicas <= 0 selects runtime.GOMAXPROCS(0); syncEvery <= 0
+// selects DefaultSyncEvery.
+func NewReplica(g *factor.Graph, replicas, syncEvery int, seed int64) *ReplicaSampler {
+	if replicas <= 0 {
+		replicas = runtime.GOMAXPROCS(0)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	r := &ReplicaSampler{
+		g:         g,
+		replicas:  replicas,
+		syncEvery: syncEvery,
+		master:    rand.New(rand.NewSource(seed)),
+		rngs:      make([]*rand.Rand, replicas),
+		worlds:    make([][]bool, replicas),
+		cons:      make([]bool, g.NumVars()),
+		fresh:     true,
+	}
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			r.cons[v] = g.EvidenceValue(factor.VarID(v))
+		} else {
+			r.free = append(r.free, factor.VarID(v))
+		}
+	}
+	base := MixSeed(seed)
+	for w := 0; w < replicas; w++ {
+		r.worlds[w] = append([]bool(nil), r.cons...)
+		// Same double-splitmix derivation as the sharded sampler: chains
+		// built from adjacent master seeds must not share worker streams.
+		r.rngs[w] = rand.New(rand.NewSource(DeriveSeed(base, w)))
+	}
+	return r
+}
+
+// Replicas returns the number of replica workers.
+func (r *ReplicaSampler) Replicas() int { return r.replicas }
+
+// SyncEvery returns the merge interval in sweeps.
+func (r *ReplicaSampler) SyncEvery() int { return r.syncEvery }
+
+// NumFree returns the number of free (sampled) variables.
+func (r *ReplicaSampler) NumFree() int { return len(r.free) }
+
+// Graph returns the underlying factor graph.
+func (r *ReplicaSampler) Graph() *factor.Graph { return r.g }
+
+// Assign returns the consensus world: the per-variable majority vote
+// across replicas, refreshed lazily between sweeps. Evidence variables
+// report their fixed values.
+func (r *ReplicaSampler) Assign() []bool {
+	if !r.fresh {
+		r.vote()
+	}
+	return r.cons
+}
+
+// World returns replica w's private assignment (read between sweeps only;
+// shared, not a copy). Unlike the consensus view this is one exact sample
+// of the chain.
+func (r *ReplicaSampler) World(w int) []bool { return r.worlds[w] }
+
+// RandomizeState assigns every free variable of every replica uniformly
+// at random from the master stream, giving the replicas over-dispersed
+// independent starts.
+func (r *ReplicaSampler) RandomizeState() {
+	for _, world := range r.worlds {
+		for _, v := range r.free {
+			world[v] = r.master.Intn(2) == 0
+		}
+	}
+	r.fresh = false
+}
+
+// vote refreshes the consensus world by per-variable majority across the
+// replicas; ties adopt replica 0's value so the result is deterministic.
+func (r *ReplicaSampler) vote() {
+	for _, v := range r.free {
+		t := 0
+		for _, world := range r.worlds {
+			if world[v] {
+				t++
+			}
+		}
+		switch {
+		case 2*t > r.replicas:
+			r.cons[v] = true
+		case 2*t < r.replicas:
+			r.cons[v] = false
+		default:
+			r.cons[v] = r.worlds[0][v]
+		}
+	}
+	r.fresh = true
+}
+
+// merge is the sync point: vote, then exchange the replica worlds one
+// position around the worker ring. The rotation hands every worker
+// stream a world sampled by a different replica — cross-replica exchange
+// without inventing a world, so every chain stays exactly stationary.
+func (r *ReplicaSampler) merge() {
+	r.vote()
+	if r.replicas > 1 {
+		last := r.worlds[r.replicas-1]
+		copy(r.worlds[1:], r.worlds[:r.replicas-1])
+		r.worlds[0] = last
+	}
+	r.since = 0
+}
+
+// sweepReplica runs one full Gauss-Seidel scan of replica w's private
+// world. Reads and writes touch only that world (and its own count row
+// when collecting), so concurrent replicas never race.
+func (r *ReplicaSampler) sweepReplica(w int) {
+	g := r.g
+	cur := r.worlds[w]
+	rng := r.rngs[w]
+	hi := int32(g.NumVars())
+	var counts []float64
+	if r.collecting {
+		counts = r.counts[w]
+	}
+	for _, v := range r.free {
+		delta := g.EnergyDeltaShard(cur, cur, 0, hi, v)
+		val := rng.Float64() < 1/(1+math.Exp(-delta))
+		cur[v] = val
+		// counts first: it is loop-invariant (and usually nil), so the
+		// branch predicts perfectly; testing the freshly sampled val first
+		// would mispredict half the time.
+		if counts != nil && val {
+			counts[v]++
+		}
+	}
+}
+
+// Sweep advances every replica by one full scan (fanned out across the
+// workers) and merges at the sync interval. One Sweep call samples
+// NumFree × Replicas variables.
+func (r *ReplicaSampler) Sweep() {
+	if len(r.free) == 0 {
+		return
+	}
+	if r.replicas == 1 {
+		r.sweepReplica(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(r.replicas)
+		for w := 0; w < r.replicas; w++ {
+			go func(w int) {
+				defer wg.Done()
+				r.sweepReplica(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	r.fresh = false
+	r.since++
+	if r.since >= r.syncEvery {
+		r.merge()
+	}
+}
+
+// Run performs n sweeps.
+func (r *ReplicaSampler) Run(n int) {
+	for i := 0; i < n; i++ {
+		r.Sweep()
+	}
+}
+
+// Marginals runs burnin sweeps, then keep sweeps with per-replica count
+// rows (no shared accumulator contention), and returns the pooled
+// empirical P(v = true): keep×Replicas observations per variable.
+// Evidence variables report their fixed value.
+func (r *ReplicaSampler) Marginals(burnin, keep int) []float64 {
+	r.Run(burnin)
+	n := r.g.NumVars()
+	r.counts = make([][]float64, r.replicas)
+	for w := range r.counts {
+		r.counts[w] = make([]float64, n)
+	}
+	r.collecting = true
+	for i := 0; i < keep; i++ {
+		r.Sweep()
+	}
+	r.collecting = false
+	out := make([]float64, n)
+	inv := 0.0
+	if keep > 0 {
+		inv = 1 / float64(keep*r.replicas)
+	}
+	for v := 0; v < n; v++ {
+		if r.g.IsEvidence(factor.VarID(v)) {
+			if r.g.EvidenceValue(factor.VarID(v)) {
+				out[v] = 1
+			}
+			continue
+		}
+		var c float64
+		for w := 0; w < r.replicas; w++ {
+			c += r.counts[w][v]
+		}
+		out[v] = c * inv
+	}
+	r.counts = nil // release; a later collecting run starts clean
+	return out
+}
+
+// StoreWorlds appends every replica's current world to st — the
+// replica-aware materialization step (each Sweep yields Replicas exact
+// samples, not one consensus world, which would be biased).
+func (r *ReplicaSampler) StoreWorlds(st *Store) {
+	for _, world := range r.worlds {
+		st.Add(world)
+	}
+}
+
+// CollectSamples runs burnin sweeps and then stores n worlds, draining
+// the replicas round-robin — the materialization loop of the sampling
+// approach (Section 3.2.2) at one sweep per Replicas stored worlds.
+func (r *ReplicaSampler) CollectSamples(burnin, n int) *Store {
+	st := NewStore(r.g.NumVars())
+	r.Run(burnin)
+	for st.Len() < n {
+		r.Sweep()
+		for w := 0; w < r.replicas && st.Len() < n; w++ {
+			st.Add(r.worlds[w])
+		}
+	}
+	return st
+}
+
+// CondProb returns P(v = true | rest) under the consensus world by direct
+// evaluation. Driver-side only (not safe during a Sweep).
+func (r *ReplicaSampler) CondProb(v factor.VarID) float64 {
+	return r.g.CondProbOf(r.Assign(), v)
+}
+
+// WeightStats accumulates the replica-averaged per-weight sufficient
+// statistic into out: each replica's world contributes 1/Replicas of its
+// direct-evaluation statistic, an unbiased lower-variance estimate than
+// any single world's.
+func (r *ReplicaSampler) WeightStats(out []float64) {
+	scratch := make([]float64, len(out))
+	inv := 1 / float64(r.replicas)
+	for _, world := range r.worlds {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		r.g.WeightStatsOf(world, scratch)
+		for i, s := range scratch {
+			out[i] += s * inv
+		}
+	}
+}
+
+// ReplicaLearner owns the model side of the replica engine during weight
+// learning: one private weight vector per worker plus the canonical
+// averaged model. Workers step their private vectors with no cross-worker
+// reads; Average applies the DimmWitted model-averaging rule — canonical
+// = mean of the replicas, broadcast back so every worker resumes from the
+// merged model. Bind each private vector to the shared CSR pools with
+// factor.Graph.WeightView.
+type ReplicaLearner struct {
+	weights   [][]float64
+	canonical []float64
+}
+
+// NewReplicaLearner creates replicas private copies of init (replicas
+// must be >= 1).
+func NewReplicaLearner(replicas int, init []float64) *ReplicaLearner {
+	if replicas < 1 {
+		replicas = 1
+	}
+	l := &ReplicaLearner{
+		weights:   make([][]float64, replicas),
+		canonical: append([]float64(nil), init...),
+	}
+	for r := range l.weights {
+		l.weights[r] = append([]float64(nil), init...)
+	}
+	return l
+}
+
+// Replicas returns the number of weight replicas.
+func (l *ReplicaLearner) Replicas() int { return len(l.weights) }
+
+// Weights returns replica r's live private vector; worker r mutates it
+// freely between Average calls.
+func (l *ReplicaLearner) Weights(r int) []float64 { return l.weights[r] }
+
+// Canonical returns the live canonical (averaged) vector. Valid after the
+// latest Average; between averages it holds the previous merge.
+func (l *ReplicaLearner) Canonical() []float64 { return l.canonical }
+
+// Average merges the replicas under the model-averaging rule — canonical
+// = mean over replicas, element-wise — and broadcasts the merged model
+// back into every replica. Returns the canonical vector. Driver-side
+// only: no worker may be stepping during the merge.
+func (l *ReplicaLearner) Average() []float64 {
+	inv := 1 / float64(len(l.weights))
+	for k := range l.canonical {
+		var s float64
+		for _, w := range l.weights {
+			s += w[k]
+		}
+		l.canonical[k] = s * inv
+	}
+	for _, w := range l.weights {
+		copy(w, l.canonical)
+	}
+	return l.canonical
+}

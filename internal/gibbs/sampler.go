@@ -103,6 +103,9 @@ func (s *Sampler) Marginals(burnin, keep int) []float64 {
 	return est.Means()
 }
 
+// StoreWorlds appends the chain's current world to st.
+func (s *Sampler) StoreWorlds(st *Store) { st.Add(s.State.Assign) }
+
 // CollectSamples runs burnin sweeps and then stores n worlds (one per
 // sweep) into a new Store. This is the materialization loop of the
 // sampling approach (Section 3.2.2).

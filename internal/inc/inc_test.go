@@ -249,6 +249,85 @@ func TestSamplingExhaustion(t *testing.T) {
 	}
 }
 
+// TestEstimateAcceptanceRateClampsProbe is the NaN regression test: a
+// probe <= 0 used to skip the scoring loop entirely and return 0/0. The
+// clamp promised by the doc comment must make it behave as probe = 1.
+func TestEstimateAcceptanceRateClampsProbe(t *testing.T) {
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(5, 0.5)
+			store := gibbs.New(g, 41).CollectSamples(50, 200)
+			newG := rebuildOrPatch(t, g, mode, nil)
+			for _, probe := range []int{0, -3} {
+				r := EstimateAcceptanceRate(g, newG, store, ChangeSet{}, probe, 42)
+				if math.IsNaN(r) {
+					t.Fatalf("probe=%d returned NaN", probe)
+				}
+				if r != 1 {
+					t.Fatalf("probe=%d on unchanged distribution = %v, want 1", probe, r)
+				}
+			}
+			// Empty store still reports 0 (no samples to replay at all).
+			if r := EstimateAcceptanceRate(g, newG, gibbs.NewStore(g.NumVars()), ChangeSet{}, 0, 43); r != 0 {
+				t.Fatalf("empty store estimate = %v, want 0", r)
+			}
+		})
+	}
+}
+
+// TestSamplingInferEdgeCases covers the seed-world guard: keep <= 0 is
+// clamped, and a store of one sample (whose only world is consumed to
+// seed the chain) must still yield one observed world instead of the
+// all-zero marginal vector Means() produces over zero observations.
+func TestSamplingInferEdgeCases(t *testing.T) {
+	for _, mode := range deriveModes {
+		t.Run(mode, func(t *testing.T) {
+			g := chainGraph(4, 0.9) // strong coupling: true-heavy worlds
+			newG := rebuildOrPatch(t, g, mode, nil)
+
+			makeStore := func(n int) *gibbs.Store {
+				if n == 0 {
+					return gibbs.NewStore(g.NumVars())
+				}
+				return gibbs.New(g, 45).CollectSamples(200, n)
+			}
+
+			// store.Len() == 0: nothing to seed from.
+			res := SamplingInfer(g, newG, makeStore(0), ChangeSet{}, 1, 46)
+			if !res.Exhausted || res.WorldsObserved != 0 {
+				t.Fatalf("empty store: exhausted=%v observed=%d", res.Exhausted, res.WorldsObserved)
+			}
+			if len(res.Marginals) != newG.NumVars() {
+				t.Fatalf("empty store marginal width %d", len(res.Marginals))
+			}
+
+			// store.Len() == 1 with keep in {0, 1}: the single sample seeds
+			// the chain and must be observed.
+			for _, keep := range []int{0, 1} {
+				res := SamplingInfer(g, newG, makeStore(1), ChangeSet{}, keep, 47)
+				if res.WorldsObserved != 1 {
+					t.Fatalf("keep=%d single-sample store observed %d worlds, want 1", keep, res.WorldsObserved)
+				}
+				any := false
+				for v := 0; v < g.NumVars(); v++ {
+					if res.Marginals[v] != 0 {
+						any = true
+					}
+				}
+				if !any {
+					t.Fatalf("keep=%d single-sample marginals all zero — seed world lost", keep)
+				}
+			}
+
+			// keep <= 0 with a full store behaves as keep = 1.
+			res = SamplingInfer(g, newG, makeStore(50), ChangeSet{}, 0, 48)
+			if res.WorldsObserved != 1 || res.Exhausted {
+				t.Fatalf("keep=0 observed %d worlds (exhausted=%v), want 1", res.WorldsObserved, res.Exhausted)
+			}
+		})
+	}
+}
+
 func TestEstimateAcceptanceRate(t *testing.T) {
 	for _, mode := range deriveModes {
 		t.Run(mode, func(t *testing.T) {

@@ -53,9 +53,17 @@ type Options struct {
 	MaxDenseComponent int
 	// Parallelism selects the Gibbs chain for materialization and rerun
 	// fallbacks: <= 1 sequential, n > 1 shards sweeps across n workers,
-	// negative means one worker per core.
+	// negative means one worker per core. Ignored when Replicas selects
+	// the replica engine.
 	Parallelism int
-	Seed        int64
+	// Replicas selects the replica engine for materialization and rerun
+	// chains (per-worker assignment copies merged every SyncEvery sweeps):
+	// n >= 1 replicas, negative one per core, 0 disables.
+	Replicas int
+	// SyncEvery is the replica merge interval; <= 0 selects
+	// gibbs.DefaultSyncEvery.
+	SyncEvery int
+	Seed      int64
 
 	// Lesion switches (Section 4.3): disable one side, or ignore workload
 	// information (NoWorkloadInfo: always try sampling first, regardless
@@ -82,6 +90,11 @@ func (o Options) fill() Options {
 		o.MaxDenseComponent = 300
 	}
 	return o
+}
+
+// runtime derives the chain-selection config from the options.
+func (o Options) runtime() gibbs.Runtime {
+	return gibbs.Runtime{Workers: o.Parallelism, Replicas: o.Replicas, SyncEvery: o.SyncEvery}
 }
 
 // Result reports one incremental inference run.
@@ -111,13 +124,13 @@ type Engine struct {
 }
 
 // NewEngine materializes g under both strategies. The materialization
-// chain (the dominant cost at scale) runs on the parallel sampler when
-// Options.Parallelism asks for it.
+// chain (the dominant cost at scale) runs on the sharded or replica
+// sampler when Options.Parallelism / Options.Replicas ask for it.
 func NewEngine(g *factor.Graph, opts Options) (*Engine, error) {
 	o := opts.fill()
 	e := &Engine{opts: o, old: g}
 	start := time.Now()
-	e.sampler = gibbs.NewChain(g, o.Seed, o.Parallelism)
+	e.sampler = o.runtime().NewChain(g, o.Seed)
 	e.sampler.RandomizeState()
 	e.store = e.sampler.CollectSamples(o.Burnin, o.MaterializationSamples)
 	if !o.DisableVariational {
@@ -141,7 +154,9 @@ func (e *Engine) MaterializeForBudget(budget time.Duration) int {
 	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		e.sampler.Sweep()
-		e.store.Add(e.sampler.Assign())
+		// StoreWorlds, not Assign: the replica chain's Assign is a
+		// consensus vote, which would bias the materialized samples.
+		e.sampler.StoreWorlds(e.store)
 	}
 	return e.store.Len()
 }
@@ -202,7 +217,7 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 				res.FellBack = true
 			} else {
 				// Lesion configuration without the variational side: rerun.
-				res.Marginals = RerunParallel(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.Parallelism)
+				res.Marginals = RerunWith(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
 				res.Strategy = StrategyRerun
 				res.FellBack = true
 			}
@@ -213,7 +228,7 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
 			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
 	default:
-		res.Marginals = RerunParallel(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.Parallelism)
+		res.Marginals = RerunWith(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -228,7 +243,13 @@ func Rerun(newG *factor.Graph, burnin, keep int, seed int64) []float64 {
 // RerunParallel is Rerun on a chain with the given worker count (<= 1
 // sequential, negative means one worker per core).
 func RerunParallel(newG *factor.Graph, burnin, keep int, seed int64, workers int) []float64 {
-	s := gibbs.NewChain(newG, seed, workers)
+	return RerunWith(newG, burnin, keep, seed, gibbs.Runtime{Workers: workers})
+}
+
+// RerunWith is Rerun on the chain the runtime config selects (sequential,
+// sharded, or replica).
+func RerunWith(newG *factor.Graph, burnin, keep int, seed int64, rt gibbs.Runtime) []float64 {
+	s := rt.NewChain(newG, seed)
 	s.RandomizeState()
 	return s.Marginals(burnin, keep)
 }

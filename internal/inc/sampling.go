@@ -41,7 +41,15 @@ func (r *SamplingResult) AcceptanceRate() float64 {
 // Gibbs conditionals given each adopted world; evidence variables are
 // forced to their (possibly updated) values. The store is consumed from
 // its cursor; exhaustion is reported so the optimizer can fall back.
+//
+// keep < 1 is clamped to 1, and the chain's seed world counts as an
+// observation whenever the store exhausts before any proposal is adopted
+// or rejected — a one-sample store still yields one observed world
+// instead of an all-zero marginal vector.
 func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, keep int, seed int64) *SamplingResult {
+	if keep < 1 {
+		keep = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	res := &SamplingResult{}
 	est := gibbs.NewEstimator(newG.NumVars())
@@ -108,6 +116,13 @@ func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, k
 		}
 		est.Observe(st.Assign)
 	}
+	if est.N() == 0 {
+		// The store exhausted right after seeding: the seed world was
+		// consumed but never observed, and Means() over zero observations
+		// would report every marginal as 0. The seeded chain state is a
+		// valid MH state — observe it once.
+		est.Observe(st.Assign)
+	}
 	res.WorldsObserved = est.N()
 	res.Marginals = est.Means()
 	return res
@@ -125,10 +140,14 @@ func completeNewVars(s *gibbs.Sampler, firstNew int) {
 
 // EstimateAcceptanceRate scores a prefix of the stored samples against
 // the updated distribution without consuming them — a cheap probe the
-// optimizer can use. probe must be ≥ 1.
+// optimizer can use. probe is clamped to ≥ 1 (a non-positive probe would
+// otherwise score nothing and return 0/0 = NaN).
 func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, probe int, seed int64) float64 {
 	if store.Len() == 0 {
 		return 0
+	}
+	if probe < 1 {
+		probe = 1
 	}
 	if probe > store.Len() {
 		probe = store.Len()

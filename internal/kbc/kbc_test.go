@@ -7,6 +7,7 @@ import (
 	"deepdive/internal/corpus"
 	"deepdive/internal/datalog"
 	"deepdive/internal/factor"
+	"deepdive/internal/inc"
 )
 
 // smallSystem is a fast test corpus: one relation, compact.
@@ -188,6 +189,48 @@ func TestIncrementalMatchesRerunQuality(t *testing.T) {
 	}
 	t.Logf("overlap: AB=%.2f BA=%.2f largeDiff=%.2f shared=%d",
 		ov.HighConfOverlapAB, ov.HighConfOverlapBA, ov.FracLargeDiff, ov.Shared)
+}
+
+// TestActiveVarsReadsCSRDirectly checks the interest-area derivation
+// after its migration off the nested Graph.Group synthesis: changed
+// groups contribute their head and every live body variable (evidence
+// excluded), evidence changes contribute themselves.
+func TestActiveVarsReadsCSRDirectly(t *testing.T) {
+	b := factor.NewBuilder()
+	ev := b.AddEvidenceVar(true)
+	v1, v2, v3 := b.AddVar(), b.AddVar(), b.AddVar()
+	w := b.AddWeight(0.4)
+	b.AddGroup(v1, w, factor.Linear, []factor.Grounding{
+		{Lits: []factor.Literal{{Var: v2}, {Var: ev}}},
+	})
+	b.AddGroup(v3, w, factor.Linear, []factor.Grounding{
+		{Lits: []factor.Literal{{Var: v1}}},
+	})
+	g := b.MustBuild()
+
+	got := activeVars(g, inc.ChangeSet{
+		ChangedOld:      []int32{0},
+		EvidenceChanged: []factor.VarID{v3},
+	})
+	want := map[factor.VarID]bool{v1: true, v2: true, v3: true} // ev excluded
+	if len(got) != len(want) {
+		t.Fatalf("activeVars = %v, want vars %v", got, want)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected active var %d in %v", v, got)
+		}
+	}
+
+	// Tombstoned groundings must not contribute: retract group 1's only
+	// grounding and re-derive.
+	p := factor.NewPatch(g)
+	p.RemoveGrounding(1) // group 1's grounding (global index 1)
+	patched := p.Apply()
+	got = activeVars(patched, inc.ChangeSet{ChangedOld: []int32{1}})
+	if len(got) != 1 || got[0] != v3 {
+		t.Fatalf("patched activeVars = %v, want head only [%d]", got, v3)
+	}
 }
 
 func TestEvaluateCounts(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"deepdive/internal/corpus"
 	"deepdive/internal/datalog"
 	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
 	"deepdive/internal/ground"
 	"deepdive/internal/inc"
 	"deepdive/internal/learn"
@@ -30,8 +31,17 @@ type Config struct {
 
 	// Parallelism shards Gibbs sweeps (learning chains, materialization,
 	// rerun inference) across this many workers: <= 1 sequential, n > 1
-	// uses n worker shards, negative means one worker per core.
+	// uses n worker shards, negative means one worker per core. Ignored
+	// when Replicas selects the replica engine.
 	Parallelism int
+
+	// Replicas selects the replica engine for every Gibbs chain the
+	// pipeline runs (per-worker assignment/weight copies with periodic
+	// averaging): n >= 1 replicas, negative one per core, 0 disables.
+	Replicas int
+	// SyncEvery is the replica merge interval in sweeps (learning:
+	// gradient steps); <= 0 selects gibbs.DefaultSyncEvery.
+	SyncEvery int
 
 	// InPlaceUpdates applies each iteration's (ΔV, ΔF) to the live factor
 	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
@@ -141,6 +151,8 @@ func (p *Pipeline) LearnFull() time.Duration {
 		Epochs:      p.Cfg.LearnEpochs,
 		StepSize:    p.Cfg.LearnStep,
 		Parallelism: p.Cfg.Parallelism,
+		Replicas:    p.Cfg.Replicas,
+		SyncEvery:   p.Cfg.SyncEvery,
 		Seed:        p.Cfg.Seed + 101,
 		Warmstart:   warm,
 		Frozen:      p.frozenMask(graph),
@@ -160,6 +172,8 @@ func (p *Pipeline) learnIncremental() time.Duration {
 		BatchSweeps: 5,
 		Burnin:      5,
 		Parallelism: p.Cfg.Parallelism,
+		Replicas:    p.Cfg.Replicas,
+		SyncEvery:   p.Cfg.SyncEvery,
 		Seed:        p.Cfg.Seed + 103,
 		Warmstart:   append([]float64(nil), graph.Weights()...),
 		Frozen:      p.frozenMask(graph),
@@ -177,6 +191,8 @@ func (p *Pipeline) Materialize() time.Duration {
 		KeepSamples:            p.Cfg.InferKeep,
 		Lambda:                 p.Cfg.Lambda,
 		Parallelism:            p.Cfg.Parallelism,
+		Replicas:               p.Cfg.Replicas,
+		SyncEvery:              p.Cfg.SyncEvery,
 		Seed:                   p.Cfg.Seed + 107,
 		DisableSampling:        p.Cfg.DisableSampling,
 		DisableVariational:     p.Cfg.DisableVariational,
@@ -197,7 +213,8 @@ func (p *Pipeline) Engine() *inc.Engine { return p.engine }
 // inference phase) and stores the marginals.
 func (p *Pipeline) InferFromScratch() time.Duration {
 	start := time.Now()
-	p.Marginals = inc.RerunParallel(p.G.Graph(), p.Cfg.InferBurnin, p.Cfg.InferKeep, p.Cfg.Seed+109, p.Cfg.Parallelism)
+	p.Marginals = inc.RerunWith(p.G.Graph(), p.Cfg.InferBurnin, p.Cfg.InferKeep, p.Cfg.Seed+109,
+		gibbs.Runtime{Workers: p.Cfg.Parallelism, Replicas: p.Cfg.Replicas, SyncEvery: p.Cfg.SyncEvery})
 	return time.Since(start)
 }
 
@@ -292,7 +309,10 @@ func (p *Pipeline) addWeightChanges(cs *inc.ChangeSet, newGraph *factor.Graph) {
 }
 
 // activeVars derives the Algorithm 2 interest area from the change set:
-// variables touched by changed groups or evidence changes.
+// variables touched by changed groups or evidence changes. Changed groups
+// are walked directly over the flat CSR pools (factor.Graph.GroupVars) —
+// the on-demand Graph.Group synthesis would allocate a full nested
+// grounding list per changed group.
 func activeVars(oldG *factor.Graph, cs inc.ChangeSet) []factor.VarID {
 	seen := map[factor.VarID]bool{}
 	add := func(v factor.VarID) {
@@ -301,13 +321,7 @@ func activeVars(oldG *factor.Graph, cs inc.ChangeSet) []factor.VarID {
 		}
 	}
 	for _, gi := range cs.ChangedOld {
-		gr := oldG.Group(int(gi))
-		add(gr.Head)
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				add(lit.Var)
-			}
-		}
+		oldG.GroupVars(gi, add)
 	}
 	for _, v := range cs.EvidenceChanged {
 		if int(v) < oldG.NumVars() {

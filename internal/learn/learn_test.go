@@ -144,6 +144,80 @@ func TestTrainerPanicsOnBadWarmstart(t *testing.T) {
 	NewTrainer(g, Options{Warmstart: []float64{1}})
 }
 
+func TestTrainReplicasLearnsSeparatingWeights(t *testing.T) {
+	g, queries := classifierGraph(40, 30)
+	res := Train(g, Options{Epochs: 40, StepSize: 0.3, Seed: 1, Replicas: 4, SyncEvery: 4})
+	if res.Weights[0] <= 0.5 {
+		t.Fatalf("replica weight for positive feature = %v, want > 0.5", res.Weights[0])
+	}
+	if res.Weights[1] >= -0.5 {
+		t.Fatalf("replica weight for negative feature = %v, want < -0.5", res.Weights[1])
+	}
+	// The averaged model must be written back into the graph.
+	if g.Weight(0) != res.Weights[0] || g.Weight(1) != res.Weights[1] {
+		t.Fatal("final canonical weights not pushed into the graph")
+	}
+	s := gibbs.New(g, 2)
+	m := s.Marginals(50, 1000)
+	for qi, v := range queries {
+		obj := 30 + qi
+		if obj%2 == 0 && m[v] < 0.7 {
+			t.Errorf("held-out positive object %d marginal %v, want > 0.7", obj, m[v])
+		}
+		if obj%2 == 1 && m[v] > 0.3 {
+			t.Errorf("held-out negative object %d marginal %v, want < 0.3", obj, m[v])
+		}
+	}
+}
+
+func TestTrainReplicasDeterministic(t *testing.T) {
+	run := func() []float64 {
+		g, _ := classifierGraph(30, 24)
+		return Train(g, Options{Epochs: 6, StepSize: 0.3, Seed: 9, Replicas: 3, SyncEvery: 2}).Weights
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("weight %d: run1 %v, run2 %v — replica training not deterministic", k, a[k], b[k])
+		}
+	}
+}
+
+func TestTrainReplicasGD(t *testing.T) {
+	g, _ := classifierGraph(40, 30)
+	res := Train(g, Options{Method: GD, Epochs: 60, StepSize: 0.5, BatchSweeps: 5, Seed: 6, Replicas: 2})
+	if res.Weights[0] <= 0.3 || res.Weights[1] >= -0.3 {
+		t.Fatalf("replica GD weights did not separate: %v", res.Weights[:2])
+	}
+}
+
+func TestTrainReplicasRespectsFrozen(t *testing.T) {
+	g, _ := classifierGraph(20, 16)
+	frozen := []bool{false, true} // weight 1 fixed
+	res := Train(g, Options{Epochs: 15, StepSize: 0.3, Seed: 3, Replicas: 3, Frozen: frozen})
+	if res.Weights[1] != 0 {
+		t.Fatalf("frozen weight moved to %v under replica averaging", res.Weights[1])
+	}
+	if res.Weights[0] <= 0.3 {
+		t.Fatalf("learnable weight did not move: %v", res.Weights[0])
+	}
+}
+
+func TestTrainerReplicasAccessorsAndLoss(t *testing.T) {
+	g, _ := classifierGraph(20, 16)
+	tr := NewTrainer(g, Options{Seed: 5, Replicas: 2})
+	if tr.Replicas() != 2 {
+		t.Fatalf("Replicas() = %d, want 2", tr.Replicas())
+	}
+	if l := tr.Loss(3); math.IsNaN(l) || l <= 0 {
+		t.Fatalf("replica trainer loss = %v", l)
+	}
+	seq := NewTrainer(g, Options{Seed: 5})
+	if seq.Replicas() != 0 {
+		t.Fatalf("sequential trainer Replicas() = %d, want 0", seq.Replicas())
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	if SGD.String() != "sgd" || GD.String() != "gd" {
 		t.Fatal("Method.String mismatch")
