@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-incupdate bench-replicas
+.PHONY: check fmt vet build test race race-serving fuzz-smoke bench bench-incupdate bench-replicas bench-serving
 
 # Everything CI runs.
-check: fmt vet build test race fuzz-smoke
+check: fmt vet build test race race-serving fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,6 +25,11 @@ test:
 race:
 	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/...
 
+# The serving API's concurrency proof: lock-free snapshot readers
+# against live Apply/queue writers, context cancellation, coalescing.
+race-serving:
+	$(GO) test -race -count=1 -run 'TestSnapshot|TestKBContext|TestCoalesce|TestQueue|TestApplyModifies|TestCancelled' .
+
 # Short native-fuzz pass over the datalog parser (no-panic + String
 # round-trip); extend -fuzztime for a real hunt.
 fuzz-smoke:
@@ -41,3 +46,8 @@ bench-incupdate:
 # BENCH_replicas.json). The smoke variant runs the 1-worker pair once.
 bench-replicas:
 	$(GO) test -bench='ReplicaVsShardedCorpus/mode=(sharded|replica)/workers=1$$' -benchtime=1x -run=xxx .
+
+# Snapshot-read throughput with and without a concurrent writer (results
+# recorded in BENCH_serving.json). Smoke: one short cell per column.
+bench-serving:
+	$(GO) test -bench='ServingThroughput/readers=1' -benchtime=0.1s -run=xxx .

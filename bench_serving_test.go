@@ -1,0 +1,123 @@
+package deepdive_test
+
+// BenchmarkServingThroughput measures snapshot-read throughput — one
+// "read" is a Snapshot load plus a point Marginal query — at 1/4/8
+// reader goroutines, with and without a concurrent writer streaming
+// document updates through Apply. The reads/sec metric (and its
+// stability when the writer column turns on) is the serving claim:
+// readers never block on inference. Results are recorded in
+// BENCH_serving.json; run with `make bench-serving` for the smoke
+// variant.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"deepdive"
+)
+
+func benchServingKB(b *testing.B) *deepdive.KB {
+	b.Helper()
+	kb, err := deepdive.OpenKB(spouseSource,
+		deepdive.WithUDF("phrase", phraseUDF),
+		deepdive.WithSeed(7),
+		deepdive.WithLearning(8, 0.3),
+		deepdive.WithInference(20, 150),
+		deepdive.WithMaterialization(100000, 0.01),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(e error) {
+		if e != nil {
+			b.Fatal(e)
+		}
+	}
+	check(kb.Load("Sentence", []deepdive.Tuple{
+		{"s1", "Alan and his wife Beth"},
+		{"s2", "Carl and his wife Dana"},
+		{"s3", "Eve met Frank"},
+	}))
+	check(kb.Load("PersonMention", []deepdive.Tuple{
+		{"a", "s1", "Alan"}, {"b", "s1", "Beth"},
+		{"c", "s2", "Carl"}, {"d", "s2", "Dana"},
+		{"e", "s3", "Eve"}, {"f", "s3", "Frank"},
+	}))
+	check(kb.Load("Married", []deepdive.Tuple{{"Alan", "Beth"}}))
+	ctx := context.Background()
+	check(kb.Init(ctx))
+	if _, err := kb.Learn(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := kb.Infer(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := kb.Materialize(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return kb
+}
+
+func BenchmarkServingThroughput(b *testing.B) {
+	for _, readers := range []int{1, 4, 8} {
+		for _, writer := range []bool{false, true} {
+			b.Run(fmt.Sprintf("readers=%d/writer=%v", readers, writer), func(b *testing.B) {
+				kb := benchServingKB(b)
+				cands := kb.Snapshot().Candidates("HasSpouse")
+				if len(cands) == 0 {
+					b.Fatal("no candidates to query")
+				}
+
+				stopW := make(chan struct{})
+				var writerWG sync.WaitGroup
+				if writer {
+					writerWG.Add(1)
+					go func() {
+						defer writerWG.Done()
+						ctx := context.Background()
+						for i := 0; ; i++ {
+							select {
+							case <-stopW:
+								return
+							default:
+							}
+							// Cycle insert/delete over a small doc set so the
+							// graph stays bounded while updates keep flowing.
+							u := docUpdate(i % 3)
+							if i%6 >= 3 {
+								u = deepdive.Update{Deletes: u.Inserts}
+							}
+							if _, err := kb.Apply(ctx, u); err != nil {
+								b.Errorf("writer: %v", err)
+								return
+							}
+						}
+					}()
+				}
+
+				per := b.N/readers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							snap := kb.Snapshot()
+							c := cands[(r+i)%len(cands)]
+							snap.Marginal("HasSpouse", c)
+						}
+					}(r)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(per*readers)/b.Elapsed().Seconds(), "reads/sec")
+				close(stopW)
+				writerWG.Wait()
+				kb.Close()
+			})
+		}
+	}
+}

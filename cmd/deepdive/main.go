@@ -10,10 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"deepdive"
 	"deepdive/internal/corpus"
 	"deepdive/internal/factor"
 	"deepdive/internal/kbc"
@@ -28,7 +33,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "Gibbs worker shards (<=1 sequential, -1 one per core)")
 	replicas := flag.Int("replicas", 0, "replica engine workers (0 off, -1 one per core); overrides -parallel")
 	syncEvery := flag.Int("syncevery", 0, "replica merge interval in sweeps/steps (0 = default)")
-	inplace := flag.Bool("inplace", false, "apply updates to the factor graph in place (O(Δ) patch) instead of rebuilding")
+	rebuild := flag.Bool("rebuild", false, "rebuild the factor graph on every update (lesion; default is the O(Δ) in-place patch)")
+	serve := flag.Duration("serve", 0, "after the iteration loop, run a snapshot-serving demo for this long (e.g. 2s): concurrent readers over deepdive.KB snapshots while the update queue coalesces rule iterations")
+	readers := flag.Int("readers", 4, "reader goroutines for the -serve demo")
 	flag.Parse()
 
 	sem, err := factor.ParseSemantics(*semName)
@@ -52,7 +59,7 @@ func main() {
 	cfg := kbc.Config{
 		Sem: sem, Seed: *seed, Threshold: *threshold,
 		Parallelism: *parallel, Replicas: *replicas, SyncEvery: *syncEvery,
-		InPlaceUpdates: *inplace,
+		RebuildUpdates: *rebuild,
 	}
 	fmt.Printf("== %s (%d docs, %d relations) ==\n",
 		sys.Spec.Name, len(sys.Docs), len(sys.Spec.Relations))
@@ -94,4 +101,118 @@ func main() {
 		}
 		fmt.Printf("  [%.1f,%.1f): %4d facts, %.2f true\n", b.Lo, b.Hi, b.Count, b.FracTrue)
 	}
+
+	if *serve > 0 {
+		if err := serveDemo(sys, sem, cfg, *serve, *readers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serveDemo exercises the snapshot-serving API end to end: a deepdive.KB
+// is built over the same generated system, `readers` goroutines query
+// snapshots continuously, and the coalescing update queue re-applies the
+// development iterations as streamed updates. Reader throughput and the
+// batch/coalescing statistics are printed at the end.
+func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, d time.Duration, readers int) error {
+	fmt.Printf("\n== serving demo: %d readers, %v, updates streaming through the queue ==\n", readers, d)
+	opts := []deepdive.Option{
+		deepdive.WithSeed(cfg.Seed),
+		deepdive.WithParallelism(cfg.Parallelism),
+		deepdive.WithReplicas(cfg.Replicas, cfg.SyncEvery),
+		deepdive.WithRebuildUpdates(cfg.RebuildUpdates),
+	}
+	for name, f := range kbc.UDFs() {
+		opts = append(opts, deepdive.WithUDF(name, f))
+	}
+	kb, err := deepdive.OpenKB(kbc.BaseProgram(sys, sem), opts...)
+	if err != nil {
+		return err
+	}
+	for rel, tuples := range kbc.BaseTuples(sys) {
+		if err := kb.Load(rel, tuples); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	if err := kb.Init(ctx); err != nil {
+		return err
+	}
+	if _, err := kb.Learn(ctx); err != nil {
+		return err
+	}
+	if _, err := kb.Infer(ctx); err != nil {
+		return err
+	}
+	if _, err := kb.Materialize(ctx); err != nil {
+		return err
+	}
+	rels := make([]string, 0, len(sys.Spec.Relations))
+	for _, r := range sys.Spec.Relations {
+		rels = append(rels, "Rel_"+r.Name)
+	}
+
+	var reads atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var n uint64
+			for {
+				select {
+				case <-stop:
+					reads.Add(n)
+					return
+				default:
+				}
+				snap := kb.Snapshot()
+				rel := rels[int(n)%len(rels)]
+				for _, c := range snap.Candidates(rel) {
+					snap.Marginal(rel, c)
+				}
+				snap.Extractions(rel, 0.9)
+				n++
+			}
+		}(r)
+	}
+
+	// Stream each development iteration through the coalescing queue
+	// once, spaced across the window; readers keep hammering snapshots
+	// until the deadline regardless of when the updates run dry.
+	q := kb.Updates()
+	start := time.Now()
+	deadline := time.After(d)
+	var tickets []*deepdive.Ticket
+stream:
+	for i := 0; ; i++ {
+		if i < len(kbc.IterationNames) {
+			if src := kbc.IterationRules(sys, kbc.IterationNames[i]); src != "" {
+				tickets = append(tickets, q.Submit(deepdive.Update{RuleSource: src}))
+			}
+		}
+		select {
+		case <-deadline:
+			break stream
+		case <-time.After(d / 20):
+		}
+	}
+	for _, t := range tickets {
+		if _, err := t.Wait(ctx); err != nil {
+			fmt.Printf("  update failed: %v\n", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	kb.Close()
+	elapsed := time.Since(start)
+	snap := kb.Snapshot()
+	fmt.Printf("served %d snapshot scans in %v (%.0f scans/sec) while applying %d updates in %d coalesced batches\n",
+		reads.Load(), elapsed.Round(time.Millisecond),
+		float64(reads.Load())/elapsed.Seconds(), q.Applied(), q.Batches())
+	fmt.Printf("final snapshot: epoch %d, ground version %d, graph epoch %d, %d vars\n",
+		snap.Epoch(), snap.GroundVersion(), snap.GraphEpoch(), snap.Stats().Variables)
+	return nil
 }

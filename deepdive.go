@@ -17,28 +17,41 @@
 // orders of magnitude faster than re-running from scratch, with nearly
 // identical output.
 //
+// The serving API separates the KB that answers queries from the pipeline
+// that refreshes it. Reads go through immutable Snapshots (lock-free,
+// safe under any concurrency); writes take a context.Context and publish
+// a fresh snapshot per state change; the update queue coalesces streams
+// of small deltas into batched applies.
+//
 // Quick start:
 //
-//	eng, _ := deepdive.Open(source, deepdive.WithUDF("phrase", phraseFn))
-//	eng.Load("Sentence", sentences)
-//	eng.Init()
-//	eng.Learn()
-//	eng.Materialize()
-//	res, _ := eng.Update(deepdive.Update{RuleSource: newRules})
-//	for _, f := range eng.Extractions("HasSpouse", 0.9) { ... }
+//	kb, _ := deepdive.OpenKB(source, deepdive.WithUDF("phrase", phraseFn))
+//	kb.Load("Sentence", sentences)
+//	ctx := context.Background()
+//	kb.Init(ctx)
+//	kb.Learn(ctx)
+//	kb.Materialize(ctx)
+//
+//	// Serve queries from any number of goroutines:
+//	snap := kb.Snapshot()
+//	for _, f := range snap.Extractions("HasSpouse", 0.9) { ... }
+//
+//	// Stream updates through the coalescing queue:
+//	t := kb.Updates().Submit(deepdive.Update{RuleSource: newRules})
+//	res, _ := t.Wait(ctx)
+//
+// The Engine type is the deprecated synchronous wrapper of the pre-KB
+// API; new code should use KB directly.
 package deepdive
 
 import (
-	"fmt"
+	"context"
 	"time"
 
-	"deepdive/internal/datalog"
 	"deepdive/internal/db"
 	"deepdive/internal/factor"
-	"deepdive/internal/gibbs"
 	"deepdive/internal/ground"
 	"deepdive/internal/inc"
-	"deepdive/internal/learn"
 )
 
 // Tuple is one relational row (all values are strings).
@@ -68,7 +81,7 @@ const (
 	StrategyRerun       = inc.StrategyRerun
 )
 
-// Options configure an Engine.
+// Options configure a KB (or the deprecated Engine wrapper).
 type Options struct {
 	UDFs map[string]UDF
 
@@ -85,10 +98,12 @@ type Options struct {
 	MatSamples int     // stored sample worlds (default 1200)
 	Lambda     float64 // variational regularization λ (default 0.01)
 
-	// Parallelism shards Gibbs sweeps (inference, learning chains, and
-	// materialization) across this many workers: <= 1 sequential, n > 1
-	// uses n worker shards, negative means one worker per core. Ignored
-	// when Replicas selects the replica engine.
+	// Parallelism shards Gibbs sweeps (inference, learning chains,
+	// materialization) across this many workers and, during incremental
+	// inference, shards each Metropolis-Hastings proposal's acceptance
+	// scoring over large changed-group sets: <= 1 sequential, n > 1 uses
+	// n workers, negative means one worker per core. Ignored for sweep
+	// sharding when Replicas selects the replica engine.
 	Parallelism int
 
 	// Replicas selects the DimmWitted-style replica engine for every Gibbs
@@ -103,11 +118,12 @@ type Options struct {
 	// gradient steps); <= 0 selects the default (8).
 	SyncEvery int
 
-	// InPlaceUpdates makes Update splice (ΔV, ΔF) into the live factor
-	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
-	// pools in O(V+F); fragmentation from accumulated tombstones triggers
-	// an occasional compacting rebuild. Off by default.
-	InPlaceUpdates bool
+	// RebuildUpdates selects the rebuild lesion configuration: every
+	// update marks the factor graph dirty for an O(V+F) rebuild of the
+	// flat pools. Off by default — updates splice (ΔV, ΔF) into the live
+	// graph through factor.Patch in O(|Δ|), with fragmentation from
+	// accumulated tombstones triggering an occasional compacting rebuild.
+	RebuildUpdates bool
 
 	Seed int64
 }
@@ -144,8 +160,9 @@ func WithMaterialization(samples int, lambda float64) Option {
 }
 
 // WithParallelism shards every Gibbs chain the engine runs (inference,
-// learning, materialization) across n workers. n <= 1 keeps the
-// sequential sampler; a negative n means one worker per core.
+// learning, materialization) and the incremental acceptance scoring
+// across n workers. n <= 1 keeps the sequential paths; a negative n
+// means one worker per core.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
 // WithReplicas runs every Gibbs chain on the replica engine: n workers
@@ -156,9 +173,15 @@ func WithReplicas(n, syncEvery int) Option {
 	return func(o *Options) { o.Replicas = n; o.SyncEvery = syncEvery }
 }
 
-// WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching on
-// Update (see Options.InPlaceUpdates).
-func WithInPlaceUpdates(on bool) Option { return func(o *Options) { o.InPlaceUpdates = on } }
+// WithRebuildUpdates toggles the rebuild lesion configuration (see
+// Options.RebuildUpdates). In-place O(Δ) patching is the default.
+func WithRebuildUpdates(on bool) Option { return func(o *Options) { o.RebuildUpdates = on } }
+
+// WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching.
+//
+// Deprecated: in-place patching is on by default; use
+// WithRebuildUpdates(true) to select the rebuild lesion configuration.
+func WithInPlaceUpdates(on bool) Option { return func(o *Options) { o.RebuildUpdates = !on } }
 
 func (o *Options) fill() {
 	if o.LearnEpochs <= 0 {
@@ -184,123 +207,6 @@ func (o *Options) fill() {
 	}
 }
 
-// Engine is one KBC system: program, database, factor graph, learned
-// weights, marginals, and (after Materialize) the incremental-inference
-// engine. Engines are not safe for concurrent use.
-type Engine struct {
-	opts     Options
-	grounder *ground.Grounder
-	engine   *inc.Engine
-	marg     []float64
-	inited   bool
-}
-
-// Open parses and validates a DeepDive program.
-func Open(source string, opts ...Option) (*Engine, error) {
-	var o Options
-	for _, f := range opts {
-		f(&o)
-	}
-	o.fill()
-	prog, err := datalog.Parse(source)
-	if err != nil {
-		return nil, err
-	}
-	udfs := ground.UDFRegistry{}
-	for name, f := range o.UDFs {
-		udfs[name] = f
-	}
-	g, err := ground.New(prog, udfs)
-	if err != nil {
-		return nil, err
-	}
-	g.SetInPlaceUpdates(o.InPlaceUpdates)
-	return &Engine{opts: o, grounder: g}, nil
-}
-
-// Load inserts base tuples into a base relation. Call before Init; use
-// Update for changes afterwards.
-func (e *Engine) Load(relation string, tuples []Tuple) error {
-	if e.inited {
-		return fmt.Errorf("deepdive: Load after Init; use Update for incremental data")
-	}
-	return e.grounder.LoadBase(relation, tuples)
-}
-
-// Init performs the initial grounding (candidate generation, feature
-// extraction, supervision, factor-graph construction).
-func (e *Engine) Init() error {
-	if err := e.grounder.Ground(); err != nil {
-		return err
-	}
-	e.inited = true
-	return nil
-}
-
-// frozen returns the non-learnable weight mask.
-func (e *Engine) frozen(g *factor.Graph) []bool {
-	mask := make([]bool, g.NumWeights())
-	for i := range mask {
-		mask[i] = true
-	}
-	for _, w := range e.grounder.LearnableWeights() {
-		mask[w] = false
-	}
-	return mask
-}
-
-// Learn fits rule weights from scratch (tied weights start at zero;
-// fixed weights stay fixed).
-func (e *Engine) Learn() time.Duration {
-	start := time.Now()
-	g := e.grounder.Graph()
-	warm := append([]float64(nil), g.Weights()...)
-	for _, w := range e.grounder.LearnableWeights() {
-		warm[w] = 0
-	}
-	learn.Train(g, learn.Options{
-		Epochs:      e.opts.LearnEpochs,
-		StepSize:    e.opts.LearnStep,
-		Parallelism: e.opts.Parallelism,
-		Replicas:    e.opts.Replicas,
-		SyncEvery:   e.opts.SyncEvery,
-		Seed:        e.opts.Seed + 1,
-		Warmstart:   warm,
-		Frozen:      e.frozen(g),
-	})
-	return time.Since(start)
-}
-
-// Infer runs Gibbs sampling from scratch on the current graph and stores
-// marginals for every candidate fact.
-func (e *Engine) Infer() time.Duration {
-	start := time.Now()
-	e.marg = inc.RerunWith(e.grounder.Graph(), e.opts.InferBurnin, e.opts.InferKeep, e.opts.Seed+2,
-		gibbs.Runtime{Workers: e.opts.Parallelism, Replicas: e.opts.Replicas, SyncEvery: e.opts.SyncEvery})
-	return time.Since(start)
-}
-
-// Materialize prepares the incremental-inference engine (sample bundles +
-// variational approximation) over the current distribution. Call after
-// Learn; afterwards Update serves changes incrementally.
-func (e *Engine) Materialize() (time.Duration, error) {
-	eng, err := inc.NewEngine(e.grounder.Graph(), inc.Options{
-		MaterializationSamples: e.opts.MatSamples,
-		Burnin:                 e.opts.InferBurnin,
-		KeepSamples:            e.opts.InferKeep,
-		Lambda:                 e.opts.Lambda,
-		Parallelism:            e.opts.Parallelism,
-		Replicas:               e.opts.Replicas,
-		SyncEvery:              e.opts.SyncEvery,
-		Seed:                   e.opts.Seed + 3,
-	})
-	if err != nil {
-		return 0, err
-	}
-	e.engine = eng
-	return eng.MaterializationTime(), nil
-}
-
 // Update is one increment of the development loop: new rules (as program
 // source), inserted tuples, and/or deleted tuples.
 type Update struct {
@@ -309,7 +215,8 @@ type Update struct {
 	Deletes    map[string][]Tuple
 }
 
-// UpdateResult reports how an update was processed.
+// UpdateResult reports how an update (or a coalesced batch of updates)
+// was processed.
 type UpdateResult struct {
 	GroundTime time.Duration
 	LearnTime  time.Duration
@@ -318,83 +225,121 @@ type UpdateResult struct {
 	Acceptance float64
 	NewVars    int
 	NewFactors int
+	// Coalesced is how many queued updates the batch merged (1 for a
+	// direct Apply; set by the update queue).
+	Coalesced int
+	// Epoch is the snapshot generation this update's results were
+	// published under.
+	Epoch uint64
+}
+
+// Extraction is one fact of the output knowledge base.
+type Extraction struct {
+	Tuple       Tuple
+	Probability float64
+	Evidence    bool
+}
+
+// GraphStats summarizes the grounded factor graph.
+type GraphStats struct {
+	Variables  int
+	Factors    int
+	Weights    int
+	Evidence   int
+	QueryFacts int
+}
+
+// Engine is the deprecated synchronous handle of one KBC system. It
+// wraps a KB with the pre-serving API: no contexts, no snapshots, not
+// safe for concurrent use (reads may interleave with writes only through
+// the underlying KB's snapshot isolation).
+//
+// Deprecated: use OpenKB and the KB type; its Snapshot views are safe
+// for concurrent serving, and its write operations accept contexts.
+type Engine struct {
+	kb *KB
+}
+
+// Open parses and validates a DeepDive program.
+//
+// Deprecated: use OpenKB.
+func Open(source string, opts ...Option) (*Engine, error) {
+	kb, err := OpenKB(source, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{kb: kb}, nil
+}
+
+// KB returns the serving handle the engine wraps, for migration.
+func (e *Engine) KB() *KB { return e.kb }
+
+// Load inserts base tuples into a base relation. Call before Init; use
+// Update for changes afterwards.
+func (e *Engine) Load(relation string, tuples []Tuple) error {
+	return e.kb.Load(relation, tuples)
+}
+
+// Init performs the initial grounding (candidate generation, feature
+// extraction, supervision, factor-graph construction).
+func (e *Engine) Init() error { return e.kb.Init(context.Background()) }
+
+// Learn fits rule weights from scratch (tied weights start at zero;
+// fixed weights stay fixed).
+func (e *Engine) Learn() time.Duration {
+	d, _ := e.kb.Learn(context.Background())
+	return d
+}
+
+// Infer runs Gibbs sampling from scratch on the current graph and stores
+// marginals for every candidate fact.
+func (e *Engine) Infer() time.Duration {
+	d, _ := e.kb.Infer(context.Background())
+	return d
+}
+
+// Materialize prepares the incremental-inference engine (sample bundles +
+// variational approximation) over the current distribution. Call after
+// Learn; afterwards Update serves changes incrementally.
+func (e *Engine) Materialize() (time.Duration, error) {
+	return e.kb.Materialize(context.Background())
 }
 
 // Update applies an increment: incremental grounding (DRed), warmstart
 // learning when the model changed, and incremental inference under the
 // optimizer's materialization strategy. Marginals are refreshed.
 func (e *Engine) Update(u Update) (*UpdateResult, error) {
-	if !e.inited {
-		return nil, fmt.Errorf("deepdive: Update before Init")
-	}
-	if e.engine == nil {
-		return nil, fmt.Errorf("deepdive: Update before Materialize")
-	}
-	var rules []*datalog.Rule
-	if u.RuleSource != "" {
-		prog := e.grounder.Program()
-		combined := prog.String() + "\n" + u.RuleSource
-		full, err := datalog.Parse(combined)
-		if err != nil {
-			return nil, err
-		}
-		rules = full.Rules[len(prog.Rules):]
-	}
-	res := &UpdateResult{}
-	oldGraph := e.grounder.Graph()
-
-	start := time.Now()
-	delta, err := e.grounder.ApplyUpdate(ground.Update{
-		NewRules: rules,
-		Inserts:  u.Inserts,
-		Deletes:  u.Deletes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.GroundTime = time.Since(start)
-	res.NewVars = len(delta.NewVars)
-	res.NewFactors = len(delta.AddedGroups)
-
-	newGraph := e.grounder.Graph()
-	if delta.StructureChanged() || delta.HasEvidenceChange() {
-		start = time.Now()
-		g := newGraph
-		learn.Train(g, learn.Options{
-			Epochs:      e.opts.IncLearnEpochs,
-			StepSize:    e.opts.LearnStep,
-			Parallelism: e.opts.Parallelism,
-			Replicas:    e.opts.Replicas,
-			SyncEvery:   e.opts.SyncEvery,
-			Seed:        e.opts.Seed + 5,
-			Warmstart:   append([]float64(nil), g.Weights()...),
-			Frozen:      e.frozen(g),
-		})
-		res.LearnTime = time.Since(start)
-	}
-
-	cs := inc.FromDelta(delta)
-	addWeightChanges(&cs, e.engine, newGraph)
-
-	start = time.Now()
-	var ir *inc.Result
-	if e.engine.ChooseStrategy(cs) == inc.StrategySampling && cs.StructureChanged() {
-		ir = e.engine.InferDecomposed(newGraph, cs, inc.ComponentGroups(newGraph))
-	} else {
-		ir = e.engine.Infer(newGraph, cs)
-	}
-	res.InferTime = time.Since(start)
-	res.Strategy = ir.Strategy
-	res.Acceptance = ir.AcceptanceRate
-	e.marg = ir.Marginals
-	_ = oldGraph
-	return res, nil
+	return e.kb.Apply(context.Background(), u)
 }
+
+// Marginal returns the latest marginal probability of a candidate fact,
+// or (0, false) when no such candidate exists. Evidence facts report
+// their supervised value (0 or 1).
+func (e *Engine) Marginal(relation string, t Tuple) (float64, bool) {
+	return e.kb.Marginal(relation, t)
+}
+
+// Extractions returns the facts of a variable relation whose probability
+// exceeds the threshold, including supervised-true evidence facts.
+func (e *Engine) Extractions(relation string, threshold float64) []Extraction {
+	return e.kb.Extractions(relation, threshold)
+}
+
+// Candidates returns every live candidate tuple of a variable relation.
+func (e *Engine) Candidates(relation string) []Tuple {
+	return e.kb.Candidates(relation)
+}
+
+// Stats reports the current grounding statistics.
+func (e *Engine) Stats() GraphStats { return e.kb.Stats() }
+
+// Relation exposes a read-only view of a database relation's tuples.
+func (e *Engine) Relation(name string) []Tuple { return e.kb.Relation(name) }
 
 // addWeightChanges marks groups whose weight values changed since
 // materialization (relearning shifts the distribution).
 func addWeightChanges(cs *inc.ChangeSet, eng *inc.Engine, newGraph *factor.Graph) {
-	oldG := engOld(eng)
+	oldG := eng.OldGraph()
 	const eps = 1e-9
 	seen := map[int32]bool{}
 	for _, gi := range cs.ChangedOld {
@@ -413,102 +358,3 @@ func addWeightChanges(cs *inc.ChangeSet, eng *inc.Engine, newGraph *factor.Graph
 		}
 	}
 }
-
-// Marginal returns the latest marginal probability of a candidate fact,
-// or (0, false) when no such candidate exists. Evidence facts report
-// their supervised value (0 or 1).
-func (e *Engine) Marginal(relation string, t Tuple) (float64, bool) {
-	v, ok := e.grounder.VarOf(relation, t)
-	if !ok || !e.grounder.IsLive(v) {
-		return 0, false
-	}
-	g := e.grounder.Graph()
-	if g.IsEvidence(v) {
-		if g.EvidenceValue(v) {
-			return 1, true
-		}
-		return 0, true
-	}
-	if e.marg == nil || int(v) >= len(e.marg) {
-		return 0, false
-	}
-	return e.marg[v], true
-}
-
-// Extraction is one fact of the output knowledge base.
-type Extraction struct {
-	Tuple       Tuple
-	Probability float64
-	Evidence    bool
-}
-
-// Extractions returns the facts of a variable relation whose probability
-// exceeds the threshold, including supervised-true evidence facts.
-func (e *Engine) Extractions(relation string, threshold float64) []Extraction {
-	g := e.grounder.Graph()
-	var out []Extraction
-	for _, v := range e.grounder.VarsOf(relation) {
-		_, t := e.grounder.VarTuple(v)
-		if g.IsEvidence(v) {
-			if g.EvidenceValue(v) {
-				out = append(out, Extraction{Tuple: t, Probability: 1, Evidence: true})
-			}
-			continue
-		}
-		if e.marg == nil || int(v) >= len(e.marg) {
-			continue
-		}
-		if p := e.marg[v]; p > threshold {
-			out = append(out, Extraction{Tuple: t, Probability: p})
-		}
-	}
-	return out
-}
-
-// Candidates returns every live candidate tuple of a variable relation.
-func (e *Engine) Candidates(relation string) []Tuple {
-	var out []Tuple
-	for _, v := range e.grounder.VarsOf(relation) {
-		_, t := e.grounder.VarTuple(v)
-		out = append(out, t)
-	}
-	return out
-}
-
-// GraphStats summarizes the grounded factor graph.
-type GraphStats struct {
-	Variables  int
-	Factors    int
-	Weights    int
-	Evidence   int
-	QueryFacts int
-}
-
-// Stats reports the current grounding statistics.
-func (e *Engine) Stats() GraphStats {
-	g := e.grounder.Graph()
-	st := GraphStats{
-		Variables: g.NumVars(),
-		Factors:   e.grounder.NumGroundings(),
-		Weights:   g.NumWeights(),
-	}
-	for v := 0; v < g.NumVars(); v++ {
-		if g.IsEvidence(factor.VarID(v)) {
-			st.Evidence++
-		}
-	}
-	st.QueryFacts = st.Variables - st.Evidence
-	return st
-}
-
-// Relation exposes a read-only view of a database relation's tuples.
-func (e *Engine) Relation(name string) []Tuple {
-	r := e.grounder.DB().Relation(name)
-	if r == nil {
-		return nil
-	}
-	return r.Tuples()
-}
-
-// engOld accesses the engine's materialized graph via the exported API.
-func engOld(eng *inc.Engine) *factor.Graph { return eng.OldGraph() }

@@ -1,9 +1,12 @@
 // Quickstart: the paper's running example (Figure 2) on a tiny news
 // corpus — extract HasSpouse relation mentions with a phrase feature and
-// distant supervision, then pose an incremental update.
+// distant supervision, then drive the development loop through the
+// serving API: lock-free snapshot reads, context-aware operations, and
+// the coalescing update queue.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -51,7 +54,7 @@ func phrase(args []string) string {
 }
 
 func main() {
-	eng, err := deepdive.Open(program,
+	kb, err := deepdive.OpenKB(program,
 		deepdive.WithUDF("phrase", phrase),
 		deepdive.WithSeed(42),
 		deepdive.WithLearning(20, 0.3),
@@ -61,60 +64,88 @@ func main() {
 		log.Fatal(err)
 	}
 
-	check(eng.Load("Sentence", []deepdive.Tuple{
+	check(kb.Load("Sentence", []deepdive.Tuple{
 		{"s1", "Barack and his wife Michelle"},
 		{"s2", "Kermit and his wife Piggy"},
 		{"s3", "Bert met Ernie"},
 		{"s4", "Thelma and her colleague Louise"},
 	}))
-	check(eng.Load("PersonMention", []deepdive.Tuple{
+	check(kb.Load("PersonMention", []deepdive.Tuple{
 		{"m1", "s1", "Barack"}, {"m2", "s1", "Michelle"},
 		{"m3", "s2", "Kermit"}, {"m4", "s2", "Piggy"},
 		{"m5", "s3", "Bert"}, {"m6", "s3", "Ernie"},
 		{"m7", "s4", "Thelma"}, {"m8", "s4", "Louise"},
 	}))
-	check(eng.Load("Married", []deepdive.Tuple{{"Barack", "Michelle"}}))
+	check(kb.Load("Married", []deepdive.Tuple{{"Barack", "Michelle"}}))
 
-	check(eng.Init())
-	st := eng.Stats()
+	// Every long-running operation takes a context: wire in deadlines or
+	// cancellation and the sweep loops stop cooperatively.
+	ctx := context.Background()
+	check(kb.Init(ctx))
+	st := kb.Stats()
 	fmt.Printf("grounded: %d variables, %d factors, %d tied weights (%d evidence)\n",
 		st.Variables, st.Factors, st.Weights, st.Evidence)
 
-	eng.Learn()
-	eng.Infer()
-
-	fmt.Println("\nmarginal probabilities (initial inference):")
-	printMarginals(eng)
-
-	// The development loop: a new document arrives. Incremental grounding
-	// folds it in; incremental inference reuses the materialized samples.
-	if _, err := eng.Materialize(); err != nil {
+	if _, err := kb.Learn(ctx); err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Update(deepdive.Update{
+	if _, err := kb.Infer(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads go through immutable snapshots: grab one and every query on
+	// it sees the same KB state, no matter what the writers do meanwhile.
+	fmt.Println("\nmarginal probabilities (initial inference):")
+	printMarginals(kb.Snapshot())
+
+	// The development loop: materialize once, then stream updates through
+	// the coalescing queue. Two new documents submitted back to back are
+	// batched into a single grounding + inference pass, and one snapshot
+	// is published for the batch.
+	if _, err := kb.Materialize(ctx); err != nil {
+		log.Fatal(err)
+	}
+	q := kb.Updates()
+	q.Pause() // accumulate the burst deliberately; Resume applies it as one batch
+	t1 := q.Submit(deepdive.Update{
 		Inserts: map[string][]deepdive.Tuple{
 			"Sentence":      {{"s5", "Gomez and his wife Morticia"}},
 			"PersonMention": {{"m9", "s5", "Gomez"}, {"m10", "s5", "Morticia"}},
 		},
 	})
+	t2 := q.Submit(deepdive.Update{
+		Inserts: map[string][]deepdive.Tuple{
+			"Sentence":      {{"s6", "Westley met his wife Buttercup"}},
+			"PersonMention": {{"m11", "s6", "Westley"}, {"m12", "s6", "Buttercup"}},
+		},
+	})
+	q.Resume()
+	res, err := t1.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nincremental update: +%d vars, +%d factor groups, strategy=%v, ground=%v infer=%v\n",
-		res.NewVars, res.NewFactors, res.Strategy,
+	if _, err := t2.Wait(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nqueued updates: %d coalesced into one batch: +%d vars, +%d factor groups, strategy=%v, ground=%v infer=%v\n",
+		res.Coalesced, res.NewVars, res.NewFactors, res.Strategy,
 		res.GroundTime.Round(1e3), res.InferTime.Round(1e3))
-	fmt.Println("\nmarginal probabilities (after update):")
-	printMarginals(eng)
+
+	snap := kb.Snapshot()
+	fmt.Printf("\nmarginal probabilities (snapshot epoch %d, ground version %d):\n",
+		snap.Epoch(), snap.GroundVersion())
+	printMarginals(snap)
+	kb.Close()
 }
 
-func printMarginals(eng *deepdive.Engine) {
-	cands := eng.Candidates("HasSpouse")
+func printMarginals(snap *deepdive.Snapshot) {
+	cands := snap.Candidates("HasSpouse")
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
 	for _, t := range cands {
 		if t[0] > t[1] {
 			continue // show each unordered pair once
 		}
-		p, _ := eng.Marginal("HasSpouse", t)
+		p, _ := snap.Marginal("HasSpouse", t)
 		fmt.Printf("  HasSpouse(%s, %s) = %.3f\n", t[0], t[1], p)
 	}
 }

@@ -1,0 +1,63 @@
+package factor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Epoch returns the patch generation of this graph view: 0 for freshly
+// built graphs, incremented by each Patch along a lineage. Together with
+// a grounding-layer version it pins a serving snapshot to one consistent
+// view of the shared pool backing arrays.
+func (g *Graph) Epoch() int32 { return g.epoch }
+
+// MinGroupsPerEnergyWorker is the smallest per-worker chunk of the group
+// list worth fanning out in EnergyOfGroupsParallel: below it the
+// goroutine handoff costs more than the evaluation it parallelizes.
+const MinGroupsPerEnergyWorker = 64
+
+// EnergyOfGroupsParallel is EnergyOfGroups with the group list split
+// across up to `workers` goroutines (negative workers means one per
+// core). Each worker evaluates a contiguous chunk; the partial sums are
+// reduced in chunk order, so the result is deterministic for a fixed
+// (len(groups), worker count) — though, floating-point addition being
+// non-associative, it may differ from the sequential sum in the last
+// bits. Small group lists fall back to the sequential evaluation.
+//
+// This is the sharded acceptance-scoring path of incremental inference:
+// the Metropolis-Hastings chain itself is sequential, but each proposal's
+// score touches every changed group, which for large updates dominates
+// the per-proposal cost.
+func (g *Graph) EnergyOfGroupsParallel(assign []bool, groups []int32, workers int) float64 {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nw := len(groups) / MinGroupsPerEnergyWorker
+	if nw > workers {
+		nw = workers
+	}
+	if nw <= 1 {
+		return g.EnergyOfGroups(assign, groups)
+	}
+	chunk := (len(groups) + nw - 1) / nw
+	partial := make([]float64, nw)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(groups) {
+				hi = len(groups)
+			}
+			partial[w] = g.EnergyOfGroups(assign, groups[lo:hi])
+		}(w)
+	}
+	wg.Wait()
+	var e float64
+	for _, p := range partial {
+		e += p
+	}
+	return e
+}

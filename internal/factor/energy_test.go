@@ -1,0 +1,52 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEnergyOfGroupsParallelMatches requires the sharded evaluator to
+// agree with the sequential one (up to float reassociation) across
+// random graphs, group subsets, and worker counts — including lists
+// below the fan-out threshold (sequential fallback) and far above it.
+func TestEnergyOfGroupsParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		nGroups := 50 + rng.Intn(400)
+		g := randomFlatGraph(rng, 40+rng.Intn(60), nGroups)
+		assign := randomAssign(rng, g)
+		var groups []int32
+		for gi := 0; gi < g.NumGroups(); gi++ {
+			if rng.Intn(4) != 0 {
+				groups = append(groups, int32(gi))
+			}
+		}
+		want := g.EnergyOfGroups(assign, groups)
+		for _, workers := range []int{1, 2, 4, 7, -1} {
+			got := g.EnergyOfGroupsParallel(assign, groups, workers)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d workers %d: parallel energy %v, sequential %v", trial, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestEnergyOfGroupsParallelDeterministic pins the chunked reduction:
+// identical inputs and worker count must reproduce the identical float,
+// or the MH accept decisions built on it would become run-dependent.
+func TestEnergyOfGroupsParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomFlatGraph(rng, 80, 400)
+	assign := randomAssign(rng, g)
+	groups := make([]int32, g.NumGroups())
+	for gi := range groups {
+		groups[gi] = int32(gi)
+	}
+	first := g.EnergyOfGroupsParallel(assign, groups, 4)
+	for i := 0; i < 10; i++ {
+		if got := g.EnergyOfGroupsParallel(assign, groups, 4); got != first {
+			t.Fatalf("run %d: energy %v != first run %v", i, got, first)
+		}
+	}
+}

@@ -1,16 +1,38 @@
 package gibbs
 
-import "deepdive/internal/factor"
+import (
+	"context"
+
+	"deepdive/internal/factor"
+)
 
 // Chain is a Gibbs chain over a factor graph — either the sequential
 // Sampler or the sharded ParallelSampler. Weight learning and incremental
 // materialization are written against this interface so parallelism is a
 // configuration knob, not a code path.
+//
+// The Ctx variants are the cancellation surface of the serving API: they
+// check ctx between sweeps (the cooperative-cancellation granularity —
+// a sweep is never interrupted mid-scan, so the chain's state stays a
+// coherent world) and return whatever was accumulated so far. Callers
+// that must distinguish a complete result from a cancelled one check
+// ctx.Err() afterwards. A nil ctx means "never cancel".
 type Chain interface {
 	// Sweep performs one full scan over all free variables.
 	Sweep()
 	// Run performs n sweeps.
 	Run(n int)
+	// RunCtx performs up to n sweeps, checking ctx between sweeps, and
+	// returns how many completed.
+	RunCtx(ctx context.Context, n int) int
+	// MarginalsCtx is Marginals with a cooperative cancellation check
+	// between sweeps; on cancellation it returns the estimate over the
+	// worlds observed so far (all-zero when cancelled before any).
+	MarginalsCtx(ctx context.Context, burnin, keep int) []float64
+	// CollectSamplesCtx is CollectSamples with a cooperative cancellation
+	// check between sweeps; on cancellation the returned store holds the
+	// worlds collected so far.
+	CollectSamplesCtx(ctx context.Context, burnin, n int) *Store
 	// RandomizeState assigns every free variable uniformly at random.
 	RandomizeState()
 	// Assign returns the chain's current world (read between sweeps only;
@@ -42,6 +64,12 @@ var (
 	_ Chain = (*ParallelSampler)(nil)
 	_ Chain = (*ReplicaSampler)(nil)
 )
+
+// canceled reports whether ctx is non-nil and already cancelled — the
+// single cooperative check every sweep loop consults.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // NewChain returns a chain over g: the sequential Sampler when workers <= 1,
 // otherwise a ParallelSampler with that many worker shards. Negative

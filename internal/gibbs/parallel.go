@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -174,10 +175,19 @@ func (p *ParallelSampler) Sweep() {
 }
 
 // Run performs n sweeps.
-func (p *ParallelSampler) Run(n int) {
+func (p *ParallelSampler) Run(n int) { p.RunCtx(nil, n) }
+
+// RunCtx performs up to n sweeps, checking ctx between sweeps, and
+// returns how many completed. A sweep's worker fan-out always finishes
+// before the check, so cancellation never observes a half-swept world.
+func (p *ParallelSampler) RunCtx(ctx context.Context, n int) int {
 	for i := 0; i < n; i++ {
+		if canceled(ctx) {
+			return i
+		}
 		p.Sweep()
 	}
+	return n
 }
 
 // Marginals runs burnin sweeps, then keep sweeps with per-worker marginal
@@ -185,18 +195,30 @@ func (p *ParallelSampler) Run(n int) {
 // accumulator contention), and returns the merged empirical P(v = true)
 // for every variable. Evidence variables report their fixed value.
 func (p *ParallelSampler) Marginals(burnin, keep int) []float64 {
-	p.Run(burnin)
+	return p.MarginalsCtx(nil, burnin, keep)
+}
+
+// MarginalsCtx is Marginals with a cooperative cancellation check
+// between sweeps; the estimate covers the sweeps completed before
+// cancellation.
+func (p *ParallelSampler) MarginalsCtx(ctx context.Context, burnin, keep int) []float64 {
+	p.RunCtx(ctx, burnin)
 	n := p.g.NumVars()
 	p.counts = make([]float64, n)
 	p.collecting = true
+	kept := 0
 	for i := 0; i < keep; i++ {
+		if canceled(ctx) {
+			break
+		}
 		p.Sweep()
+		kept++
 	}
 	p.collecting = false
 	out := make([]float64, n)
 	inv := 0.0
-	if keep > 0 {
-		inv = 1 / float64(keep)
+	if kept > 0 {
+		inv = 1 / float64(kept)
 	}
 	for v := 0; v < n; v++ {
 		if p.g.IsEvidence(factor.VarID(v)) {
@@ -220,9 +242,18 @@ func (p *ParallelSampler) StoreWorlds(st *Store) { st.Add(p.cur) }
 // sweep) into a new Store — the materialization loop of the sampling
 // approach (Section 3.2.2), now fed by the parallel chain.
 func (p *ParallelSampler) CollectSamples(burnin, n int) *Store {
+	return p.CollectSamplesCtx(nil, burnin, n)
+}
+
+// CollectSamplesCtx is CollectSamples with a cooperative cancellation
+// check between sweeps.
+func (p *ParallelSampler) CollectSamplesCtx(ctx context.Context, burnin, n int) *Store {
 	st := NewStore(p.g.NumVars())
-	p.Run(burnin)
+	p.RunCtx(ctx, burnin)
 	for i := 0; i < n; i++ {
+		if canceled(ctx) {
+			break
+		}
 		p.Sweep()
 		st.Add(p.cur)
 	}

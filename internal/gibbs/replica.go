@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -239,10 +240,20 @@ func (r *ReplicaSampler) Sweep() {
 }
 
 // Run performs n sweeps.
-func (r *ReplicaSampler) Run(n int) {
+func (r *ReplicaSampler) Run(n int) { r.RunCtx(nil, n) }
+
+// RunCtx performs up to n sweeps, checking ctx between sweeps, and
+// returns how many completed. The replica fan-out (and any merge the
+// sweep triggers) always finishes before the check, so cancellation
+// never observes a half-merged world.
+func (r *ReplicaSampler) RunCtx(ctx context.Context, n int) int {
 	for i := 0; i < n; i++ {
+		if canceled(ctx) {
+			return i
+		}
 		r.Sweep()
 	}
+	return n
 }
 
 // Marginals runs burnin sweeps, then keep sweeps with per-replica count
@@ -250,21 +261,33 @@ func (r *ReplicaSampler) Run(n int) {
 // empirical P(v = true): keep×Replicas observations per variable.
 // Evidence variables report their fixed value.
 func (r *ReplicaSampler) Marginals(burnin, keep int) []float64 {
-	r.Run(burnin)
+	return r.MarginalsCtx(nil, burnin, keep)
+}
+
+// MarginalsCtx is Marginals with a cooperative cancellation check
+// between sweeps; the estimate pools the sweeps completed before
+// cancellation.
+func (r *ReplicaSampler) MarginalsCtx(ctx context.Context, burnin, keep int) []float64 {
+	r.RunCtx(ctx, burnin)
 	n := r.g.NumVars()
 	r.counts = make([][]float64, r.replicas)
 	for w := range r.counts {
 		r.counts[w] = make([]float64, n)
 	}
 	r.collecting = true
+	kept := 0
 	for i := 0; i < keep; i++ {
+		if canceled(ctx) {
+			break
+		}
 		r.Sweep()
+		kept++
 	}
 	r.collecting = false
 	out := make([]float64, n)
 	inv := 0.0
-	if keep > 0 {
-		inv = 1 / float64(keep*r.replicas)
+	if kept > 0 {
+		inv = 1 / float64(kept*r.replicas)
 	}
 	for v := 0; v < n; v++ {
 		if r.g.IsEvidence(factor.VarID(v)) {
@@ -296,9 +319,18 @@ func (r *ReplicaSampler) StoreWorlds(st *Store) {
 // the replicas round-robin — the materialization loop of the sampling
 // approach (Section 3.2.2) at one sweep per Replicas stored worlds.
 func (r *ReplicaSampler) CollectSamples(burnin, n int) *Store {
+	return r.CollectSamplesCtx(nil, burnin, n)
+}
+
+// CollectSamplesCtx is CollectSamples with a cooperative cancellation
+// check between sweeps.
+func (r *ReplicaSampler) CollectSamplesCtx(ctx context.Context, burnin, n int) *Store {
 	st := NewStore(r.g.NumVars())
-	r.Run(burnin)
+	r.RunCtx(ctx, burnin)
 	for st.Len() < n {
+		if canceled(ctx) {
+			break
+		}
 		r.Sweep()
 		for w := 0; w < r.replicas && st.Len() < n; w++ {
 			st.Add(r.worlds[w])

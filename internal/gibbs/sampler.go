@@ -9,6 +9,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -84,19 +85,36 @@ func (s *Sampler) Sweep() {
 }
 
 // Run performs n sweeps.
-func (s *Sampler) Run(n int) {
+func (s *Sampler) Run(n int) { s.RunCtx(nil, n) }
+
+// RunCtx performs up to n sweeps, checking ctx between sweeps, and
+// returns how many completed.
+func (s *Sampler) RunCtx(ctx context.Context, n int) int {
 	for i := 0; i < n; i++ {
+		if canceled(ctx) {
+			return i
+		}
 		s.Sweep()
 	}
+	return n
 }
 
 // Marginals runs burnin sweeps, then keep sweeps, and returns the
 // empirical P(v = true) for every variable. Evidence variables report
 // their fixed value (0 or 1). keep must be ≥ 1.
 func (s *Sampler) Marginals(burnin, keep int) []float64 {
+	return s.MarginalsCtx(nil, burnin, keep)
+}
+
+// MarginalsCtx is Marginals with a cooperative cancellation check
+// between sweeps.
+func (s *Sampler) MarginalsCtx(ctx context.Context, burnin, keep int) []float64 {
 	est := NewEstimator(s.State.G.NumVars())
-	s.Run(burnin)
+	s.RunCtx(ctx, burnin)
 	for i := 0; i < keep; i++ {
+		if canceled(ctx) {
+			break
+		}
 		s.Sweep()
 		est.Observe(s.State.Assign)
 	}
@@ -110,9 +128,18 @@ func (s *Sampler) StoreWorlds(st *Store) { st.Add(s.State.Assign) }
 // sweep) into a new Store. This is the materialization loop of the
 // sampling approach (Section 3.2.2).
 func (s *Sampler) CollectSamples(burnin, n int) *Store {
+	return s.CollectSamplesCtx(nil, burnin, n)
+}
+
+// CollectSamplesCtx is CollectSamples with a cooperative cancellation
+// check between sweeps.
+func (s *Sampler) CollectSamplesCtx(ctx context.Context, burnin, n int) *Store {
 	st := NewStore(s.State.G.NumVars())
-	s.Run(burnin)
+	s.RunCtx(ctx, burnin)
 	for i := 0; i < n; i++ {
+		if canceled(ctx) {
+			break
+		}
 		s.Sweep()
 		st.Add(s.State.Assign)
 	}

@@ -380,6 +380,7 @@ func (g *Grounder) Ground() error {
 			return err
 		}
 	}
+	g.version++
 	return nil
 }
 

@@ -124,10 +124,17 @@ type Grounder struct {
 	graphDirty bool
 	lastGraph  *factor.Graph
 
-	// In-place update state: when enabled, ApplyUpdate splices the delta
-	// into the current graph through a factor.Patch in O(|Δ|) instead of
-	// leaving it dirty for an O(V+F) rebuild, falling back to a compacting
-	// rebuild when fragmentation crosses compactThresh.
+	// version counts grounding generations: 0 before the initial Ground,
+	// then +1 per Ground/ApplyUpdate. Serving snapshots pin themselves to
+	// (version, graph epoch) so a reader can tell which update generation
+	// it observes.
+	version uint64
+
+	// In-place update state: when enabled (the default), ApplyUpdate
+	// splices the delta into the current graph through a factor.Patch in
+	// O(|Δ|) instead of leaving it dirty for an O(V+F) rebuild, falling
+	// back to a compacting rebuild when fragmentation crosses
+	// compactThresh.
 	inPlace       bool
 	compactThresh float64
 }
@@ -138,9 +145,16 @@ type Grounder struct {
 const DefaultCompactionThreshold = 0.25
 
 // SetInPlaceUpdates toggles O(Δ)-cost in-place graph patching on
-// ApplyUpdate. Off (the default), every update marks the graph dirty and
-// the next Graph call rebuilds the flat pools from scratch.
+// ApplyUpdate. On by default (the patch path has soaked through the
+// differential harnesses); pass false to select the rebuild lesion
+// configuration, where every update marks the graph dirty and the next
+// Graph call rebuilds the flat pools from scratch.
 func (g *Grounder) SetInPlaceUpdates(on bool) { g.inPlace = on }
+
+// Version returns the grounding generation: 0 before the initial Ground,
+// incremented by Ground and by every ApplyUpdate. Together with the
+// graph's patch epoch it pins a serving snapshot to one consistent view.
+func (g *Grounder) Version() uint64 { return g.version }
 
 // InPlaceUpdates reports whether in-place patching is enabled.
 func (g *Grounder) InPlaceUpdates() bool { return g.inPlace }
@@ -169,6 +183,7 @@ func New(prog *datalog.Program, udfs UDFRegistry) (*Grounder, error) {
 		weightIdx:   make(map[string]factor.WeightID),
 		groupIdx:    make(map[string]int),
 		graphDirty:  true,
+		inPlace:     true,
 	}
 	for _, name := range prog.DeclOrder {
 		d := prog.Decls[name]

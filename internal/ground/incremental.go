@@ -176,6 +176,7 @@ func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
 	if canPatch {
 		g.patchGraph(tr)
 	}
+	g.version++
 	return d, nil
 }
 

@@ -3,11 +3,12 @@ package ground
 // Ground-level differential test for in-place updates: random
 // ground.Update sequences — new documents, retracted and re-asserted
 // mentions, knowledge-base (supervision) changes, and new rules — are
-// applied to two grounders over the same program, one with
-// SetInPlaceUpdates(true) (factor.Patch splicing) and one on the default
-// full-rebuild path, and after every step the two graphs must be
-// semantically identical. Failures name the subtest seed; re-run with
-// -run 'TestApplyUpdateInPlaceMatchesRebuild/seed=N' to reproduce.
+// applied to two grounders over the same program, one on the default
+// in-place path (factor.Patch splicing) and one forced onto the
+// full-rebuild lesion path with SetInPlaceUpdates(false), and after every
+// step the two graphs must be semantically identical. Failures name the
+// subtest seed; re-run with -run
+// 'TestApplyUpdateInPlaceMatchesRebuild/seed=N' to reproduce.
 
 import (
 	"fmt"
@@ -63,6 +64,7 @@ func runInPlaceDifferential(t *testing.T, seed int64, compactThresh float64) {
 	patched := &patchedPair{g: newSpouseGrounder(t, spouseBase()), src: spouseSrc}
 	rebuild := &patchedPair{g: newSpouseGrounder(t, spouseBase()), src: spouseSrc}
 	patched.g.SetInPlaceUpdates(true)
+	rebuild.g.SetInPlaceUpdates(false) // the rebuild lesion is the oracle
 	if compactThresh > 0 {
 		patched.g.SetCompactionThreshold(compactThresh)
 	}

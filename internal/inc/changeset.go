@@ -52,6 +52,54 @@ func FromDelta(d *ground.Delta) ChangeSet {
 	}
 }
 
+// Merge returns the union of two change sets with duplicate group and
+// variable entries removed (duplicates would double-count energy in
+// EnergyOfGroups). Callers use it to accumulate the deltas of several
+// grounding passes — e.g. an apply retrying after a cancelled
+// predecessor whose grounding already committed — into one set to score.
+func (c ChangeSet) Merge(o ChangeSet) ChangeSet {
+	return ChangeSet{
+		ChangedOld:      mergeInt32(c.ChangedOld, o.ChangedOld),
+		ChangedNew:      mergeInt32(c.ChangedNew, o.ChangedNew),
+		EvidenceChanged: mergeVarIDs(c.EvidenceChanged, o.EvidenceChanged),
+		NewFeatures:     c.NewFeatures || o.NewFeatures,
+	}
+}
+
+func mergeInt32(a, b []int32) []int32 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool, len(a)+len(b))
+	out := make([]int32, 0, len(a)+len(b))
+	for _, xs := range [][]int32{a, b} {
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+func mergeVarIDs(a, b []factor.VarID) []factor.VarID {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := make(map[factor.VarID]bool, len(a)+len(b))
+	out := make([]factor.VarID, 0, len(a)+len(b))
+	for _, xs := range [][]factor.VarID{a, b} {
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
 // Empty reports whether the distribution is unchanged (the paper's A1
 // analysis workload: pure re-querying).
 func (c *ChangeSet) Empty() bool {

@@ -58,34 +58,34 @@ func Decompose(g *factor.Graph, active []factor.VarID) []DecompGroup {
 	}
 
 	// Group cliques connect inactive vars; collect active boundaries.
+	// Groups are walked CSR-direct (factor.Graph.GroupVars) with reused
+	// buffers and a generation-stamped dedup array instead of synthesizing
+	// the nested grounding view (and a fresh map) per group.
 	type edge struct{ comp, act int }
 	var boundaryEdges []edge
+	var inactive, actives []factor.VarID
+	seenAt := make([]int32, n)
+	for i := range seenAt {
+		seenAt[i] = -1
+	}
 	for gi := 0; gi < g.NumGroups(); gi++ {
-		gr := g.Group(gi)
-		var vars []factor.VarID
-		vars = append(vars, gr.Head)
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				vars = append(vars, lit.Var)
+		inactive = inactive[:0]
+		actives = actives[:0]
+		stamp := int32(gi)
+		g.GroupVars(int32(gi), func(v factor.VarID) {
+			if seenAt[v] == stamp {
+				return
 			}
-		}
-		var inactive []factor.VarID
-		var actives []factor.VarID
-		seen := map[factor.VarID]bool{}
-		for _, v := range vars {
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
+			seenAt[v] = stamp
 			if g.IsEvidence(v) {
-				continue
+				return
 			}
 			if isActive[v] {
 				actives = append(actives, v)
 			} else {
 				inactive = append(inactive, v)
 			}
-		}
+		})
 		for i := 1; i < len(inactive); i++ {
 			union(int(inactive[0]), int(inactive[i]))
 		}

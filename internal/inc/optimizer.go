@@ -1,6 +1,7 @@
 package inc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,13 @@ import (
 	"deepdive/internal/factor"
 	"deepdive/internal/gibbs"
 )
+
+// canceled reports whether ctx is non-nil and already cancelled — the
+// cooperative check the incremental-inference loops consult between
+// proposals/sweeps.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // Strategy identifies a materialization/inference strategy.
 type Strategy uint8
@@ -127,12 +135,24 @@ type Engine struct {
 // chain (the dominant cost at scale) runs on the sharded or replica
 // sampler when Options.Parallelism / Options.Replicas ask for it.
 func NewEngine(g *factor.Graph, opts Options) (*Engine, error) {
+	return NewEngineCtx(nil, g, opts)
+}
+
+// NewEngineCtx is NewEngine with a cooperative cancellation check
+// threaded into the materialization sweep loop. A cancelled
+// materialization returns ctx's error and no engine — materialization is
+// all-or-nothing, so a serving layer never installs a partially
+// materialized Pr(0).
+func NewEngineCtx(ctx context.Context, g *factor.Graph, opts Options) (*Engine, error) {
 	o := opts.fill()
 	e := &Engine{opts: o, old: g}
 	start := time.Now()
 	e.sampler = o.runtime().NewChain(g, o.Seed)
 	e.sampler.RandomizeState()
-	e.store = e.sampler.CollectSamples(o.Burnin, o.MaterializationSamples)
+	e.store = e.sampler.CollectSamplesCtx(ctx, o.Burnin, o.MaterializationSamples)
+	if canceled(ctx) {
+		return nil, ctx.Err()
+	}
 	if !o.DisableVariational {
 		vm, err := MaterializeVariational(g, e.store, VariationalOptions{
 			Lambda:            o.Lambda,
@@ -201,23 +221,31 @@ func (e *Engine) ChooseStrategy(cs ChangeSet) Strategy {
 // Infer computes marginals under the updated distribution represented by
 // newG (the graph after incremental grounding) and the change set.
 func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
+	return e.InferCtx(nil, newG, cs)
+}
+
+// InferCtx is Infer with a cooperative cancellation check threaded into
+// every inference loop (proposal scoring, variational sweeps, rerun
+// sweeps). A cancelled run returns partial marginals; callers that must
+// not serve them check ctx.Err() afterwards.
+func (e *Engine) InferCtx(ctx context.Context, newG *factor.Graph, cs ChangeSet) *Result {
 	start := time.Now()
 	res := &Result{Strategy: e.ChooseStrategy(cs), AcceptanceRate: 1}
 	switch res.Strategy {
 	case StrategySampling:
-		sr := SamplingInfer(e.old, newG, e.store, cs, e.opts.KeepSamples, e.opts.Seed+17)
+		sr := SamplingInferCtx(ctx, e.old, newG, e.store, cs, e.opts.KeepSamples, e.opts.Seed+17, e.opts.Parallelism)
 		res.AcceptanceRate = sr.AcceptanceRate()
 		res.SamplesUsed = sr.Proposed
-		if sr.Exhausted && sr.WorldsObserved < e.opts.KeepSamples {
+		if sr.Exhausted && sr.WorldsObserved < e.opts.KeepSamples && !canceled(ctx) {
 			if e.vm != nil {
 				// Rule 4: out of samples → variational.
-				res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+				res.Marginals = VariationalInferCtx(ctx, e.vm, e.old, newG, cs.ChangedNew,
 					e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
 				res.Strategy = StrategyVariational
 				res.FellBack = true
 			} else {
 				// Lesion configuration without the variational side: rerun.
-				res.Marginals = RerunWith(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
+				res.Marginals = RerunWithCtx(ctx, newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
 				res.Strategy = StrategyRerun
 				res.FellBack = true
 			}
@@ -225,10 +253,10 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 			res.Marginals = sr.Marginals
 		}
 	case StrategyVariational:
-		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+		res.Marginals = VariationalInferCtx(ctx, e.vm, e.old, newG, cs.ChangedNew,
 			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+23)
 	default:
-		res.Marginals = RerunWith(newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
+		res.Marginals = RerunWithCtx(ctx, newG, e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+29, e.opts.runtime())
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -249,9 +277,16 @@ func RerunParallel(newG *factor.Graph, burnin, keep int, seed int64, workers int
 // RerunWith is Rerun on the chain the runtime config selects (sequential,
 // sharded, or replica).
 func RerunWith(newG *factor.Graph, burnin, keep int, seed int64, rt gibbs.Runtime) []float64 {
+	return RerunWithCtx(nil, newG, burnin, keep, seed, rt)
+}
+
+// RerunWithCtx is RerunWith with a cooperative cancellation check between
+// sweeps; on cancellation it returns the estimate over the worlds
+// observed so far.
+func RerunWithCtx(ctx context.Context, newG *factor.Graph, burnin, keep int, seed int64, rt gibbs.Runtime) []float64 {
 	s := rt.NewChain(newG, seed)
 	s.RandomizeState()
-	return s.Marginals(burnin, keep)
+	return s.MarginalsCtx(ctx, burnin, keep)
 }
 
 // InferDecomposed runs per-group incremental inference over an Algorithm 2
@@ -261,8 +296,17 @@ func RerunWith(newG *factor.Graph, burnin, keep int, seed int64, rt gibbs.Runtim
 // the Figure 14 lesion: without decomposition a single global acceptance
 // test collapses when any part of the distribution changes.
 func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []DecompGroup) *Result {
+	return e.InferDecomposedCtx(nil, newG, cs, groups)
+}
+
+// InferDecomposedCtx is InferDecomposed with a cooperative cancellation
+// check between stored-sample proposals.
+func (e *Engine) InferDecomposedCtx(ctx context.Context, newG *factor.Graph, cs ChangeSet, groups []DecompGroup) *Result {
 	start := time.Now()
 	res := &Result{Strategy: StrategySampling, AcceptanceRate: 1}
+	// Groups created by post-materialization updates are not part of
+	// Pr(0); a later modification of one has no old-side energy.
+	cs.ChangedOld = clampToGraph(e.old, cs.ChangedOld)
 
 	n := newG.NumVars()
 	blockOf := make([]int, n)
@@ -294,19 +338,22 @@ func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []Deco
 		}
 	}
 
+	// CSR-direct: GroupVars reports the head first, then each live
+	// grounding's variables in pool order — the same scan order the
+	// nested-view walk used, without synthesizing the grounding list.
 	blockForGroup := func(g *factor.Graph, gi int32) int {
-		gr := g.Group(int(gi))
-		if !g.IsEvidence(gr.Head) && blockOf[gr.Head] >= 0 {
-			return blockOf[gr.Head]
-		}
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				if !g.IsEvidence(lit.Var) && blockOf[lit.Var] >= 0 {
-					return blockOf[lit.Var]
-				}
+		block := residual
+		found := false
+		g.GroupVars(gi, func(v factor.VarID) {
+			if found || g.IsEvidence(v) {
+				return
 			}
-		}
-		return residual
+			if blockOf[v] >= 0 {
+				block = blockOf[v]
+				found = true
+			}
+		})
+		return block
 	}
 	changedNewByBlock := make([][]int32, nBlocks)
 	for _, gi := range cs.ChangedNew {
@@ -338,6 +385,9 @@ func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []Deco
 	hybrid := make([]bool, n)
 	accepted, proposed := 0, 0
 	for est.N() < e.opts.KeepSamples {
+		if canceled(ctx) {
+			break
+		}
 		raw, ok := e.store.Next(nil)
 		if !ok {
 			res.FellBack = true
@@ -382,8 +432,8 @@ func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []Deco
 		completeNewVars(sampler, e.old.NumVars())
 		est.Observe(st.Assign)
 	}
-	if res.FellBack && e.vm != nil && est.N() < e.opts.KeepSamples {
-		res.Marginals = VariationalInfer(e.vm, e.old, newG, cs.ChangedNew,
+	if res.FellBack && e.vm != nil && est.N() < e.opts.KeepSamples && !canceled(ctx) {
+		res.Marginals = VariationalInferCtx(ctx, e.vm, e.old, newG, cs.ChangedNew,
 			e.opts.Burnin, e.opts.KeepSamples, e.opts.Seed+41)
 		res.Strategy = StrategyVariational
 	} else {

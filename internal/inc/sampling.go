@@ -1,6 +1,7 @@
 package inc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -47,9 +48,24 @@ func (r *SamplingResult) AcceptanceRate() float64 {
 // or rejected — a one-sample store still yields one observed world
 // instead of an all-zero marginal vector.
 func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, keep int, seed int64) *SamplingResult {
+	return SamplingInferCtx(nil, oldG, newG, store, cs, keep, seed, 0)
+}
+
+// SamplingInferCtx is SamplingInfer with a cooperative cancellation check
+// between proposals and with the per-proposal acceptance scoring sharded
+// across up to `workers` goroutines (factor.EnergyOfGroupsParallel). The
+// Metropolis-Hastings chain itself stays sequential — only each
+// proposal's evaluation of the changed groups fans out, which is the
+// dominant per-proposal cost when an update touches a large ΔF. workers
+// <= 1 keeps the sequential scorer; negative means one per core.
+func SamplingInferCtx(ctx context.Context, oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, keep int, seed int64, workers int) *SamplingResult {
 	if keep < 1 {
 		keep = 1
 	}
+	// Groups created by post-materialization updates have no old-side
+	// energy: they are not part of Pr(0), so a later modification of one
+	// appears only on the new side of the score.
+	cs.ChangedOld = clampToGraph(oldG, cs.ChangedOld)
 	rng := rand.New(rand.NewSource(seed))
 	res := &SamplingResult{}
 	est := gibbs.NewEstimator(newG.NumVars())
@@ -79,7 +95,8 @@ func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, k
 		if len(cs.ChangedOld) == 0 && len(cs.ChangedNew) == 0 {
 			return 0
 		}
-		return newG.EnergyOfGroups(full, cs.ChangedNew) - oldG.EnergyOfGroups(full, cs.ChangedOld)
+		return newG.EnergyOfGroupsParallel(full, cs.ChangedNew, workers) -
+			oldG.EnergyOfGroupsParallel(full, cs.ChangedOld, workers)
 	}
 
 	// Initialize the chain from the first proposal (unconditionally).
@@ -94,6 +111,9 @@ func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, k
 	curScore := score(st.Assign)
 
 	for est.N() < keep {
+		if canceled(ctx) {
+			break
+		}
 		prop, ok := propose()
 		if !ok {
 			res.Exhausted = true
@@ -128,6 +148,30 @@ func SamplingInfer(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, k
 	return res
 }
 
+// clampToGraph drops group indexes outside g — groups that did not exist
+// when g was materialized. The returned slice aliases groups when nothing
+// is dropped.
+func clampToGraph(g *factor.Graph, groups []int32) []int32 {
+	n := int32(g.NumGroups())
+	keep := true
+	for _, gi := range groups {
+		if gi >= n {
+			keep = false
+			break
+		}
+	}
+	if keep {
+		return groups
+	}
+	out := make([]int32, 0, len(groups))
+	for _, gi := range groups {
+		if gi < n {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
 // completeNewVars resamples the variables appended by the update from
 // their conditionals given the adopted world.
 func completeNewVars(s *gibbs.Sampler, firstNew int) {
@@ -152,6 +196,7 @@ func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs Cha
 	if probe > store.Len() {
 		probe = store.Len()
 	}
+	cs.ChangedOld = clampToGraph(oldG, cs.ChangedOld)
 	rng := rand.New(rand.NewSource(seed))
 	full := make([]bool, newG.NumVars())
 	score := func(i int) float64 {

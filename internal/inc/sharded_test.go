@@ -1,0 +1,83 @@
+package inc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// shardedScoringFixture builds an old/new graph pair whose changed-group
+// set is large enough to engage the sharded acceptance scorer
+// (≥ 2×factor.MinGroupsPerEnergyWorker groups, all with shifted
+// weights), plus a sample store materialized from the old distribution.
+func shardedScoringFixture(t *testing.T) (oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet) {
+	t.Helper()
+	const nVars = 120
+	const nGroups = 4 * factor.MinGroupsPerEnergyWorker
+	rng := rand.New(rand.NewSource(5))
+	build := func(shift float64) *factor.Graph {
+		r := rand.New(rand.NewSource(9)) // same structure both builds
+		b := factor.NewBuilder()
+		for v := 0; v < nVars; v++ {
+			b.AddVar()
+		}
+		for gi := 0; gi < nGroups; gi++ {
+			w := b.AddWeight(r.NormFloat64()*0.6 + shift)
+			head := factor.VarID(r.Intn(nVars))
+			var gnds []factor.Grounding
+			for k := 0; k < 1+r.Intn(3); k++ {
+				gnds = append(gnds, factor.Grounding{Lits: []factor.Literal{
+					{Var: factor.VarID(r.Intn(nVars)), Neg: r.Intn(2) == 0},
+				}})
+			}
+			b.AddGroup(head, w, factor.Ratio, gnds)
+		}
+		return b.MustBuild()
+	}
+	oldG = build(0)
+	newG = build(0.35) // same structure, every weight shifted
+	s := gibbs.New(oldG, 21)
+	s.RandomizeState()
+	store = s.CollectSamples(20, 600)
+	groups := make([]int32, nGroups)
+	for gi := range groups {
+		groups[gi] = int32(gi)
+	}
+	cs = ChangeSet{ChangedOld: groups, ChangedNew: groups}
+	_ = rng
+	return oldG, newG, store, cs
+}
+
+// TestSamplingInferShardedAgreement compares the sharded per-proposal
+// acceptance scoring against the sequential path. The MH chain itself is
+// identical; only the float summation order differs, so marginals must
+// agree closely (decision flips from last-bit energy differences can
+// perturb individual chains, hence a tolerance rather than equality).
+func TestSamplingInferShardedAgreement(t *testing.T) {
+	oldG, newG, store1, cs := shardedScoringFixture(t)
+	seq := SamplingInfer(oldG, newG, store1, cs, 300, 77)
+
+	_, _, store2, _ := shardedScoringFixture(t)
+	for _, workers := range []int{2, 4} {
+		par := SamplingInferCtx(nil, oldG, newG, store2, cs, 300, 77, workers)
+		store2.Reset()
+		if seq.Proposed == 0 || par.Proposed == 0 {
+			t.Fatalf("workers %d: no proposals (seq %d, par %d)", workers, seq.Proposed, par.Proposed)
+		}
+		if math.Abs(seq.AcceptanceRate()-par.AcceptanceRate()) > 0.05 {
+			t.Fatalf("workers %d: acceptance %v (seq) vs %v (sharded)", workers, seq.AcceptanceRate(), par.AcceptanceRate())
+		}
+		var maxDiff float64
+		for v := range seq.Marginals {
+			if d := math.Abs(seq.Marginals[v] - par.Marginals[v]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 0.08 {
+			t.Fatalf("workers %d: max marginal divergence %v", workers, maxDiff)
+		}
+	}
+}

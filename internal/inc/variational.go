@@ -1,6 +1,7 @@
 package inc
 
 import (
+	"context"
 	"math"
 
 	"deepdive/internal/factor"
@@ -206,6 +207,9 @@ func clamp(x, lo, hi float64) float64 {
 // components returns the connected components of the graph's variable
 // adjacency (variables sharing a group), each as a sorted var list.
 // Evidence variables do not connect components (they are fixed).
+// Groups are walked CSR-direct (factor.Graph.GroupVars reports the head
+// first, then each live grounding's variables), so no nested view is
+// synthesized per group.
 func components(g *factor.Graph) [][]int {
 	n := g.NumVars()
 	parent := make([]int, n)
@@ -227,23 +231,17 @@ func components(g *factor.Graph) [][]int {
 		}
 	}
 	for gi := 0; gi < g.NumGroups(); gi++ {
-		gr := g.Group(gi)
 		anchorVar := -1
-		if !g.IsEvidence(gr.Head) {
-			anchorVar = int(gr.Head)
-		}
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				if g.IsEvidence(lit.Var) {
-					continue
-				}
-				if anchorVar == -1 {
-					anchorVar = int(lit.Var)
-				} else {
-					union(anchorVar, int(lit.Var))
-				}
+		g.GroupVars(int32(gi), func(v factor.VarID) {
+			if g.IsEvidence(v) {
+				return
 			}
-		}
+			if anchorVar == -1 {
+				anchorVar = int(v)
+			} else {
+				union(anchorVar, int(v))
+			}
+		})
 	}
 	byRoot := make(map[int][]int)
 	for v := 0; v < n; v++ {
@@ -287,25 +285,22 @@ func markAdjacent(g *factor.Graph, comp []int, local map[int]int, pat []bool) {
 }
 
 // visitAdjacent calls f(a, b) for every adjacent pair of free variables
-// within the component (global var ids).
+// within the component (global var ids). Groups are walked CSR-direct
+// with one reused buffer instead of synthesizing the nested view per
+// group.
 func visitAdjacent(g *factor.Graph, comp []int, local map[int]int, f func(a, b int)) {
 	inComp := func(v factor.VarID) bool {
 		_, ok := local[int(v)]
 		return ok
 	}
+	var vars []factor.VarID
 	for gi := 0; gi < g.NumGroups(); gi++ {
-		gr := g.Group(gi)
-		var vars []factor.VarID
-		if !g.IsEvidence(gr.Head) && inComp(gr.Head) {
-			vars = append(vars, gr.Head)
-		}
-		for _, gnd := range gr.Groundings {
-			for _, lit := range gnd.Lits {
-				if !g.IsEvidence(lit.Var) && inComp(lit.Var) {
-					vars = append(vars, lit.Var)
-				}
+		vars = vars[:0]
+		g.GroupVars(int32(gi), func(v factor.VarID) {
+			if !g.IsEvidence(v) && inComp(v) {
+				vars = append(vars, v)
 			}
-		}
+		})
 		for ai := range vars {
 			for bi := ai + 1; bi < len(vars); bi++ {
 				if vars[ai] != vars[bi] {
@@ -382,8 +377,14 @@ func (vm *Variational) BuildInferenceGraph(oldG, newG *factor.Graph, changedNew 
 // VariationalInfer runs Gibbs on the approximated (plus update) graph and
 // returns marginals for the new graph's variables.
 func VariationalInfer(vm *Variational, oldG, newG *factor.Graph, changedNew []int32, burnin, keep int, seed int64) []float64 {
+	return VariationalInferCtx(nil, vm, oldG, newG, changedNew, burnin, keep, seed)
+}
+
+// VariationalInferCtx is VariationalInfer with a cooperative cancellation
+// check between sweeps of the approximate-graph chain.
+func VariationalInferCtx(ctx context.Context, vm *Variational, oldG, newG *factor.Graph, changedNew []int32, burnin, keep int, seed int64) []float64 {
 	ig := vm.BuildInferenceGraph(oldG, newG, changedNew)
 	s := gibbs.New(ig, seed)
-	m := s.Marginals(burnin, keep)
+	m := s.MarginalsCtx(ctx, burnin, keep)
 	return m[:newG.NumVars()]
 }

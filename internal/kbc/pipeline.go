@@ -43,10 +43,10 @@ type Config struct {
 	// gradient steps); <= 0 selects gibbs.DefaultSyncEvery.
 	SyncEvery int
 
-	// InPlaceUpdates applies each iteration's (ΔV, ΔF) to the live factor
-	// graph through factor.Patch in O(|Δ|) instead of rebuilding the flat
-	// pools from the grounding state in O(V+F).
-	InPlaceUpdates bool
+	// RebuildUpdates selects the rebuild lesion configuration: each
+	// iteration's (ΔV, ΔF) marks the graph dirty for an O(V+F) rebuild of
+	// the flat pools instead of the default O(|Δ|) factor.Patch splice.
+	RebuildUpdates bool
 
 	Seed int64
 
@@ -115,7 +115,7 @@ func NewPipeline(sys *corpus.System, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	g.SetInPlaceUpdates(c.InPlaceUpdates)
+	g.SetInPlaceUpdates(!c.RebuildUpdates)
 	for rel, tuples := range BaseTuples(sys) {
 		if err := g.LoadBase(rel, tuples); err != nil {
 			return nil, err

@@ -20,6 +20,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -156,6 +157,7 @@ type Trainer struct {
 	fg      *factor.Graph
 	weights []float64
 	opt     Options
+	ctx     context.Context // cooperative cancellation; nil = never cancel
 
 	statsC []float64
 	statsF []float64
@@ -167,6 +169,15 @@ type Trainer struct {
 // NewTrainer prepares chains over g. The graph's current weights are
 // overwritten by opt.Warmstart (or zeros) before any sampling.
 func NewTrainer(g *factor.Graph, opt Options) *Trainer {
+	return NewTrainerCtx(nil, g, opt)
+}
+
+// NewTrainerCtx is NewTrainer with a cooperative cancellation context
+// threaded into every sweep loop the trainer runs (burn-in, gradient
+// estimation). Cancellation between sweeps never leaves the model
+// half-stepped: a gradient step whose sweeps were cut short is discarded,
+// so the weight vector always reflects the last completed step.
+func NewTrainerCtx(ctx context.Context, g *factor.Graph, opt Options) *Trainer {
 	o := opt.fill()
 	w := make([]float64, g.NumWeights())
 	if o.Warmstart != nil {
@@ -182,6 +193,7 @@ func NewTrainer(g *factor.Graph, opt Options) *Trainer {
 		fg:      fg,
 		weights: w,
 		opt:     o,
+		ctx:     ctx,
 	}
 	if o.Replicas != 0 {
 		t.initReplicas()
@@ -193,10 +205,13 @@ func NewTrainer(g *factor.Graph, opt Options) *Trainer {
 	t.free = gibbs.NewChain(fg, o.Seed+1, o.Parallelism)
 	t.clamped.RandomizeState()
 	t.free.RandomizeState()
-	t.clamped.Run(o.Burnin)
-	t.free.Run(o.Burnin)
+	t.clamped.RunCtx(ctx, o.Burnin)
+	t.free.RunCtx(ctx, o.Burnin)
 	return t
 }
+
+// canceled reports whether the trainer's context is cancelled.
+func (t *Trainer) canceled() bool { return t.ctx != nil && t.ctx.Err() != nil }
 
 // initReplicas builds the replica learning engine: R weight replicas
 // (gibbs.ReplicaLearner) and, per worker, sequential clamped/free chains
@@ -232,8 +247,8 @@ func (t *Trainer) initReplicas() {
 	t.eachWorker(func(wk *replicaWorker) {
 		wk.clamped.RandomizeState()
 		wk.free.RandomizeState()
-		wk.clamped.Run(o.Burnin)
-		wk.free.Run(o.Burnin)
+		wk.clamped.RunCtx(t.ctx, o.Burnin)
+		wk.free.RunCtx(t.ctx, o.Burnin)
 	})
 	// Worker 0's chains double as the trainer's driver-side chains (Loss).
 	t.clamped = t.workers[0].clamped
@@ -299,22 +314,29 @@ func (t *Trainer) applyStep(weights, grad []float64, step float64) {
 }
 
 // gradient estimates the log-likelihood gradient using `sweeps` sweeps of
-// each chain, writing it into out.
-func (t *Trainer) gradient(sweeps int, out []float64) {
+// each chain, writing it into out. Returns false when cancelled before
+// all sweeps completed — the partial estimate must not be applied.
+func (t *Trainer) gradient(sweeps int, out []float64) bool {
 	for i := range t.statsC {
 		t.statsC[i] = 0
 		t.statsF[i] = 0
 	}
 	for s := 0; s < sweeps; s++ {
+		if t.canceled() {
+			return false
+		}
 		t.clamped.Sweep()
 		t.clamped.WeightStats(t.statsC)
 		t.free.Sweep()
 		t.free.WeightStats(t.statsF)
 	}
 	t.finishGradient(t.statsC, t.statsF, sweeps, t.weights, out)
+	return true
 }
 
 // Epoch performs one optimizer epoch and returns the step size used.
+// Cancellation mid-epoch abandons the in-flight gradient step; steps
+// already applied remain (the weight vector stays a coherent model).
 func (t *Trainer) Epoch(epoch int) float64 {
 	step := t.opt.StepSize * math.Pow(t.opt.Decay, float64(epoch))
 	if t.rl != nil {
@@ -329,12 +351,15 @@ func (t *Trainer) Epoch(epoch int) float64 {
 	case SGD:
 		// A handful of noisy single-sweep steps per epoch.
 		for s := 0; s < t.opt.BatchSweeps; s++ {
-			t.gradient(1, grad)
+			if !t.gradient(1, grad) {
+				return step
+			}
 			apply()
 		}
 	case GD:
-		t.gradient(t.opt.BatchSweeps, grad)
-		apply()
+		if t.gradient(t.opt.BatchSweeps, grad) {
+			apply()
+		}
 	default:
 		panic(fmt.Sprintf("learn: unknown method %v", t.opt.Method))
 	}
@@ -354,13 +379,18 @@ func (t *Trainer) replicaEpoch(step float64) float64 {
 	case SGD:
 		remaining := t.opt.BatchSweeps
 		for remaining > 0 {
+			if t.canceled() {
+				return step
+			}
 			seg := syncEvery
 			if seg > remaining {
 				seg = remaining
 			}
 			t.eachWorker(func(wk *replicaWorker) {
 				for s := 0; s < seg; s++ {
-					t.workerGradient(wk, 1)
+					if !t.workerGradient(wk, 1) {
+						return
+					}
 					t.workerApply(wk, step)
 				}
 			})
@@ -368,9 +398,13 @@ func (t *Trainer) replicaEpoch(step float64) float64 {
 			remaining -= seg
 		}
 	case GD:
+		if t.canceled() {
+			return step
+		}
 		t.eachWorker(func(wk *replicaWorker) {
-			t.workerGradient(wk, t.opt.BatchSweeps)
-			t.workerApply(wk, step)
+			if t.workerGradient(wk, t.opt.BatchSweeps) {
+				t.workerApply(wk, step)
+			}
 		})
 		t.averageReplicas()
 	default:
@@ -382,19 +416,24 @@ func (t *Trainer) replicaEpoch(step float64) float64 {
 // workerGradient estimates the gradient from the worker's private chains
 // and weights, writing it into wk.grad. The chains evaluate through
 // weight views of the shared graphs, so they observe this worker's steps
-// immediately and other workers' never.
-func (t *Trainer) workerGradient(wk *replicaWorker, sweeps int) {
+// immediately and other workers' never. Returns false when cancelled
+// before all sweeps completed — the partial estimate must not be applied.
+func (t *Trainer) workerGradient(wk *replicaWorker, sweeps int) bool {
 	for i := range wk.statsC {
 		wk.statsC[i] = 0
 		wk.statsF[i] = 0
 	}
 	for s := 0; s < sweeps; s++ {
+		if t.canceled() {
+			return false
+		}
 		wk.clamped.Sweep()
 		wk.clamped.WeightStats(wk.statsC)
 		wk.free.Sweep()
 		wk.free.WeightStats(wk.statsF)
 	}
 	t.finishGradient(wk.statsC, wk.statsF, sweeps, wk.weights, wk.grad)
+	return true
 }
 
 // workerApply takes one gradient step on the worker's private vector.
@@ -420,17 +459,32 @@ func (t *Trainer) Loss(sweeps int) float64 {
 
 // Train runs the full optimization and returns the learned weights.
 func Train(g *factor.Graph, opt Options) *Result {
-	t := NewTrainer(g, opt)
+	res, _ := TrainCtx(nil, g, opt)
+	return res
+}
+
+// TrainCtx is Train with a cooperative cancellation check between
+// sweeps and between gradient steps. On cancellation it returns the
+// context's error alongside the weights of the last completed step —
+// a coherent (partially trained) model is installed on g either way.
+func TrainCtx(ctx context.Context, g *factor.Graph, opt Options) (*Result, error) {
+	t := NewTrainerCtx(ctx, g, opt)
 	res := &Result{Epochs: t.opt.Epochs}
 	for e := 0; e < t.opt.Epochs; e++ {
+		if t.canceled() {
+			break
+		}
 		t.Epoch(e)
-		if t.opt.TrackLoss {
+		if t.opt.TrackLoss && !t.canceled() {
 			res.LossByEpoch = append(res.LossByEpoch, t.Loss(3))
 		}
 	}
 	res.Weights = append([]float64(nil), t.weights...)
 	g.SetWeights(res.Weights)
-	return res
+	if ctx != nil {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // EvidenceLoss measures, for the graph's evidence variables, the average

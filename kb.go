@@ -1,0 +1,435 @@
+package deepdive
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepdive/internal/datalog"
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+	"deepdive/internal/ground"
+	"deepdive/internal/inc"
+	"deepdive/internal/learn"
+)
+
+// KB is the serving handle of a DeepDive knowledge base. It separates the
+// two halves of the paper's development loop so they can overlap:
+//
+//   - Reads are snapshot-isolated and lock-free: Snapshot returns an
+//     immutable view (marginals + extraction tables pinned to one
+//     grounding version and graph epoch) acquired by an atomic pointer
+//     load. Any number of goroutines may query snapshots while writes
+//     are in flight; a reader never observes a half-applied update.
+//   - Writes — Init, Learn, Infer, Materialize, Apply — are serialized
+//     on an internal mutex, accept a context.Context for cancellation
+//     and deadlines (checked cooperatively between Gibbs sweeps and
+//     Metropolis-Hastings proposals), and publish a fresh snapshot on
+//     success. A cancelled write returns the context's error and
+//     publishes nothing: readers keep the previous consistent view.
+//
+// Updates() exposes an asynchronous, coalescing update queue on top of
+// Apply for streaming ingest. The zero KB is not usable; construct one
+// with OpenKB. The deprecated Engine wraps a KB with the old synchronous
+// single-goroutine API.
+type KB struct {
+	opts Options
+
+	mu       sync.Mutex // serializes writers and DB access
+	grounder *ground.Grounder
+	engine   *inc.Engine
+	marg     []float64
+	inited   bool
+	// pending accumulates the change sets of applies whose grounding
+	// committed but whose inference never published (cancelled mid-way):
+	// the next apply scores the union, so no grounded delta's factors
+	// escape the acceptance test.
+	pending inc.ChangeSet
+
+	epoch atomic.Uint64
+	snap  atomic.Pointer[Snapshot]
+
+	queueOnce sync.Once
+	queue     *UpdateQueue
+}
+
+// OpenKB parses and validates a DeepDive program and returns a serving
+// handle over it. The KB starts empty: Load base data, then Init, Learn,
+// Infer/Materialize, and serve.
+func OpenKB(source string, opts ...Option) (*KB, error) {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	o.fill()
+	prog, err := datalog.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	udfs := ground.UDFRegistry{}
+	for name, f := range o.UDFs {
+		udfs[name] = f
+	}
+	g, err := ground.New(prog, udfs)
+	if err != nil {
+		return nil, err
+	}
+	g.SetInPlaceUpdates(!o.RebuildUpdates)
+	kb := &KB{opts: o, grounder: g}
+	kb.snap.Store(emptySnapshot())
+	return kb, nil
+}
+
+// Snapshot returns the latest published view of the knowledge base. The
+// call is a single atomic pointer load — no locks, safe from any number
+// of goroutines concurrently with writers. The returned Snapshot is
+// immutable; hold it for as many queries as need one consistent view.
+func (kb *KB) Snapshot() *Snapshot { return kb.snap.Load() }
+
+// Load inserts base tuples into a base relation. Call before Init; use
+// Apply (or the update queue) for changes afterwards.
+func (kb *KB) Load(relation string, tuples []Tuple) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if kb.inited {
+		return fmt.Errorf("deepdive: Load after Init; use Apply for incremental data")
+	}
+	return kb.grounder.LoadBase(relation, tuples)
+}
+
+// Init performs the initial grounding (candidate generation, feature
+// extraction, supervision, factor-graph construction) and publishes the
+// first snapshot (evidence-only until inference runs).
+func (kb *KB) Init(ctx context.Context) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := kb.grounder.Ground(); err != nil {
+		return err
+	}
+	kb.inited = true
+	kb.publishLocked()
+	return nil
+}
+
+// frozen returns the non-learnable weight mask.
+func (kb *KB) frozen(g *factor.Graph) []bool {
+	mask := make([]bool, g.NumWeights())
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, w := range kb.grounder.LearnableWeights() {
+		mask[w] = false
+	}
+	return mask
+}
+
+// runtime derives the Gibbs chain-selection config from the options.
+func (kb *KB) runtime() gibbs.Runtime {
+	return gibbs.Runtime{Workers: kb.opts.Parallelism, Replicas: kb.opts.Replicas, SyncEvery: kb.opts.SyncEvery}
+}
+
+// Learn fits rule weights from scratch (tied weights start at zero;
+// fixed weights stay fixed). Cancellation via ctx returns promptly with
+// the context's error; the weights of the last completed gradient step
+// remain installed (a coherent, partially trained model) but no new
+// snapshot is published.
+func (kb *KB) Learn(ctx context.Context) (time.Duration, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	g := kb.grounder.Graph()
+	warm := append([]float64(nil), g.Weights()...)
+	for _, w := range kb.grounder.LearnableWeights() {
+		warm[w] = 0
+	}
+	_, err := learn.TrainCtx(ctx, g, learn.Options{
+		Epochs:      kb.opts.LearnEpochs,
+		StepSize:    kb.opts.LearnStep,
+		Parallelism: kb.opts.Parallelism,
+		Replicas:    kb.opts.Replicas,
+		SyncEvery:   kb.opts.SyncEvery,
+		Seed:        kb.opts.Seed + 1,
+		Warmstart:   warm,
+		Frozen:      kb.frozen(g),
+	})
+	if err != nil {
+		return time.Since(start), err
+	}
+	kb.publishLocked()
+	return time.Since(start), nil
+}
+
+// Infer runs Gibbs sampling from scratch on the current graph, stores
+// marginals for every candidate fact, and publishes a snapshot carrying
+// them. Cancellation returns promptly with the context's error; the
+// partial estimate is discarded and the previous snapshot keeps serving.
+func (kb *KB) Infer(ctx context.Context) (time.Duration, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	m := inc.RerunWithCtx(ctx, kb.grounder.Graph(), kb.opts.InferBurnin, kb.opts.InferKeep, kb.opts.Seed+2, kb.runtime())
+	if err := ctxErr(ctx); err != nil {
+		return time.Since(start), err
+	}
+	kb.marg = m
+	kb.pending = inc.ChangeSet{} // full rerun covered every grounded delta
+	kb.publishLocked()
+	return time.Since(start), nil
+}
+
+// Materialize prepares the incremental-inference engine (sample bundles +
+// variational approximation) over the current distribution. Call after
+// Learn; afterwards Apply serves changes incrementally. Materialization
+// is all-or-nothing under cancellation: a cancelled call installs no
+// engine and returns the context's error.
+func (kb *KB) Materialize(ctx context.Context) (time.Duration, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	eng, err := inc.NewEngineCtx(ctx, kb.grounder.Graph(), inc.Options{
+		MaterializationSamples: kb.opts.MatSamples,
+		Burnin:                 kb.opts.InferBurnin,
+		KeepSamples:            kb.opts.InferKeep,
+		Lambda:                 kb.opts.Lambda,
+		Parallelism:            kb.opts.Parallelism,
+		Replicas:               kb.opts.Replicas,
+		SyncEvery:              kb.opts.SyncEvery,
+		Seed:                   kb.opts.Seed + 3,
+	})
+	if err != nil {
+		return 0, err
+	}
+	kb.engine = eng
+	kb.pending = inc.ChangeSet{} // the new Pr(0) bakes in every grounded delta
+	kb.publishLocked()
+	return eng.MaterializationTime(), nil
+}
+
+// Apply applies one increment of the development loop — new rules,
+// inserted tuples, deleted tuples — through incremental grounding (DRed),
+// warmstart learning when the model changed, and incremental inference
+// under the optimizer's strategy choice, then publishes a snapshot with
+// the refreshed marginals.
+//
+// Cancellation semantics: the context is checked before grounding and
+// cooperatively during learning and inference. A run cancelled after
+// grounding keeps the grounded delta (grounding is not rolled back) but
+// publishes no snapshot and refreshes no marginals — readers keep the
+// previous consistent view. The cancelled delta's change set is carried
+// forward and merged into the next apply's acceptance scoring, so a
+// later successful Apply (or a full Infer/Materialize) publishes the
+// accumulated state with every grounded factor accounted for.
+func (kb *KB) Apply(ctx context.Context, u Update) (*UpdateResult, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.applyLocked(ctx, u)
+}
+
+func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) {
+	if !kb.inited {
+		return nil, fmt.Errorf("deepdive: Apply before Init")
+	}
+	if kb.engine == nil {
+		return nil, fmt.Errorf("deepdive: Apply before Materialize")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	var rules []*datalog.Rule
+	if u.RuleSource != "" {
+		prog := kb.grounder.Program()
+		combined := prog.String() + "\n" + u.RuleSource
+		full, err := datalog.Parse(combined)
+		if err != nil {
+			return nil, err
+		}
+		rules = full.Rules[len(prog.Rules):]
+	}
+	res := &UpdateResult{}
+
+	start := time.Now()
+	delta, err := kb.grounder.ApplyUpdate(ground.Update{
+		NewRules: rules,
+		Inserts:  u.Inserts,
+		Deletes:  u.Deletes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.GroundTime = time.Since(start)
+	res.NewVars = len(delta.NewVars)
+	res.NewFactors = len(delta.AddedGroups)
+
+	// From here on the grounded delta is committed. Fold it into the
+	// pending change set immediately: if learning or inference below is
+	// cancelled, the next apply scores this delta's groups too instead of
+	// silently dropping their energy from the acceptance test.
+	kb.pending = kb.pending.Merge(inc.FromDelta(delta))
+
+	newGraph := kb.grounder.Graph()
+	if delta.StructureChanged() || delta.HasEvidenceChange() {
+		start = time.Now()
+		_, err := learn.TrainCtx(ctx, newGraph, learn.Options{
+			Epochs:      kb.opts.IncLearnEpochs,
+			StepSize:    kb.opts.LearnStep,
+			Parallelism: kb.opts.Parallelism,
+			Replicas:    kb.opts.Replicas,
+			SyncEvery:   kb.opts.SyncEvery,
+			Seed:        kb.opts.Seed + 5,
+			Warmstart:   append([]float64(nil), newGraph.Weights()...),
+			Frozen:      kb.frozen(newGraph),
+		})
+		res.LearnTime = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Score the accumulated set; weight drift is recomputed against the
+	// current weights on every attempt, so it is not folded into pending.
+	cs := kb.pending.Merge(inc.ChangeSet{})
+	addWeightChanges(&cs, kb.engine, newGraph)
+
+	start = time.Now()
+	var ir *inc.Result
+	if kb.engine.ChooseStrategy(cs) == inc.StrategySampling && cs.StructureChanged() {
+		ir = kb.engine.InferDecomposedCtx(ctx, newGraph, cs, inc.ComponentGroups(newGraph))
+	} else {
+		ir = kb.engine.InferCtx(ctx, newGraph, cs)
+	}
+	res.InferTime = time.Since(start)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	res.Strategy = ir.Strategy
+	res.Acceptance = ir.AcceptanceRate
+	kb.marg = ir.Marginals
+	kb.pending = inc.ChangeSet{} // published: nothing carries over
+	res.Epoch = kb.publishLocked().Epoch()
+	return res, nil
+}
+
+// Updates returns the KB's asynchronous update queue, starting it on
+// first use. See UpdateQueue.
+func (kb *KB) Updates() *UpdateQueue {
+	kb.queueOnce.Do(func() {
+		kb.queue = newUpdateQueue(kb)
+	})
+	return kb.queue
+}
+
+// Close shuts the update queue down (draining already-submitted updates)
+// and leaves the KB serving its last published snapshot. Reads stay
+// valid after Close; further writes are the caller's responsibility to
+// stop. Close is idempotent and safe against a concurrent first
+// Updates() call: it resolves the queue through the same once, so an
+// update submitted before Close is always drained.
+func (kb *KB) Close() error {
+	kb.Updates().Close()
+	return nil
+}
+
+// publishLocked freezes the current grounding + marginal state into a
+// fresh Snapshot and swaps it in as the served view. Callers hold kb.mu.
+func (kb *KB) publishLocked() *Snapshot {
+	g := kb.grounder.Graph()
+	s := &Snapshot{
+		epoch:         kb.epoch.Add(1),
+		groundVersion: kb.grounder.Version(),
+		graphEpoch:    g.Epoch(),
+		rels:          map[string]*relView{},
+	}
+	if kb.marg != nil {
+		s.marg = append([]float64(nil), kb.marg...)
+	}
+	nv := kb.grounder.NumVars()
+	for v := 0; v < nv; v++ {
+		id := factor.VarID(v)
+		if !kb.grounder.IsLive(id) {
+			continue
+		}
+		rel, tuple := kb.grounder.VarTuple(id)
+		rv := s.rels[rel]
+		if rv == nil {
+			rv = &relView{byKey: map[string]int32{}}
+			s.rels[rel] = rv
+		}
+		f := snapFact{tuple: tuple}
+		if v < g.NumVars() && g.IsEvidence(id) {
+			f.evidence = true
+			f.evValue = g.EvidenceValue(id)
+		} else if s.marg != nil && v < len(s.marg) {
+			f.prob = s.marg[v]
+			f.hasProb = true
+		}
+		rv.byKey[tuple.Key()] = int32(len(rv.facts))
+		rv.facts = append(rv.facts, f)
+	}
+	st := GraphStats{
+		Variables: g.NumVars(),
+		Factors:   kb.grounder.NumGroundings(),
+		Weights:   g.NumWeights(),
+	}
+	for v := 0; v < g.NumVars(); v++ {
+		if g.IsEvidence(factor.VarID(v)) {
+			st.Evidence++
+		}
+	}
+	st.QueryFacts = st.Variables - st.Evidence
+	s.stats = st
+	kb.snap.Store(s)
+	return s
+}
+
+// Marginal is shorthand for Snapshot().Marginal — one consistent point
+// read. Multi-query consumers should hold a Snapshot instead.
+func (kb *KB) Marginal(relation string, t Tuple) (float64, bool) {
+	return kb.Snapshot().Marginal(relation, t)
+}
+
+// Extractions is shorthand for Snapshot().Extractions.
+func (kb *KB) Extractions(relation string, threshold float64) []Extraction {
+	return kb.Snapshot().Extractions(relation, threshold)
+}
+
+// Candidates is shorthand for Snapshot().Candidates.
+func (kb *KB) Candidates(relation string) []Tuple {
+	return kb.Snapshot().Candidates(relation)
+}
+
+// Stats reports the grounding statistics of the latest snapshot.
+func (kb *KB) Stats() GraphStats { return kb.Snapshot().Stats() }
+
+// Relation exposes a read-only copy of a database relation's current
+// tuples. Unlike snapshot queries this reads the live database (under
+// the writer lock): base relations are not part of the served KB view.
+func (kb *KB) Relation(name string) []Tuple {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	r := kb.grounder.DB().Relation(name)
+	if r == nil {
+		return nil
+	}
+	return r.Tuples()
+}
+
+// ctxErr returns ctx's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

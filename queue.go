@@ -1,0 +1,302 @@
+package deepdive
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueClosed is returned for updates submitted after Close.
+var ErrQueueClosed = errors.New("deepdive: update queue closed")
+
+// Ticket is the completion handle for one submitted update. Every update
+// of a batch resolves to the same batch-level UpdateResult (whose
+// Coalesced field reports the batch width) or, if the batched apply
+// failed, the same error.
+type Ticket struct {
+	done chan struct{}
+	res  *UpdateResult
+	err  error
+}
+
+// Done returns a channel closed when the update's batch has been applied
+// (or failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the update's batch is applied or ctx is cancelled.
+func (t *Ticket) Wait(ctx context.Context) (*UpdateResult, error) {
+	if ctx == nil {
+		<-t.done
+		return t.res, t.err
+	}
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type pendingUpdate struct {
+	u Update
+	t *Ticket
+}
+
+// UpdateQueue accepts a stream of Updates and applies them to the KB
+// asynchronously, coalescing runs of compatible pending updates into one
+// batched Apply — merged inserts/deletes per relation, concatenated rule
+// sources — so a burst of small deltas pays one grounding + learning +
+// inference + snapshot publication instead of N. One snapshot is
+// published per batch, and each submitter's Ticket resolves to the
+// batch's UpdateResult.
+//
+// Two pending updates coalesce unless they touch a common (relation,
+// tuple) key: ApplyUpdate applies a batch's inserts before its deletes,
+// so reordering is only safe when the touched tuple sets are disjoint
+// (e.g. delete-then-reinsert of the same tuple must stay two batches).
+// Rule sources always coalesce — grounding a new rule over the batch's
+// fully-applied data equals grounding it first and delta-evaluating the
+// rest, because derivation counts are additive.
+type UpdateQueue struct {
+	kb *KB
+
+	mu      sync.Mutex
+	pending []pendingUpdate
+	paused  bool
+	closed  bool
+
+	wake    chan struct{}
+	stop    chan struct{}
+	stopped chan struct{}
+
+	batches atomic.Uint64
+	applied atomic.Uint64
+}
+
+func newUpdateQueue(kb *KB) *UpdateQueue {
+	q := &UpdateQueue{
+		kb:      kb,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+// Submit enqueues one update and returns its completion ticket. Submit
+// never blocks on inference; after Close the ticket resolves immediately
+// to ErrQueueClosed.
+func (q *UpdateQueue) Submit(u Update) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		t.err = ErrQueueClosed
+		close(t.done)
+		return t
+	}
+	q.pending = append(q.pending, pendingUpdate{u: u, t: t})
+	q.mu.Unlock()
+	q.kick()
+	return t
+}
+
+// Pause holds back batch processing (submissions still enqueue). Useful
+// to accumulate a burst into one batch deliberately, or to quiesce the
+// writer during maintenance.
+func (q *UpdateQueue) Pause() {
+	q.mu.Lock()
+	q.paused = true
+	q.mu.Unlock()
+}
+
+// Resume reverses Pause and kicks the worker.
+func (q *UpdateQueue) Resume() {
+	q.mu.Lock()
+	q.paused = false
+	q.mu.Unlock()
+	q.kick()
+}
+
+// Close stops accepting new updates, drains everything already pending
+// (even while paused), waits for the worker to exit, and returns. Safe to
+// call more than once.
+func (q *UpdateQueue) Close() {
+	q.mu.Lock()
+	already := q.closed
+	q.closed = true
+	q.paused = false
+	q.mu.Unlock()
+	if !already {
+		close(q.stop)
+	}
+	<-q.stopped
+}
+
+// Batches returns how many coalesced batches have been applied.
+func (q *UpdateQueue) Batches() uint64 { return q.batches.Load() }
+
+// Applied returns how many submitted updates have been resolved.
+func (q *UpdateQueue) Applied() uint64 { return q.applied.Load() }
+
+// Pending returns how many submitted updates await application.
+func (q *UpdateQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+func (q *UpdateQueue) kick() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (q *UpdateQueue) run() {
+	defer close(q.stopped)
+	for {
+		select {
+		case <-q.stop:
+			q.drain()
+			return
+		case <-q.wake:
+			q.drain()
+		}
+	}
+}
+
+// drain applies coalesced batches until nothing (processable) is left.
+func (q *UpdateQueue) drain() {
+	for {
+		merged, tickets := q.takeBatch()
+		if len(tickets) == 0 {
+			return
+		}
+		res, err := q.kb.Apply(context.Background(), merged)
+		if res != nil {
+			res.Coalesced = len(tickets)
+		}
+		q.batches.Add(1)
+		q.applied.Add(uint64(len(tickets)))
+		for _, t := range tickets {
+			t.res, t.err = res, err
+			close(t.done)
+		}
+	}
+}
+
+// takeBatch removes and merges the longest compatible prefix of the
+// pending queue. Returns no tickets when paused or empty.
+func (q *UpdateQueue) takeBatch() (Update, []*Ticket) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if (q.paused && !q.closed) || len(q.pending) == 0 {
+		return Update{}, nil
+	}
+	var merged Update
+	var tickets []*Ticket
+	touched := map[string]bool{}
+	n := 0
+	for _, p := range q.pending {
+		if n > 0 && updateConflicts(touched, &p.u) {
+			break
+		}
+		mergeUpdate(&merged, &p.u)
+		touchKeys(&p.u, touched)
+		tickets = append(tickets, p.t)
+		n++
+	}
+	rest := q.pending[n:]
+	q.pending = append(q.pending[:0:0], rest...)
+	return merged, tickets
+}
+
+// CoalesceUpdates merges a sequence of updates into the minimal list of
+// batches the queue would apply, preserving sequential semantics: a new
+// batch starts whenever an update touches a (relation, tuple) key already
+// touched by the accumulating batch. Exposed for testing and for callers
+// batching offline.
+func CoalesceUpdates(updates []Update) []Update {
+	var out []Update
+	var cur Update
+	touched := map[string]bool{}
+	n := 0
+	for i := range updates {
+		if n > 0 && updateConflicts(touched, &updates[i]) {
+			out = append(out, cur)
+			cur = Update{}
+			touched = map[string]bool{}
+			n = 0
+		}
+		mergeUpdate(&cur, &updates[i])
+		touchKeys(&updates[i], touched)
+		n++
+	}
+	if n > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// touchKey builds the conflict-set key of one tuple of one relation.
+func touchKey(rel string, t Tuple) string { return rel + "\x00" + t.Key() }
+
+// touchKeys adds every (relation, tuple) key the update touches.
+func touchKeys(u *Update, out map[string]bool) {
+	for rel, ts := range u.Inserts {
+		for _, t := range ts {
+			out[touchKey(rel, t)] = true
+		}
+	}
+	for rel, ts := range u.Deletes {
+		for _, t := range ts {
+			out[touchKey(rel, t)] = true
+		}
+	}
+}
+
+// updateConflicts reports whether u touches any key in the batch's
+// touched set.
+func updateConflicts(touched map[string]bool, u *Update) bool {
+	for rel, ts := range u.Inserts {
+		for _, t := range ts {
+			if touched[touchKey(rel, t)] {
+				return true
+			}
+		}
+	}
+	for rel, ts := range u.Deletes {
+		for _, t := range ts {
+			if touched[touchKey(rel, t)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeUpdate folds u into dst: inserts/deletes append per relation,
+// rule sources concatenate in submission order.
+func mergeUpdate(dst *Update, u *Update) {
+	if u.RuleSource != "" {
+		if dst.RuleSource != "" {
+			dst.RuleSource += "\n"
+		}
+		dst.RuleSource += u.RuleSource
+	}
+	if len(u.Inserts) > 0 && dst.Inserts == nil {
+		dst.Inserts = map[string][]Tuple{}
+	}
+	for rel, ts := range u.Inserts {
+		dst.Inserts[rel] = append(dst.Inserts[rel], ts...)
+	}
+	if len(u.Deletes) > 0 && dst.Deletes == nil {
+		dst.Deletes = map[string][]Tuple{}
+	}
+	for rel, ts := range u.Deletes {
+		dst.Deletes[rel] = append(dst.Deletes[rel], ts...)
+	}
+}

@@ -1,0 +1,122 @@
+package deepdive
+
+// Snapshot is an immutable, point-in-time view of the knowledge base: the
+// marginal probability and extraction state of every live candidate fact,
+// pinned to one grounding version and one factor-graph epoch. Snapshots
+// are published by the KB through an atomic pointer swap, so any number
+// of reader goroutines can query concurrently — with zero locks and no
+// coordination with writers — while Learn/Infer/Apply produce the next
+// one. A snapshot never changes after publication: readers that need a
+// consistent multi-query view hold one Snapshot and issue every query
+// against it.
+type Snapshot struct {
+	epoch         uint64
+	groundVersion uint64
+	graphEpoch    int32
+	stats         GraphStats
+	marg          []float64 // owned copy; nil before the first inference
+	rels          map[string]*relView
+}
+
+// snapFact is one live candidate fact frozen into a snapshot.
+type snapFact struct {
+	tuple    Tuple
+	prob     float64
+	hasProb  bool // a marginal was available when the snapshot was taken
+	evidence bool
+	evValue  bool
+}
+
+// relView is the frozen per-relation fact table: facts in ascending
+// variable-id order (the same order Engine.Extractions historically
+// reported) plus a tuple-key index for point lookups.
+type relView struct {
+	byKey map[string]int32
+	facts []snapFact
+}
+
+// emptySnapshot is what KB.Snapshot returns before the first publication.
+func emptySnapshot() *Snapshot {
+	return &Snapshot{rels: map[string]*relView{}}
+}
+
+// Epoch returns the KB publication generation this snapshot belongs to:
+// 0 for the initial empty view, then +1 per published state change.
+// Epochs are totally ordered — a reader observing epoch n has all of
+// update batch n and nothing of batch n+1.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// GroundVersion returns the grounding generation (one per Ground or
+// applied update batch) the snapshot is pinned to.
+func (s *Snapshot) GroundVersion() uint64 { return s.groundVersion }
+
+// GraphEpoch returns the factor graph's patch epoch at snapshot time
+// (0 = freshly built, +1 per in-place patch along the lineage).
+func (s *Snapshot) GraphEpoch() int32 { return s.graphEpoch }
+
+// Stats reports the grounded factor-graph statistics at snapshot time.
+func (s *Snapshot) Stats() GraphStats { return s.stats }
+
+// Marginal returns the marginal probability of a candidate fact, or
+// (0, false) when no such live candidate exists or no inference has run
+// yet. Evidence facts report their supervised value (0 or 1).
+func (s *Snapshot) Marginal(relation string, t Tuple) (float64, bool) {
+	rv := s.rels[relation]
+	if rv == nil {
+		return 0, false
+	}
+	i, ok := rv.byKey[t.Key()]
+	if !ok {
+		return 0, false
+	}
+	f := &rv.facts[i]
+	switch {
+	case f.evidence:
+		if f.evValue {
+			return 1, true
+		}
+		return 0, true
+	case f.hasProb:
+		return f.prob, true
+	default:
+		return 0, false
+	}
+}
+
+// Extractions returns the facts of a variable relation whose probability
+// exceeds the threshold, including supervised-true evidence facts, in
+// stable (variable-id) order.
+func (s *Snapshot) Extractions(relation string, threshold float64) []Extraction {
+	rv := s.rels[relation]
+	if rv == nil {
+		return nil
+	}
+	var out []Extraction
+	for i := range rv.facts {
+		f := &rv.facts[i]
+		if f.evidence {
+			if f.evValue {
+				out = append(out, Extraction{Tuple: f.tuple, Probability: 1, Evidence: true})
+			}
+			continue
+		}
+		if f.hasProb && f.prob > threshold {
+			out = append(out, Extraction{Tuple: f.tuple, Probability: f.prob})
+		}
+	}
+	return out
+}
+
+// Candidates returns every live candidate tuple of a variable relation,
+// in stable (variable-id) order.
+func (s *Snapshot) Candidates(relation string) []Tuple {
+	rv := s.rels[relation]
+	if rv == nil {
+		return nil
+	}
+	out := make([]Tuple, len(rv.facts))
+	for i := range rv.facts {
+		out[i] = rv.facts[i].tuple
+	}
+	return out
+}
