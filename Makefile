@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving fuzz-smoke bench bench-incupdate bench-replicas bench-serving
+.PHONY: check fmt vet build test race race-serving fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath profile
 
 # Everything CI runs.
 check: fmt vet build test race race-serving fuzz-smoke
@@ -18,10 +18,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel and replica samplers' sweeps fan out across goroutines,
+# The parallel and replica samplers' sweeps fan out across goroutines
+# (including the shard-local conditional-cache fills/invalidation),
 # patched graphs share pool backing arrays across the lineage, and the
 # replica learner steps weight replicas concurrently; run all three
-# packages under the race detector.
+# packages under the race detector (covers the cached-state and
+# differential tests).
 race:
 	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/...
 
@@ -51,3 +53,22 @@ bench-replicas:
 # recorded in BENCH_serving.json). Smoke: one short cell per column.
 bench-serving:
 	$(GO) test -bench='ServingThroughput/readers=1' -benchtime=0.1s -run=xxx .
+
+# Gibbs hot-path suite (results recorded in BENCH_hotpath.json): corpus
+# sweep throughput on all three runtimes, the near-convergence regime the
+# conditional cache targets (with its no-cache lesion), and the
+# estimator/store micro-benchmarks. The smoke variant runs one short
+# near-convergence cell.
+bench-hotpath:
+	$(GO) test -bench='SamplerNearConvergenceCorpus/mode=sequential$$' -benchtime=1x -run=xxx .
+
+# Full hot-path sweep, one iteration of the min-of-6 protocol.
+bench-hotpath-full:
+	$(GO) test -bench='SamplerSequentialCorpus$$|SamplerParallelCorpus$$|SamplerNearConvergenceCorpus|ReplicaVsShardedCorpus/mode=(sharded|replica)/workers=4$$' -benchtime=400ms -run=xxx .
+	$(GO) test ./internal/gibbs -bench='EstimatorObserve|StoreAdd' -benchtime=200ms -run=xxx
+
+# CPU-profile the corpus sweep benchmark under pprof; cmd/deepdive takes
+# the same -cpuprofile/-memprofile flags for whole-pipeline profiles.
+profile:
+	$(GO) test -bench='SamplerSequentialCorpus$$' -benchtime=2s -run=xxx -cpuprofile=cpu.prof -memprofile=mem.prof .
+	@echo "inspect with: go tool pprof deepdive.test cpu.prof"

@@ -1,0 +1,94 @@
+package deepdive_test
+
+// Backpressure regression tests for the bounded update queue
+// (WithMaxPending): with the writer slow (deterministically modelled by a
+// paused queue), submissions past the bound must block, honour their
+// context, unblock when the writer drains, and resolve to ErrQueueClosed
+// when the queue shuts down underneath them.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"deepdive"
+)
+
+func TestQueueBackpressure(t *testing.T) {
+	kb := spouseKB(t, deepdive.WithMaxPending(2))
+	defer kb.Close()
+	q := kb.Updates()
+
+	// Slow writer: nothing drains until Resume.
+	q.Pause()
+	t1 := q.Submit(docUpdate(1))
+	t2 := q.Submit(docUpdate(2))
+	if got := q.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+
+	// The bound is hit: a context-guarded submit must give up on time.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := q.SubmitCtx(ctx, docUpdate(3)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitCtx over bound: err = %v, want DeadlineExceeded", err)
+	}
+	if got := q.Pending(); got != 2 {
+		t.Fatalf("Pending after cancelled submit = %d, want 2", got)
+	}
+
+	// A plain Submit must block until the writer drains.
+	submitted := make(chan *deepdive.Ticket)
+	go func() {
+		submitted <- q.Submit(docUpdate(3))
+	}()
+	select {
+	case <-submitted:
+		t.Fatal("Submit returned while the queue was full and paused")
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	q.Resume() // writer catches up; the blocked submit must slot in
+	var t3 *deepdive.Ticket
+	select {
+	case t3 = <-submitted:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Submit still blocked after Resume")
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer wcancel()
+	for i, tk := range []*deepdive.Ticket{t1, t2, t3} {
+		if _, err := tk.Wait(wctx); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if got := q.Applied(); got != 3 {
+		t.Fatalf("Applied = %d, want 3", got)
+	}
+}
+
+func TestQueueBackpressureClose(t *testing.T) {
+	kb := spouseKB(t, deepdive.WithMaxPending(1))
+	q := kb.Updates()
+	q.Pause()
+	t1 := q.Submit(docUpdate(1))
+
+	// Blocked behind the bound; Close must resolve it to ErrQueueClosed
+	// instead of leaking the goroutine.
+	submitted := make(chan *deepdive.Ticket)
+	go func() {
+		submitted <- q.Submit(docUpdate(2))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	kb.Close() // drains the paused queue, then stops
+
+	tk := <-submitted
+	if _, err := tk.Wait(nil); !errors.Is(err, deepdive.ErrQueueClosed) {
+		t.Fatalf("blocked submit after Close: err = %v, want ErrQueueClosed", err)
+	}
+	// The update that made it in before Close must still have been drained.
+	if _, err := t1.Wait(nil); err != nil {
+		t.Fatalf("pre-Close ticket: %v", err)
+	}
+}

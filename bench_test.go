@@ -247,6 +247,82 @@ func BenchmarkSamplerParallelCorpus(b *testing.B) {
 	b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
+// ---- Near-convergence sweeps on a sharpened corpus graph ---------------
+//
+// BenchmarkSamplerNearConvergenceCorpus measures sweep throughput at
+// stationarity on a sharpened copy of the corpus graph: every weight is
+// set to a strong nonzero value (the freshly grounded graph's learnable
+// weights are all zero, leaving conditionals at coin flips — a trained
+// model is sharp instead), so the conditionals saturate and most
+// resamples keep the current value. This is the regime the Markov-blanket
+// conditional cache targets — a sweep where almost no variable flips
+// should cost almost no adjacency walks. Results are recorded in
+// BENCH_hotpath.json.
+
+var (
+	sharpGraphOnce sync.Once
+	sharpGraphVal  *factor.Graph
+)
+
+// sharpCorpusGraph returns a private copy of the corpus graph with
+// strong deterministic weights (the shared corpusGraph must stay
+// untouched for the other benchmarks).
+func sharpCorpusGraph(b *testing.B) *factor.Graph {
+	b.Helper()
+	base := corpusGraph(b)
+	sharpGraphOnce.Do(func() {
+		g := factor.NewBuilderFrom(base).MustBuild()
+		for w := 0; w < g.NumWeights(); w++ {
+			g.SetWeight(factor.WeightID(w), 1.5+float64(w%3))
+		}
+		sharpGraphVal = g
+	})
+	return sharpGraphVal
+}
+
+func BenchmarkSamplerNearConvergenceCorpus(b *testing.B) {
+	g := sharpCorpusGraph(b)
+	b.Run("mode=sequential", func(b *testing.B) {
+		s := gibbs.New(g, 1)
+		s.Run(50) // settle into stationarity before the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Sweep()
+		}
+		b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	b.Run("mode=sequential-nocache", func(b *testing.B) {
+		// Lesion: identical chain with the conditional cache disabled —
+		// the fused-kernel-only cost, isolating the cache's contribution.
+		s := gibbs.New(g, 1)
+		s.State.SetConditionalCache(false)
+		s.Run(50)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Sweep()
+		}
+		b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	b.Run("mode=parallel/workers=4", func(b *testing.B) {
+		s := gibbs.NewParallel(g, 4, 1)
+		s.Run(50)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Sweep()
+		}
+		b.ReportMetric(float64(s.NumFree()*b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	b.Run("mode=replica/workers=4", func(b *testing.B) {
+		s := gibbs.NewReplica(g, 4, 8, 1)
+		s.Run(50)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Sweep()
+		}
+		b.ReportMetric(float64(s.NumFree()*s.Replicas()*b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+}
+
 // ---- Replica vs sharded engine on the systems corpus -------------------
 //
 // BenchmarkReplicaVsShardedCorpus is the before/after pair for the

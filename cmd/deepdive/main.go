@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +27,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanups (profile flushes) fire
+	// before the process exits, on error paths included.
+	os.Exit(run())
+}
+
+func run() int {
 	system := flag.String("system", "Genomics", "system: Adversarial, News, Genomics, Pharma, Paleontology")
 	semName := flag.String("sem", "ratio", "counting semantics: linear, logical, ratio")
 	threshold := flag.Float64("threshold", 0.9, "extraction threshold")
@@ -36,17 +44,49 @@ func main() {
 	rebuild := flag.Bool("rebuild", false, "rebuild the factor graph on every update (lesion; default is the O(Δ) in-place patch)")
 	serve := flag.Duration("serve", 0, "after the iteration loop, run a snapshot-serving demo for this long (e.g. 2s): concurrent readers over deepdive.KB snapshots while the update queue coalesces rule iterations")
 	readers := flag.Int("readers", 4, "reader goroutines for the -serve demo")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sem, err := factor.ParseSemantics(*semName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	sys, err := corpus.SystemByName(*system)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	if !*full {
 		spec := sys.Spec
@@ -67,7 +107,7 @@ func main() {
 	p, err := kbc.NewPipeline(sys, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	st := p.SystemStats()
 	fmt.Printf("grounded: %d vars, %d factors, %d rules\n", st.Vars, st.Factors, st.Rules)
@@ -87,7 +127,7 @@ func main() {
 		res, err := p.ApplyIteration(rule)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", rule, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%-5s %10.3f %12v %12v %12v %6.2f  %v\n",
 			rule, res.Scores.F1, res.GroundTime.Round(1e3), res.LearnTime.Round(1e3),
@@ -105,9 +145,10 @@ func main() {
 	if *serve > 0 {
 		if err := serveDemo(sys, sem, cfg, *serve, *readers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // serveDemo exercises the snapshot-serving API end to end: a deepdive.KB

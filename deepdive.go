@@ -125,6 +125,13 @@ type Options struct {
 	// accumulated tombstones triggering an occasional compacting rebuild.
 	RebuildUpdates bool
 
+	// MaxPending bounds the update queue's pending depth: when the queue
+	// already holds this many unapplied updates, Submit blocks (and
+	// SubmitCtx honours its context) until the writer drains a batch —
+	// backpressure instead of unbounded producer memory. 0 means
+	// unbounded.
+	MaxPending int
+
 	Seed int64
 }
 
@@ -176,6 +183,11 @@ func WithReplicas(n, syncEvery int) Option {
 // WithRebuildUpdates toggles the rebuild lesion configuration (see
 // Options.RebuildUpdates). In-place O(Δ) patching is the default.
 func WithRebuildUpdates(on bool) Option { return func(o *Options) { o.RebuildUpdates = on } }
+
+// WithMaxPending bounds the update queue's pending depth (see
+// Options.MaxPending): submissions past the bound block until the writer
+// drains a batch. n <= 0 means unbounded (the default).
+func WithMaxPending(n int) Option { return func(o *Options) { o.MaxPending = n } }
 
 // WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching.
 //

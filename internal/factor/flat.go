@@ -35,9 +35,21 @@ type CSR struct {
 	AdjOff    []int32
 	AdjGroups []int32
 
+	// Per-group semantics lookup tables: group g's precomputed g(n) values
+	// are SemTab[SemOff[g]+n] for n in [0, max support of g].
+	SemOff []int32
+	SemTab []float64
+
+	// Markov-blanket neighbor CSR: variable v shares at least one group
+	// with exactly Nbrs[NbrOff[v]:NbrOff[v+1]] (deduplicated, ascending,
+	// self excluded). Conditional caches invalidate along these rows.
+	NbrOff []int32
+	Nbrs   []int32
+
 	// Patch extensions (zero-valued on freshly built graphs).
 	GndExtra [][]int32 // per group: overflow grounding ids
 	AdjExtra [][]int32 // per var: overflow adjacent group ids
+	NbrExtra [][]int32 // per var: overflow blanket neighbors
 	DeadAt   []int32   // per grounding: tombstoning epoch (0 = live)
 	Epoch    int32     // this view's patch generation
 }
@@ -60,8 +72,13 @@ func (g *Graph) CSR() CSR {
 		Lits:        g.lits,
 		AdjOff:      g.adjOff,
 		AdjGroups:   g.adjGroups,
+		SemOff:      g.semOff,
+		SemTab:      g.semTab,
+		NbrOff:      g.nbrOff,
+		Nbrs:        g.nbrs,
 		GndExtra:    g.gndExtra,
 		AdjExtra:    g.adjExtra,
+		NbrExtra:    g.nbrExtra,
 		DeadAt:      g.deadAt,
 		Epoch:       g.epoch,
 	}
@@ -155,6 +172,8 @@ func (g *Graph) EnergyDeltaShard(cur, snap []bool, lo, hi int32, v VarID) float6
 	if g.adjExtra != nil {
 		xadj = g.adjExtra[v]
 	}
+	weights, groupWeight, groupHead := g.weights, g.groupWeight, g.groupHead
+	semOff, semTab := g.semOff, g.semTab
 	for ai := 0; ai < len(adj)+len(xadj); ai++ {
 		var gi int32
 		if ai < len(adj) {
@@ -164,13 +183,13 @@ func (g *Graph) EnergyDeltaShard(cur, snap []bool, lo, hi int32, v VarID) float6
 		}
 		// n1/n0: satisfied groundings of the group with v=true / v=false.
 		n1, n0 := g.shardSupport(gi, vi, cur, snap, lo, hi)
-		w := g.weights[g.groupWeight[gi]]
-		sem := g.groupSem[gi]
-		if g.groupHead[gi] == vi {
+		w := weights[groupWeight[gi]]
+		tab := semTab[semOff[gi]:]
+		if groupHead[gi] == vi {
 			// E(v=1) = +w·g(n1); E(v=0) = −w·g(n0) ⇒ diff = w·(g(n1)+g(n0)).
-			delta += w * (sem.G(n1) + sem.G(n0))
+			delta += w * (tab[n1] + tab[n0])
 		} else {
-			h := g.groupHead[gi]
+			h := groupHead[gi]
 			var hv bool
 			if h >= lo && h <= hi {
 				hv = cur[h]
@@ -178,9 +197,9 @@ func (g *Graph) EnergyDeltaShard(cur, snap []bool, lo, hi int32, v VarID) float6
 				hv = snap[h]
 			}
 			if hv {
-				delta += w * (sem.G(n1) - sem.G(n0))
+				delta += w * (tab[n1] - tab[n0])
 			} else {
-				delta -= w * (sem.G(n1) - sem.G(n0))
+				delta -= w * (tab[n1] - tab[n0])
 			}
 		}
 	}
@@ -208,6 +227,6 @@ func (g *Graph) WeightStatsOf(assign []bool, out []float64) {
 		if assign[g.groupHead[gi]] {
 			sign = 1.0
 		}
-		out[g.groupWeight[gi]] += sign * g.groupSem[gi].G(n)
+		out[g.groupWeight[gi]] += sign * g.semVal(int32(gi), n)
 	}
 }

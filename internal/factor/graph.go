@@ -3,6 +3,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // VarID identifies a Boolean random variable in a Graph.
@@ -43,12 +44,24 @@ type Group struct {
 
 // bodyOcc is one (variable, grounding) co-occurrence record built by
 // Build. gnd is the global grounding index (into the flat grounding
-// space), so counter updates index State.unsat directly.
+// space), so counter updates index State.unsat directly. The occurrence
+// counts are stored indexed by the variable's value — n[0] counts
+// positive literals (unsatisfied when v=false), n[1] negated literals
+// (unsatisfied when v=true) — so the sweep kernels read the contribution
+// under either candidate value as n[b2i(val)] with no branch.
 type bodyOcc struct {
 	group int32
-	gnd   int32  // global grounding index
-	nPos  uint16 // positive occurrences of the var in the grounding
-	nNeg  uint16 // negated occurrences
+	gnd   int32 // global grounding index
+	n     [2]uint16
+}
+
+// b2i converts a bool to its array index (compiles to a register move —
+// Go bools are 0/1 bytes).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Graph is a grounded factor graph: variables, evidence assignments, tied
@@ -97,6 +110,30 @@ type Graph struct {
 	bodyRecs  []bodyOcc
 	adjOff    []int32
 	adjGroups []int32
+
+	// Table-driven semantics: group gi's g(n) values are precomputed at
+	// semTab[semOff[gi] + n] for n in [0, max support of gi]. The support
+	// of a group is bounded by its grounding count, so the table replaces
+	// the per-evaluation Semantics.G switch (and Ratio's log1p) with one
+	// indexed load in every hot evaluator.
+	semOff []int32
+	semTab []float64
+
+	// Markov-blanket adjacency, CSR: variable v's neighbors — every other
+	// variable sharing at least one group with v — are
+	// nbrs[nbrOff[v]:nbrOff[v+1]], deduplicated, ascending, self excluded.
+	// A flip of v can change the cached conditional of exactly these
+	// variables, so the conditional caches invalidate along these rows.
+	// Patched-in couplings live in the nbrExtra overflow rows.
+	nbrOff   []int32
+	nbrs     []int32
+	nbrExtra [][]int32
+
+	// weightGen counts weight mutations (SetWeight, SetWeights,
+	// NoteWeightsChanged). Conditional caches compare it against the value
+	// they were filled under and bulk-invalidate on mismatch, so weight
+	// updates during learning can never serve a stale conditional.
+	weightGen uint64
 
 	nGnd int // grounding pool size (live + tombstoned)
 
@@ -206,8 +243,12 @@ func (g *Graph) GroupHead(i int) VarID { return VarID(g.groupHead[i]) }
 func (g *Graph) Weight(w WeightID) float64 { return g.weights[w] }
 
 // SetWeight assigns weight w. States derived from the graph observe the
-// change immediately (weights are read at evaluation time).
-func (g *Graph) SetWeight(w WeightID, v float64) { g.weights[w] = v }
+// change immediately (weights are read at evaluation time; cached
+// conditionals are invalidated through the weight generation).
+func (g *Graph) SetWeight(w WeightID, v float64) {
+	g.weights[w] = v
+	g.weightGen++
+}
 
 // Weights returns the live weight slice (shared, not a copy).
 func (g *Graph) Weights() []float64 { return g.weights }
@@ -218,6 +259,35 @@ func (g *Graph) SetWeights(vals []float64) {
 		panic(fmt.Sprintf("factor: SetWeights got %d values, want %d", len(vals), len(g.weights)))
 	}
 	copy(g.weights, vals)
+	g.weightGen++
+}
+
+// WeightGeneration returns the weight mutation counter. Conditional
+// caches (State, gibbs.ParallelSampler) record it at fill time and
+// bulk-invalidate when it moves.
+func (g *Graph) WeightGeneration() uint64 { return g.weightGen }
+
+// NoteWeightsChanged bumps the weight generation without changing any
+// value. Call it after mutating weight storage behind the graph's back —
+// the replica learner steps the caller-owned vector a WeightView is bound
+// to directly, which SetWeight(s) never sees.
+func (g *Graph) NoteWeightsChanged() { g.weightGen++ }
+
+// semVal returns the precomputed g(n) of group gi.
+func (g *Graph) semVal(gi int32, n int) float64 { return g.semTab[int(g.semOff[gi])+n] }
+
+// Neighbors calls f for every variable sharing at least one group with v
+// (v's Markov blanket), frozen CSR row first (ascending), then patched-in
+// overflow entries.
+func (g *Graph) Neighbors(v VarID, f func(VarID)) {
+	for _, u := range g.nbrs[g.nbrOff[v]:g.nbrOff[v+1]] {
+		f(VarID(u))
+	}
+	if g.nbrExtra != nil {
+		for _, u := range g.nbrExtra[v] {
+			f(VarID(u))
+		}
+	}
 }
 
 // WeightView returns a graph that shares every structural array with g —
@@ -314,7 +384,7 @@ func (g *Graph) groupEnergy(gi int32, assign []bool) float64 {
 	if assign[g.groupHead[gi]] {
 		sign = 1.0
 	}
-	return g.weights[g.groupWeight[gi]] * sign * g.groupSem[gi].G(n)
+	return g.weights[g.groupWeight[gi]] * sign * g.semVal(gi, n)
 }
 
 // Energy computes Ŵ(F, I) = Σ_γ w(γ, I) from scratch for the complete
@@ -518,9 +588,14 @@ func (b *Builder) Build() (*Graph, error) {
 	g.litOff = make([]int32, totalGnd+1)
 	g.lits = make([]int32, 0, totalLit)
 
-	// Pass 2: fill the pools and accumulate per-variable adjacency.
+	// Pass 2: fill the pools and accumulate per-variable adjacency plus the
+	// Markov-blanket neighbor rows (every pair of variables co-occurring in
+	// a group, head included).
 	bodyTmp := make([][]bodyOcc, n)
 	adjTmp := make([][]int32, n)
+	nbrTmp := make([][]int32, n)
+	groupMark := make([]int32, n) // stamp = group index + 1
+	var groupVars []int32         // distinct variables of the current group
 	addAdj := func(v VarID, gi int32) {
 		a := adjTmp[v]
 		if len(a) == 0 || a[len(a)-1] != gi {
@@ -539,6 +614,15 @@ func (b *Builder) Build() (*Graph, error) {
 		g.groupSem[gi] = gr.Sem
 		g.gndOff[gi] = gk
 		addAdj(gr.Head, int32(gi))
+		groupVars = groupVars[:0]
+		stamp := int32(gi) + 1
+		markVar := func(v int32) {
+			if groupMark[v] != stamp {
+				groupMark[v] = stamp
+				groupVars = append(groupVars, v)
+			}
+		}
+		markVar(int32(gr.Head))
 		// Collect per-(var, grounding) occurrence counts.
 		occ := make(map[occKey]*bodyOcc)
 		var order []occKey
@@ -550,6 +634,7 @@ func (b *Builder) Build() (*Graph, error) {
 					enc |= 1
 				}
 				g.lits = append(g.lits, enc)
+				markVar(int32(lit.Var))
 				k := occKey{lit.Var, gk}
 				o := occ[k]
 				if o == nil {
@@ -558,9 +643,9 @@ func (b *Builder) Build() (*Graph, error) {
 					order = append(order, k)
 				}
 				if lit.Neg {
-					o.nNeg++
+					o.n[1]++
 				} else {
-					o.nPos++
+					o.n[0]++
 				}
 			}
 			gk++
@@ -569,9 +654,32 @@ func (b *Builder) Build() (*Graph, error) {
 			bodyTmp[k.v] = append(bodyTmp[k.v], *occ[k])
 			addAdj(k.v, int32(gi))
 		}
+		for i, a := range groupVars {
+			for _, c := range groupVars[i+1:] {
+				nbrTmp[a] = append(nbrTmp[a], c)
+				nbrTmp[c] = append(nbrTmp[c], a)
+			}
+		}
 	}
 	g.gndOff[nG] = gk
 	g.litOff[gk] = int32(len(g.lits))
+
+	// Semantics lookup tables: one row of g(0..count) per group.
+	g.semOff = make([]int32, nG)
+	g.semTab = make([]float64, 0, totalGnd+nG)
+	for gi := 0; gi < nG; gi++ {
+		g.semOff[gi] = int32(len(g.semTab))
+		cnt := int(g.gndOff[gi+1] - g.gndOff[gi])
+		sem := g.groupSem[gi]
+		for sup := 0; sup <= cnt; sup++ {
+			g.semTab = append(g.semTab, sem.G(sup))
+		}
+	}
+
+	for v := range nbrTmp {
+		nbrTmp[v] = sortDedupInt32(nbrTmp[v])
+	}
+	g.nbrOff, g.nbrs = flattenInt32(nbrTmp)
 
 	g.adjOff, g.adjGroups = flattenInt32(adjTmp)
 	total := 0
@@ -586,6 +694,12 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.bodyOff[n] = int32(len(g.bodyRecs))
 	return g, nil
+}
+
+// sortDedupInt32 sorts a row ascending and drops duplicates in place.
+func sortDedupInt32(row []int32) []int32 {
+	slices.Sort(row)
+	return slices.Compact(row)
 }
 
 // flattenInt32 packs per-row slices into one CSR offset/value pair.

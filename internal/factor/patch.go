@@ -49,6 +49,26 @@ type Patch struct {
 	// adjacency-membership memo for pairs checked or added this patch;
 	// key is int64(var)<<32 | group.
 	adjSeen map[int64]bool
+	// blanket-membership memo for neighbor pairs checked or added this
+	// patch; key is int64(min)<<32 | max.
+	nbrSeen map[int64]bool
+	// per-group distinct-variable memo: seeded by one scan on the first
+	// AddGrounding into a group, extended as groundings land, so streamed
+	// additions stay O(Δ) instead of rescanning the group per call.
+	groupVarsMemo map[int32]*groupVarSet
+}
+
+// groupVarSet tracks the distinct variables of one group during a patch.
+type groupVarSet struct {
+	seen map[VarID]bool
+	vars []VarID
+}
+
+func (s *groupVarSet) add(v VarID) {
+	if !s.seen[v] {
+		s.seen[v] = true
+		s.vars = append(s.vars, v)
+	}
 }
 
 // NewPatch starts a patch over g. The working copy's weight table and
@@ -62,7 +82,13 @@ func NewPatch(g *Graph) *Patch {
 	ng.weights = append([]float64(nil), g.weights...)
 	ng.evidence = append([]bool(nil), g.evidence...)
 	ng.evValue = append([]bool(nil), g.evValue...)
-	return &Patch{base: g, g: &ng, adjSeen: make(map[int64]bool)}
+	return &Patch{
+		base:          g,
+		g:             &ng,
+		adjSeen:       make(map[int64]bool),
+		nbrSeen:       make(map[int64]bool),
+		groupVarsMemo: make(map[int32]*groupVarSet),
+	}
 }
 
 // checkOpen panics after Apply: a patch is single-use.
@@ -90,6 +116,12 @@ func (p *Patch) ownStruct() {
 	be := make([][]bodyOcc, g.numVars)
 	copy(be, g.bodyExtra)
 	g.bodyExtra = be
+	ne := make([][]int32, g.numVars)
+	copy(ne, g.nbrExtra)
+	g.nbrExtra = ne
+	// Semantics-table offsets are a per-group side table: extending a
+	// group's table relocates its row, so the patch owns the offsets.
+	g.semOff = append([]int32(nil), g.semOff...)
 }
 
 // AddVar registers a new free variable and returns its id.
@@ -101,8 +133,10 @@ func (p *Patch) AddVar() VarID {
 	g.evValue = append(g.evValue, false)
 	g.bodyOff = append(g.bodyOff, g.bodyOff[len(g.bodyOff)-1])
 	g.adjOff = append(g.adjOff, g.adjOff[len(g.adjOff)-1])
+	g.nbrOff = append(g.nbrOff, g.nbrOff[len(g.nbrOff)-1])
 	g.bodyExtra = append(g.bodyExtra, nil)
 	g.adjExtra = append(g.adjExtra, nil)
+	g.nbrExtra = append(g.nbrExtra, nil)
 	g.numVars++
 	return VarID(g.numVars - 1)
 }
@@ -146,6 +180,10 @@ func (p *Patch) AddGroup(head VarID, w WeightID, sem Semantics) int {
 	// NumGroups+1 with an empty [off, off) main range.
 	g.gndOff = append(g.gndOff, g.gndOff[len(g.gndOff)-1])
 	g.gndExtra = append(g.gndExtra, nil)
+	// The new group's semantics table starts at the pool tail with the
+	// support-0 entry; AddGrounding extends it in place.
+	g.semOff = append(g.semOff, int32(len(g.semTab)))
+	g.semTab = append(g.semTab, sem.G(0))
 	gi := len(g.groupHead) - 1
 	p.addAdj(head, int32(gi))
 	return gi
@@ -185,6 +223,76 @@ func (p *Patch) addAdj(v VarID, gi int32) {
 	p.adjSeen[int64(v)<<32|int64(uint32(gi))] = true
 }
 
+// hasNbr reports whether a and b are already Markov-blanket neighbors
+// (frozen row — binary search, it is ascending — or overflow row),
+// memoizing lookups. Rows are kept symmetric, so one direction suffices.
+func (p *Patch) hasNbr(a, b VarID) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := int64(lo)<<32 | int64(uint32(hi))
+	if p.nbrSeen[key] {
+		return true
+	}
+	g := p.g
+	row := g.nbrs[g.nbrOff[a]:g.nbrOff[a+1]]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(b) })
+	found := i < len(row) && row[i] == int32(b)
+	if !found {
+		for _, x := range g.nbrExtra[a] {
+			if x == int32(b) {
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		p.nbrSeen[key] = true
+	}
+	return found
+}
+
+// addNbr links a and b as blanket neighbors (both directions) if absent.
+func (p *Patch) addNbr(a, b VarID) {
+	if a == b || p.hasNbr(a, b) {
+		return
+	}
+	p.g.nbrExtra[a] = append(p.g.nbrExtra[a], int32(b))
+	p.g.nbrExtra[b] = append(p.g.nbrExtra[b], int32(a))
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	p.nbrSeen[int64(lo)<<32|int64(uint32(hi))] = true
+}
+
+// groupVars returns the memoized distinct-variable set of group gi (head
+// plus every grounding's literals, frozen and overflow, tombstones
+// included — stale blanket links only cost spurious invalidations). The
+// first call for a group scans it once; later calls return the tracked
+// set, which AddGrounding extends as new groundings land.
+func (p *Patch) groupVars(gi int32) *groupVarSet {
+	if s := p.groupVarsMemo[gi]; s != nil {
+		return s
+	}
+	g := p.g
+	s := &groupVarSet{seen: map[VarID]bool{}}
+	s.add(VarID(g.groupHead[gi]))
+	for k := g.gndOff[gi]; k < g.gndOff[gi+1]; k++ {
+		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+			s.add(VarID(g.lits[li] >> 1))
+		}
+	}
+	for _, k := range g.gndExtra[gi] {
+		for li := g.litOff[k]; li < g.litOff[k+1]; li++ {
+			s.add(VarID(g.lits[li] >> 1))
+		}
+	}
+	p.groupVarsMemo[gi] = s
+	return s
+}
+
 // AddGrounding appends one grounding (conjunction of literals) to group
 // gi — either a group added by this patch or a pre-existing one — and
 // returns its global grounding id, which RemoveGrounding accepts later.
@@ -195,6 +303,12 @@ func (p *Patch) AddGrounding(gi int, lits []Literal) int32 {
 	if gi < 0 || gi >= len(g.groupHead) {
 		panic(fmt.Sprintf("factor: Patch.AddGrounding group %d out of range [0,%d)", gi, len(g.groupHead)))
 	}
+	// The group's tracked variable set: the new grounding's variables
+	// couple to every variable already in the group through its shared
+	// support count, so the blanket rows must link them for the
+	// conditional caches to invalidate correctly.
+	gv := p.groupVars(int32(gi))
+
 	k := int32(g.nGnd)
 	for _, lit := range lits {
 		if lit.Var < 0 || int(lit.Var) >= g.numVars {
@@ -210,6 +324,20 @@ func (p *Patch) AddGrounding(gi int, lits []Literal) int32 {
 	if g.deadAt != nil {
 		g.deadAt = append(g.deadAt, 0)
 	}
+
+	// Extend the group's semantics table by one support level. The
+	// group's prior table covers [0, oldCnt]; when it sits at the pool
+	// tail (the common case: groundings stream into the most recently
+	// patched groups) it extends in place, otherwise it relocates to the
+	// tail — O(group) at worst, amortized O(1) on streaming patterns.
+	oldCnt := int(g.gndOff[gi+1]-g.gndOff[gi]) + len(g.gndExtra[gi])
+	off := int(g.semOff[gi])
+	if off+oldCnt+1 != len(g.semTab) {
+		g.semOff[gi] = int32(len(g.semTab))
+		g.semTab = append(g.semTab, g.semTab[off:off+oldCnt+1]...)
+	}
+	g.semTab = append(g.semTab, g.groupSem[gi].G(oldCnt+1))
+
 	g.nGnd++
 	g.nExtra++
 	g.gndExtra[gi] = append(g.gndExtra[gi], k)
@@ -233,13 +361,21 @@ func (p *Patch) AddGrounding(gi int, lits []Literal) int32 {
 				continue
 			}
 			if l2.Neg {
-				occ.nNeg++
+				occ.n[1]++
 			} else {
-				occ.nPos++
+				occ.n[0]++
 			}
 		}
 		g.bodyExtra[lit.Var] = append(g.bodyExtra[lit.Var], occ)
 		p.addAdj(lit.Var, int32(gi))
+		// Blanket links: to every variable already tracked for the group —
+		// including this grounding's earlier variables, which were added to
+		// the set as they were processed (addNbr dedupes both directions
+		// and skips self-links).
+		for _, u := range gv.vars {
+			p.addNbr(lit.Var, u)
+		}
+		gv.add(lit.Var)
 	}
 	return k
 }

@@ -1,0 +1,73 @@
+package gibbs_test
+
+// Micro-benchmarks for the sampling support machinery the sweep loops
+// lean on: the marginal estimator's observe step (once per kept sweep)
+// and the sample store's pack step (once per materialized world). The
+// estimator pair compares the observe-everything path (NewEstimator,
+// the pre-overhaul behaviour) against the free-vars-only path
+// (NewEstimatorFor) on a graph with a realistic evidence fraction.
+// Results are recorded in BENCH_hotpath.json.
+
+import (
+	"testing"
+
+	"deepdive/internal/factor"
+	"deepdive/internal/gibbs"
+)
+
+// estimatorGraph builds a 8192-variable graph, roughly half evidence —
+// the shape supervision-heavy KBC groundings produce.
+func estimatorGraph() *factor.Graph {
+	b := factor.NewBuilder()
+	for i := 0; i < 8192; i++ {
+		if i%2 == 0 {
+			b.AddEvidenceVar(i%4 == 0)
+		} else {
+			b.AddVar()
+		}
+	}
+	return b.MustBuild()
+}
+
+// benchAssign builds an assignment with about a third of the bits set.
+func benchAssign(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = i%3 == 0
+	}
+	return out
+}
+
+func BenchmarkEstimatorObserve(b *testing.B) {
+	g := estimatorGraph()
+	assign := benchAssign(g.NumVars())
+	b.Run("mode=all-vars", func(b *testing.B) {
+		est := gibbs.NewEstimator(g.NumVars())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est.Observe(assign)
+		}
+		_ = est.Means()
+	})
+	b.Run("mode=free-only", func(b *testing.B) {
+		est := gibbs.NewEstimatorFor(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est.Observe(assign)
+		}
+		_ = est.Means()
+	})
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	const nVars = 4096
+	assign := benchAssign(nVars)
+	b.ResetTimer()
+	var st *gibbs.Store
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			st = gibbs.NewStore(nVars) // bound store growth; fresh store per 1024 adds
+		}
+		st.Add(assign)
+	}
+}

@@ -27,6 +27,13 @@ import (
 // marginals statistically indistinguishable from the sequential scan on
 // sparse KBC graphs.
 //
+// Each variable's last conditional is memoized in a shard-local cache and
+// stays valid until a Markov-blanket neighbor flips (in-shard flips
+// invalidate immediately, cross-shard flips at the next snapshot refresh
+// — see sweepShard and propagateFlips), so near-convergence sweeps skip
+// most adjacency walks. The cache is bitwise transparent: chains are
+// bit-for-bit identical with it on or off.
+//
 // The sampler itself is driven from one goroutine; only its internal
 // sweeps fan out.
 type ParallelSampler struct {
@@ -41,6 +48,22 @@ type ParallelSampler struct {
 
 	cur  []bool // live assignment; workers write only their own shard
 	snap []bool // sweep-start snapshot for cross-shard reads
+
+	// Shard-local conditional cache: cSig[v] holds the sigmoid of v's last
+	// conditional, valid while cStamp[v] == stamp. Fills and reads happen
+	// only on the owning worker; invalidation is split to stay race-free —
+	// a flip invalidates its in-shard blanket neighbors immediately (same
+	// worker, Gauss-Seidel visibility), while cross-shard neighbors are
+	// invalidated by the driver at the next sweep start (exactly when the
+	// refreshed snapshot makes the flip visible to them). Each worker logs
+	// its flips into a private row for the driver pass.
+	csr     factor.CSR
+	cSig    []float64
+	cStamp  []uint32
+	stamp   uint32
+	flips   [][]int32 // per-worker flip log of the last sweep
+	wgen    uint64    // graph weight generation the cache was filled under
+	cacheOn bool      // lesion toggle (SetConditionalCache); default on
 
 	collecting bool
 	counts     []float64 // per-variable true counts; workers write own shard only
@@ -63,10 +86,16 @@ func NewParallel(g *factor.Graph, workers int, seed int64) *ParallelSampler {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &ParallelSampler{
-		g:      g,
-		master: rand.New(rand.NewSource(seed)),
-		cur:    make([]bool, g.NumVars()),
-		snap:   make([]bool, g.NumVars()),
+		g:       g,
+		master:  rand.New(rand.NewSource(seed)),
+		cur:     make([]bool, g.NumVars()),
+		snap:    make([]bool, g.NumVars()),
+		csr:     g.CSR(),
+		cSig:    make([]float64, g.NumVars()),
+		cStamp:  make([]uint32, g.NumVars()),
+		stamp:   1,
+		wgen:    g.WeightGeneration(),
+		cacheOn: true,
 	}
 	for v := 0; v < g.NumVars(); v++ {
 		if g.IsEvidence(factor.VarID(v)) {
@@ -87,6 +116,7 @@ func NewParallel(g *factor.Graph, workers int, seed int64) *ParallelSampler {
 	p.lo = make([]int32, workers)
 	p.hi = make([]int32, workers)
 	p.rngs = make([]*rand.Rand, workers)
+	p.flips = make([][]int32, workers)
 	base, rem := len(p.free)/workers, len(p.free)%workers
 	start := 0
 	for w := 0; w < workers; w++ {
@@ -107,6 +137,9 @@ func NewParallel(g *factor.Graph, workers int, seed int64) *ParallelSampler {
 		// engine's phase offsets) must not share worker streams, which
 		// splitmix64(seed+w) alone would allow.
 		p.rngs[w] = rand.New(rand.NewSource(DeriveSeed(MixSeed(seed), w)))
+		// Flip-log capacity: a variable flips at most once per sweep, so a
+		// shard-sized row never reallocates mid-sweep.
+		p.flips[w] = make([]int32, 0, size)
 		start += size
 	}
 	return p
@@ -130,26 +163,151 @@ func (p *ParallelSampler) RandomizeState() {
 	for _, v := range p.free {
 		p.cur[v] = p.master.Intn(2) == 0
 	}
+	p.bumpStamp()
+	for w := range p.flips {
+		p.flips[w] = p.flips[w][:0]
+	}
+}
+
+// bumpStamp invalidates every cached conditional in O(1).
+func (p *ParallelSampler) bumpStamp() {
+	p.stamp++
+	if p.stamp == 0 { // wrapped: stale stamps could collide, clear them
+		for i := range p.cStamp {
+			p.cStamp[i] = 0
+		}
+		p.stamp = 1
+	}
+}
+
+// propagateFlips is the driver-side half of cache invalidation, run
+// between sweeps: every variable that flipped last sweep invalidates its
+// full Markov blanket — in particular the cross-shard neighbors no worker
+// may touch mid-sweep — exactly when the refreshed snapshot makes those
+// flips visible. The walk's total cost is the summed blanket size of the
+// sweep's flips, which is bounded by the adjacency work the invalidated
+// entries will pay on their next miss anyway — and on KBC graphs the
+// frequent flippers are weakly coupled variables with tiny blankets, so
+// even mixing-phase sweeps propagate cheaply.
+func (p *ParallelSampler) propagateFlips() {
+	nbrOff, nbrs, nbrX := p.csr.NbrOff, p.csr.Nbrs, p.csr.NbrExtra
+	cStamp := p.cStamp
+	for w := range p.flips {
+		for _, v := range p.flips[w] {
+			for _, u := range nbrs[nbrOff[v]:nbrOff[v+1]] {
+				cStamp[u] = 0
+			}
+			if nbrX != nil {
+				for _, u := range nbrX[v] {
+					cStamp[u] = 0
+				}
+			}
+		}
+		p.flips[w] = p.flips[w][:0]
+	}
 }
 
 // sweepShard samples worker w's shard once. Reads of variables inside the
 // shard see this sweep's values (Gauss-Seidel); reads of other shards see
 // the sweep-start snapshot (factor.EnergyDeltaShard's read rule). Writes
-// touch only cur[v] for owned v (and the owned slots of counts when
-// collecting), so concurrent shards never race.
+// touch only cur[v], cSig[v], cStamp[v], and the flip log for owned v
+// (and the owned slots of counts when collecting), so concurrent shards
+// never race: in-sweep cache invalidation is clipped to the shard's
+// ownership window, and cross-shard invalidation is the driver's
+// propagateFlips pass.
 func (p *ParallelSampler) sweepShard(w int) {
+	if p.cacheOn {
+		p.sweepShardCached(w)
+	} else {
+		p.sweepShardUncached(w)
+	}
+}
+
+// sweepShardUncached is the lesion kernel (SetConditionalCache(false)):
+// plain direct evaluation with no cache bookkeeping, the pre-overhaul
+// sweep loop.
+func (p *ParallelSampler) sweepShardUncached(w int) {
 	g := p.g
 	cur, snap := p.cur, p.snap
 	lo, hi := p.lo[w], p.hi[w]
 	rng := p.rngs[w]
+	collecting := p.collecting
 	for _, v := range p.shards[w] {
 		delta := g.EnergyDeltaShard(cur, snap, lo, hi, v)
 		val := rng.Float64() < 1/(1+math.Exp(-delta))
 		cur[v] = val
-		if p.collecting && val {
+		if collecting && val {
 			p.counts[v]++
 		}
 	}
+}
+
+// SetConditionalCache toggles the shard-local conditional cache (enabled
+// by default). The cache is bitwise transparent, so this knob changes
+// performance only; it exists for lesion benchmarks and differential
+// tests.
+func (p *ParallelSampler) SetConditionalCache(on bool) {
+	p.cacheOn = on
+	p.bumpStamp()
+	for w := range p.flips {
+		p.flips[w] = p.flips[w][:0]
+	}
+}
+
+// sweepShardCached is the hot kernel: conditionals come from the
+// shard-local cache when valid, flips log for the driver pass and
+// invalidate their in-shard blanket window immediately.
+func (p *ParallelSampler) sweepShardCached(w int) {
+	g := p.g
+	cur, snap := p.cur, p.snap
+	lo, hi := p.lo[w], p.hi[w]
+	rng := p.rngs[w]
+	cSig, cStamp, stamp := p.cSig, p.cStamp, p.stamp
+	nbrOff, nbrs := p.csr.NbrOff, p.csr.Nbrs
+	nbrX, adjX := p.csr.NbrExtra, p.csr.AdjExtra
+	flips := p.flips[w][:0]
+	collecting := p.collecting
+	for _, v := range p.shards[w] {
+		var sig float64
+		if cStamp[v] == stamp {
+			sig = cSig[v]
+		} else {
+			delta := g.EnergyDeltaShard(cur, snap, lo, hi, v)
+			sig = 1 / (1 + math.Exp(-delta))
+			// Overflow-row variables evaluate through patched-in adjacency;
+			// conservatively never cache them (they are Δ-sized).
+			if adjX == nil || adjX[v] == nil {
+				cSig[v] = sig
+				cStamp[v] = stamp
+			}
+		}
+		val := rng.Float64() < sig
+		if val != cur[v] {
+			cur[v] = val
+			flips = append(flips, int32(v))
+			// Immediate invalidation of the in-shard blanket window (the
+			// frozen row is ascending; overflow entries are range-checked).
+			for _, u := range nbrs[nbrOff[v]:nbrOff[v+1]] {
+				if u >= lo {
+					if u > hi {
+						break
+					}
+					cStamp[u] = 0
+				}
+			}
+			if nbrX != nil {
+				for _, u := range nbrX[v] {
+					if u >= lo && u <= hi {
+						cStamp[u] = 0
+					}
+				}
+			}
+		}
+		if collecting && val {
+			p.counts[v]++
+		}
+	}
+	p.flips[w] = flips
 }
 
 // Sweep performs one full scan over all free variables, fanning the shards
@@ -157,6 +315,13 @@ func (p *ParallelSampler) sweepShard(w int) {
 func (p *ParallelSampler) Sweep() {
 	if len(p.free) == 0 {
 		return
+	}
+	if wg := p.g.WeightGeneration(); wg != p.wgen {
+		p.wgen = wg
+		p.bumpStamp()
+	}
+	if p.cacheOn {
+		p.propagateFlips()
 	}
 	copy(p.snap, p.cur)
 	if p.workers == 1 {

@@ -2,7 +2,6 @@ package gibbs
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -43,6 +42,14 @@ func DeriveSeed(mixed uint64, i int) int64 {
 //     (the merge never invents a world, which would bias the samples
 //     toward the consensus mode).
 //
+// Each replica owns a full private factor.State — incrementally
+// maintained support counters plus the Markov-blanket conditional cache —
+// so a replica sweep costs O(occurrences of v) per variable through the
+// fused State.SampleVar kernel instead of a from-scratch walk of every
+// adjacent grounding. The exchange rotates the State handles themselves:
+// counters and cached conditionals describe the world, so they travel
+// with it and stay valid across merges.
+//
 // Marginal counts are pooled across all replicas — one Sweep yields one
 // observation per replica, so a keep-sweep run pools keep×R worlds, the
 // replica analogue of DimmWitted averaging per-node sample batches.
@@ -63,10 +70,10 @@ type ReplicaSampler struct {
 	rngs      []*rand.Rand // per-replica streams
 	master    *rand.Rand   // driver-side draws (RandomizeState)
 
-	worlds [][]bool // per-replica private assignments
-	cons   []bool   // consensus world (majority vote), driver view
-	fresh  bool     // cons reflects the current worlds
-	since  int      // sweeps since the last merge
+	states []*factor.State // per-replica private worlds + counters + caches
+	cons   []bool          // consensus world (majority vote), driver view
+	fresh  bool            // cons reflects the current worlds
+	since  int             // sweeps since the last merge
 
 	collecting bool
 	counts     [][]float64 // per-replica true counts
@@ -91,7 +98,7 @@ func NewReplica(g *factor.Graph, replicas, syncEvery int, seed int64) *ReplicaSa
 		syncEvery: syncEvery,
 		master:    rand.New(rand.NewSource(seed)),
 		rngs:      make([]*rand.Rand, replicas),
-		worlds:    make([][]bool, replicas),
+		states:    make([]*factor.State, replicas),
 		cons:      make([]bool, g.NumVars()),
 		fresh:     true,
 	}
@@ -104,7 +111,7 @@ func NewReplica(g *factor.Graph, replicas, syncEvery int, seed int64) *ReplicaSa
 	}
 	base := MixSeed(seed)
 	for w := 0; w < replicas; w++ {
-		r.worlds[w] = append([]bool(nil), r.cons...)
+		r.states[w] = factor.NewStateWith(g, r.cons)
 		// Same double-splitmix derivation as the sharded sampler: chains
 		// built from adjacent master seeds must not share worker streams.
 		r.rngs[w] = rand.New(rand.NewSource(DeriveSeed(base, w)))
@@ -137,16 +144,18 @@ func (r *ReplicaSampler) Assign() []bool {
 // World returns replica w's private assignment (read between sweeps only;
 // shared, not a copy). Unlike the consensus view this is one exact sample
 // of the chain.
-func (r *ReplicaSampler) World(w int) []bool { return r.worlds[w] }
+func (r *ReplicaSampler) World(w int) []bool { return r.states[w].Assign }
 
 // RandomizeState assigns every free variable of every replica uniformly
 // at random from the master stream, giving the replicas over-dispersed
 // independent starts.
 func (r *ReplicaSampler) RandomizeState() {
-	for _, world := range r.worlds {
+	for _, st := range r.states {
+		world := st.Assign
 		for _, v := range r.free {
 			world[v] = r.master.Intn(2) == 0
 		}
+		st.Recount() // rebuild counters, drop cached conditionals
 	}
 	r.fresh = false
 }
@@ -156,8 +165,8 @@ func (r *ReplicaSampler) RandomizeState() {
 func (r *ReplicaSampler) vote() {
 	for _, v := range r.free {
 		t := 0
-		for _, world := range r.worlds {
-			if world[v] {
+		for _, st := range r.states {
+			if st.Assign[v] {
 				t++
 			}
 		}
@@ -167,7 +176,7 @@ func (r *ReplicaSampler) vote() {
 		case 2*t < r.replicas:
 			r.cons[v] = false
 		default:
-			r.cons[v] = r.worlds[0][v]
+			r.cons[v] = r.states[0].Assign[v]
 		}
 	}
 	r.fresh = true
@@ -176,33 +185,34 @@ func (r *ReplicaSampler) vote() {
 // merge is the sync point: vote, then exchange the replica worlds one
 // position around the worker ring. The rotation hands every worker
 // stream a world sampled by a different replica — cross-replica exchange
-// without inventing a world, so every chain stays exactly stationary.
+// without inventing a world, so every chain stays exactly stationary. The
+// whole State rotates (assignment, counters, and cached conditionals
+// describe the world, not the worker), so a merge costs R pointer moves
+// and invalidates nothing.
 func (r *ReplicaSampler) merge() {
 	r.vote()
 	if r.replicas > 1 {
-		last := r.worlds[r.replicas-1]
-		copy(r.worlds[1:], r.worlds[:r.replicas-1])
-		r.worlds[0] = last
+		last := r.states[r.replicas-1]
+		copy(r.states[1:], r.states[:r.replicas-1])
+		r.states[0] = last
 	}
 	r.since = 0
 }
 
 // sweepReplica runs one full Gauss-Seidel scan of replica w's private
-// world. Reads and writes touch only that world (and its own count row
-// when collecting), so concurrent replicas never race.
+// world through the fused State.SampleVar kernel (counter-maintained
+// supports, cached conditionals). Reads and writes touch only that
+// replica's State (and its own count row when collecting), so concurrent
+// replicas never race.
 func (r *ReplicaSampler) sweepReplica(w int) {
-	g := r.g
-	cur := r.worlds[w]
+	st := r.states[w]
 	rng := r.rngs[w]
-	hi := int32(g.NumVars())
 	var counts []float64
 	if r.collecting {
 		counts = r.counts[w]
 	}
 	for _, v := range r.free {
-		delta := g.EnergyDeltaShard(cur, cur, 0, hi, v)
-		val := rng.Float64() < 1/(1+math.Exp(-delta))
-		cur[v] = val
+		val := st.SampleVar(v, rng.Float64())
 		// counts first: it is loop-invariant (and usually nil), so the
 		// branch predicts perfectly; testing the freshly sampled val first
 		// would mispredict half the time.
@@ -310,8 +320,8 @@ func (r *ReplicaSampler) MarginalsCtx(ctx context.Context, burnin, keep int) []f
 // replica-aware materialization step (each Sweep yields Replicas exact
 // samples, not one consensus world, which would be biased).
 func (r *ReplicaSampler) StoreWorlds(st *Store) {
-	for _, world := range r.worlds {
-		st.Add(world)
+	for _, rs := range r.states {
+		st.Add(rs.Assign)
 	}
 }
 
@@ -333,7 +343,7 @@ func (r *ReplicaSampler) CollectSamplesCtx(ctx context.Context, burnin, n int) *
 		}
 		r.Sweep()
 		for w := 0; w < r.replicas && st.Len() < n; w++ {
-			st.Add(r.worlds[w])
+			st.Add(r.states[w].Assign)
 		}
 	}
 	return st
@@ -347,16 +357,17 @@ func (r *ReplicaSampler) CondProb(v factor.VarID) float64 {
 
 // WeightStats accumulates the replica-averaged per-weight sufficient
 // statistic into out: each replica's world contributes 1/Replicas of its
-// direct-evaluation statistic, an unbiased lower-variance estimate than
-// any single world's.
+// statistic (computed from the replica's maintained support counters — no
+// grounding walk), an unbiased lower-variance estimate than any single
+// world's.
 func (r *ReplicaSampler) WeightStats(out []float64) {
 	scratch := make([]float64, len(out))
 	inv := 1 / float64(r.replicas)
-	for _, world := range r.worlds {
+	for _, rs := range r.states {
 		for i := range scratch {
 			scratch[i] = 0
 		}
-		r.g.WeightStatsOf(world, scratch)
+		rs.WeightStats(scratch)
 		for i, s := range scratch {
 			out[i] += s * inv
 		}

@@ -71,16 +71,19 @@ func (s *Sampler) RandomizeState() {
 	}
 }
 
-// SampleVar resamples a single variable from its conditional.
+// SampleVar resamples a single variable from its conditional through the
+// state's fused kernel (cached conditional → decide → apply in one pass).
 func (s *Sampler) SampleVar(v factor.VarID) {
-	p := s.State.CondProb(v)
-	s.State.Set(v, s.rng.Float64() < p)
+	s.State.SampleVar(v, s.rng.Float64())
 }
 
-// Sweep performs one full scan over all free variables.
+// Sweep performs one full scan over all free variables. The loop body is
+// the fused State.SampleVar kernel; the state and RNG headers are hoisted
+// so the loop carries no repeated field loads.
 func (s *Sampler) Sweep() {
+	st, rng := s.State, s.rng
 	for _, v := range s.free {
-		s.SampleVar(v)
+		st.SampleVar(v, rng.Float64())
 	}
 }
 
@@ -109,7 +112,7 @@ func (s *Sampler) Marginals(burnin, keep int) []float64 {
 // MarginalsCtx is Marginals with a cooperative cancellation check
 // between sweeps.
 func (s *Sampler) MarginalsCtx(ctx context.Context, burnin, keep int) []float64 {
-	est := NewEstimator(s.State.G.NumVars())
+	est := NewEstimatorFor(s.State.G)
 	s.RunCtx(ctx, burnin)
 	for i := 0; i < keep; i++ {
 		if canceled(ctx) {
@@ -146,22 +149,65 @@ func (s *Sampler) CollectSamplesCtx(ctx context.Context, burnin, n int) *Store {
 	return st
 }
 
-// Estimator accumulates marginal estimates from observed worlds.
+// Estimator accumulates marginal estimates from observed worlds. Built
+// through NewEstimatorFor it observes only the graph's free variables —
+// evidence variables never change, so their fixed contribution is filled
+// in once at read time instead of being re-counted every sweep.
 type Estimator struct {
 	counts []float64
 	n      int
+
+	// Free-vars-only mode (NewEstimatorFor): the observe loop walks free,
+	// and reads reconstruct evidence entries from ev/evTrue. The
+	// reconstruction replays the counting arithmetic (n·(1/n), n/n) so the
+	// results are bit-identical to observing every variable.
+	freeOnly bool
+	free     []factor.VarID
+	ev       []bool // per variable: fixed (evidence)
+	evTrue   []bool // fixed value (meaningful when ev)
 }
 
-// NewEstimator returns an estimator over nVars variables.
+// NewEstimator returns an estimator over nVars variables that counts
+// every variable of each observed world.
 func NewEstimator(nVars int) *Estimator {
 	return &Estimator{counts: make([]float64, nVars)}
 }
 
+// NewEstimatorFor returns an estimator over g's variables whose observe
+// loop touches only the free variables.
+func NewEstimatorFor(g *factor.Graph) *Estimator {
+	e := &Estimator{
+		counts:   make([]float64, g.NumVars()),
+		freeOnly: true,
+		ev:       make([]bool, g.NumVars()),
+		evTrue:   make([]bool, g.NumVars()),
+	}
+	for v := 0; v < g.NumVars(); v++ {
+		id := factor.VarID(v)
+		if g.IsEvidence(id) {
+			e.ev[v] = true
+			e.evTrue[v] = g.EvidenceValue(id)
+		} else {
+			e.free = append(e.free, id)
+		}
+	}
+	return e
+}
+
 // Observe adds one world.
 func (e *Estimator) Observe(assign []bool) {
-	for i, v := range assign {
-		if v {
-			e.counts[i]++
+	if e.freeOnly {
+		counts := e.counts
+		for _, v := range e.free {
+			if assign[v] {
+				counts[v]++
+			}
+		}
+	} else {
+		for i, v := range assign {
+			if v {
+				e.counts[i]++
+			}
 		}
 	}
 	e.n++
@@ -175,6 +221,12 @@ func (e *Estimator) Mean(v factor.VarID) float64 {
 	if e.n == 0 {
 		return 0
 	}
+	if e.freeOnly && e.ev[v] {
+		if e.evTrue[v] {
+			return float64(e.n) / float64(e.n) // n/n: what counting would yield
+		}
+		return 0
+	}
 	return e.counts[v] / float64(e.n)
 }
 
@@ -184,6 +236,20 @@ func (e *Estimator) Means() []float64 {
 	inv := 0.0
 	if e.n > 0 {
 		inv = 1 / float64(e.n)
+	}
+	if e.freeOnly && e.n > 0 {
+		one := float64(e.n) * inv // n·(1/n): what counting would yield
+		for i, c := range e.counts {
+			switch {
+			case e.ev[i] && e.evTrue[i]:
+				out[i] = one
+			case e.ev[i]:
+				out[i] = 0
+			default:
+				out[i] = c * inv
+			}
+		}
+		return out
 	}
 	for i, c := range e.counts {
 		out[i] = c * inv
@@ -206,7 +272,7 @@ type ConvergenceResult struct {
 func SweepsToConverge(g *factor.Graph, v factor.VarID, target, tol float64, maxSweeps, hold int, seed int64) ConvergenceResult {
 	s := New(g, seed)
 	s.RandomizeState()
-	est := NewEstimator(g.NumVars())
+	est := NewEstimatorFor(g)
 	within := 0
 	for it := 1; it <= maxSweeps; it++ {
 		s.Sweep()

@@ -14,7 +14,19 @@ type Store struct {
 	words   int // uint64 words per sample
 	samples [][]uint64
 	cursor  int // next sample to hand out via Next
+
+	// arena is the tail of the current allocation chunk: Add carves each
+	// sample's words from it instead of allocating per sample. Chunks
+	// double up to arenaMaxChunk samples, so a materialization run costs
+	// O(log n) allocations instead of n.
+	arena []uint64
+	chunk int // samples per chunk at the last growth
 }
+
+const (
+	arenaMinChunk = 16
+	arenaMaxChunk = 1024
+)
 
 // NewStore creates an empty store for worlds of nVars variables.
 func NewStore(nVars int) *Store {
@@ -37,15 +49,39 @@ func (s *Store) Reset() { s.cursor = 0 }
 func (s *Store) MemoryBytes() int { return len(s.samples) * s.words * 8 }
 
 // Add packs and appends one world. len(assign) must equal NumVars.
+// Samples are carved from a doubling arena (no per-sample allocation) and
+// packed a word at a time (one store per 64 variables instead of one
+// read-modify-write per set bit).
 func (s *Store) Add(assign []bool) {
 	if len(assign) != s.nVars {
 		panic(fmt.Sprintf("gibbs: Store.Add got %d vars, want %d", len(assign), s.nVars))
 	}
-	w := make([]uint64, s.words)
-	for i, v := range assign {
-		if v {
-			w[i/64] |= 1 << (uint(i) % 64)
+	if len(s.arena) < s.words {
+		if s.chunk < arenaMaxChunk {
+			if s.chunk == 0 {
+				s.chunk = arenaMinChunk
+			} else {
+				s.chunk *= 2
+			}
 		}
+		s.arena = make([]uint64, s.chunk*s.words)
+	}
+	w := s.arena[:s.words:s.words]
+	s.arena = s.arena[s.words:]
+	var x uint64
+	wi := 0
+	for j, v := range assign {
+		if v {
+			x |= 1 << (uint(j) & 63)
+		}
+		if j&63 == 63 {
+			w[wi] = x
+			x = 0
+			wi++
+		}
+	}
+	if s.nVars&63 != 0 {
+		w[wi] = x
 	}
 	s.samples = append(s.samples, w)
 }

@@ -436,9 +436,14 @@ func (t *Trainer) workerGradient(wk *replicaWorker, sweeps int) bool {
 	return true
 }
 
-// workerApply takes one gradient step on the worker's private vector.
+// workerApply takes one gradient step on the worker's private vector and
+// notes the change on the worker's weight views — the step writes the
+// vector directly (never through Graph.SetWeights), so the chains' cached
+// conditionals would otherwise keep serving the pre-step model.
 func (t *Trainer) workerApply(wk *replicaWorker, step float64) {
 	t.applyStep(wk.weights, wk.grad, step)
+	wk.clamped.Graph().NoteWeightsChanged()
+	wk.free.Graph().NoteWeightsChanged()
 }
 
 // averageReplicas merges the weight replicas under the model-averaging
@@ -448,6 +453,13 @@ func (t *Trainer) workerApply(wk *replicaWorker, step float64) {
 func (t *Trainer) averageReplicas() {
 	copy(t.weights, t.rl.Average())
 	t.syncWeights()
+	// Average broadcast the merged model into every replica's private
+	// vector by direct copy; invalidate each worker's cached conditionals.
+	for i := range t.workers {
+		wk := &t.workers[i]
+		wk.clamped.Graph().NoteWeightsChanged()
+		wk.free.Graph().NoteWeightsChanged()
+	}
 }
 
 // Loss estimates the evidence loss of the current weights: the average

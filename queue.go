@@ -70,6 +70,11 @@ type UpdateQueue struct {
 	stop    chan struct{}
 	stopped chan struct{}
 
+	// slots is the backpressure semaphore (nil when unbounded): each
+	// pending update holds one token from Submit until its batch is taken,
+	// so a full channel blocks further submitters — see WithMaxPending.
+	slots chan struct{}
+
 	batches atomic.Uint64
 	applied atomic.Uint64
 }
@@ -81,26 +86,70 @@ func newUpdateQueue(kb *KB) *UpdateQueue {
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
+	if n := kb.opts.MaxPending; n > 0 {
+		q.slots = make(chan struct{}, n)
+	}
 	go q.run()
 	return q
 }
 
 // Submit enqueues one update and returns its completion ticket. Submit
-// never blocks on inference; after Close the ticket resolves immediately
-// to ErrQueueClosed.
+// never blocks on inference, but with WithMaxPending it blocks while the
+// queue is at its pending bound (use SubmitCtx to bound the wait); after
+// Close the ticket resolves immediately to ErrQueueClosed.
 func (q *UpdateQueue) Submit(u Update) *Ticket {
+	t, _ := q.SubmitCtx(nil, u)
+	return t
+}
+
+// SubmitCtx is Submit with a context guarding the backpressure wait: if
+// the queue is at its MaxPending bound and ctx is cancelled before a slot
+// frees up, it returns (nil, ctx.Err()) and the update is not enqueued.
+// A nil ctx waits indefinitely. Once enqueued, the returned ticket
+// resolves when the update's batch applies (its error is never from ctx).
+func (q *UpdateQueue) SubmitCtx(ctx context.Context, u Update) (*Ticket, error) {
 	t := &Ticket{done: make(chan struct{})}
+	if q.slots != nil {
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case q.slots <- struct{}{}:
+		case <-done:
+			return nil, ctx.Err()
+		case <-q.stop:
+			t.err = ErrQueueClosed
+			close(t.done)
+			return t, nil
+		}
+	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
+		q.releaseSlots(1)
 		t.err = ErrQueueClosed
 		close(t.done)
-		return t
+		return t, nil
 	}
 	q.pending = append(q.pending, pendingUpdate{u: u, t: t})
 	q.mu.Unlock()
 	q.kick()
-	return t
+	return t, nil
+}
+
+// releaseSlots returns n backpressure tokens (no-op when unbounded).
+func (q *UpdateQueue) releaseSlots(n int) {
+	if q.slots == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-q.slots:
+		default:
+			return
+		}
+	}
 }
 
 // Pause holds back batch processing (submissions still enqueue). Useful
@@ -211,6 +260,7 @@ func (q *UpdateQueue) takeBatch() (Update, []*Ticket) {
 	}
 	rest := q.pending[n:]
 	q.pending = append(q.pending[:0:0], rest...)
+	q.releaseSlots(n) // free backpressure tokens for the batch just taken
 	return merged, tickets
 }
 
