@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath profile
+.PHONY: check fmt vet build test race race-serving race-pipeline fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full profile
 
 # Everything CI runs.
 check: fmt vet build test race race-serving fuzz-smoke
@@ -25,12 +25,20 @@ test:
 # packages under the race detector (covers the cached-state and
 # differential tests).
 race:
-	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/...
+	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/... ./internal/ground/...
 
 # The serving API's concurrency proof: lock-free snapshot readers
 # against live Apply/queue writers, context cancellation, coalescing.
 race-serving:
 	$(GO) test -race -count=1 -run 'TestSnapshot|TestKBContext|TestCoalesce|TestQueue|TestApplyModifies|TestCancelled' .
+
+# The ground→learn→infer pipeline's concurrency proof: the pipelined
+# queue's bit-identical differential against the serialized lesion,
+# per-ticket cancellation, CloseNow teardown, and snapshot readers
+# racing a parallel-grounded pipelined stream.
+race-pipeline:
+	$(GO) test -race -count=1 -run 'TestPipelined|TestSubmitCtx|TestQueueCloseNow|TestSnapshotReadersDuringPipelinedStream' .
+	$(GO) test -race -count=1 ./internal/ground/
 
 # Short native-fuzz pass over the datalog parser (no-panic + String
 # round-trip); extend -fuzztime for a real hunt.
@@ -66,6 +74,19 @@ bench-hotpath:
 bench-hotpath-full:
 	$(GO) test -bench='SamplerSequentialCorpus$$|SamplerParallelCorpus$$|SamplerNearConvergenceCorpus|ReplicaVsShardedCorpus/mode=(sharded|replica)/workers=4$$' -benchtime=400ms -run=xxx .
 	$(GO) test ./internal/gibbs -bench='EstimatorObserve|StoreAdd' -benchtime=200ms -run=xxx
+
+# Stage-overlapped update pipeline vs the serialized lesion, plus the
+# sharded delta-grounding bench (results recorded in BENCH_pipeline.json;
+# run each with -count=6 and take minima for the recorded protocol). The
+# smoke variant runs one short extractor-regime pair.
+bench-pipeline:
+	$(GO) test -bench='PipelineThroughput/udf=extractor' -benchtime=1x -run=xxx .
+	$(GO) test -bench='ApplyUpdateParallel/udf=extractor' -benchtime=1x -run=xxx ./internal/ground/
+
+# Full pipeline suite, one iteration of the min-of-6 protocol.
+bench-pipeline-full:
+	$(GO) test -bench='PipelineThroughput' -benchtime=4x -run=xxx .
+	$(GO) test -bench='ApplyUpdateParallel' -benchtime=3x -run=xxx ./internal/ground/
 
 # CPU-profile the corpus sweep benchmark under pprof; cmd/deepdive takes
 # the same -cpuprofile/-memprofile flags for whole-pipeline profiles.

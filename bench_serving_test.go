@@ -18,15 +18,15 @@ import (
 	"deepdive"
 )
 
-func benchServingKB(b *testing.B) *deepdive.KB {
+func benchServingKB(b testing.TB, opts ...deepdive.Option) *deepdive.KB {
 	b.Helper()
-	kb, err := deepdive.OpenKB(spouseSource,
+	kb, err := deepdive.OpenKB(spouseSource, append([]deepdive.Option{
 		deepdive.WithUDF("phrase", phraseUDF),
 		deepdive.WithSeed(7),
 		deepdive.WithLearning(8, 0.3),
 		deepdive.WithInference(20, 150),
 		deepdive.WithMaterialization(100000, 0.01),
-	)
+	}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -132,6 +132,23 @@ type Options struct {
 	// unbounded.
 	MaxPending int
 
+	// SerializedUpdates selects the serialized-queue lesion: the update
+	// queue finishes each batch (learning, inference, publication) before
+	// grounding the next, instead of overlapping batch N+1's grounding
+	// with batch N's finish stage. Results are bit-identical either way —
+	// the pipeline exists purely for throughput — so this is a comparison
+	// and debugging knob.
+	SerializedUpdates bool
+
+	// AsyncAveraging lets the replica learner overlap its model-averaging
+	// barrier with the first gradient steps of the next segment: each
+	// worker publishes its weights and immediately keeps stepping, then
+	// folds the segment mean in when it lands (a one-segment-lag
+	// correction). The trajectory differs from the barrier schedule but
+	// stays deterministic for a fixed seed. Only meaningful when Replicas
+	// selects the replica engine during learning.
+	AsyncAveraging bool
+
 	Seed int64
 }
 
@@ -188,6 +205,14 @@ func WithRebuildUpdates(on bool) Option { return func(o *Options) { o.RebuildUpd
 // Options.MaxPending): submissions past the bound block until the writer
 // drains a batch. n <= 0 means unbounded (the default).
 func WithMaxPending(n int) Option { return func(o *Options) { o.MaxPending = n } }
+
+// WithSerializedUpdates toggles the serialized-queue lesion (see
+// Options.SerializedUpdates). The pipelined path is the default.
+func WithSerializedUpdates(on bool) Option { return func(o *Options) { o.SerializedUpdates = on } }
+
+// WithAsyncAveraging lets replica learning overlap model averaging with
+// the next segment's gradient steps (see Options.AsyncAveraging).
+func WithAsyncAveraging(on bool) Option { return func(o *Options) { o.AsyncAveraging = on } }
 
 // WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching.
 //

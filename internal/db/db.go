@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is a single column value. DeepDive stores everything as strings
@@ -47,6 +48,12 @@ type Row struct {
 // Relation is a named, counted multiset of tuples with lazily built hash
 // indexes. Iteration order is insertion order of first appearance, which
 // keeps every downstream computation deterministic.
+//
+// Concurrency: mutations (Insert/Delete/Clear) require exclusive access,
+// but any number of goroutines may evaluate read-only queries (Each,
+// Tuples, IndexOn, Lookup, EvalJoin) concurrently — the lazily built
+// index cache is the only mutable state a read touches, and it is
+// guarded by idxMu.
 type Relation struct {
 	name    string
 	cols    []string
@@ -54,6 +61,7 @@ type Relation struct {
 	order   []string // first-insertion order of keys (may contain dead keys)
 	dead    int      // dead entries in order (count == 0 or missing)
 	version uint64   // bumped on every visibility change
+	idxMu   sync.Mutex
 	indexes map[string]*Index
 }
 
@@ -210,7 +218,9 @@ func (r *Relation) Clear() {
 	r.order = nil
 	r.dead = 0
 	r.version++
+	r.idxMu.Lock()
 	r.indexes = make(map[string]*Index)
+	r.idxMu.Unlock()
 }
 
 // Snapshot returns an independent copy of the relation (rows and counts).
@@ -244,7 +254,9 @@ func indexKey(cols []int) string {
 }
 
 // IndexOn returns (building or refreshing as needed) an index on the given
-// column positions.
+// column positions. Safe for concurrent readers: the index map and the
+// lazy build/refresh are serialized on the relation's index lock, so
+// parallel query evaluation over an unchanging relation is race-free.
 func (r *Relation) IndexOn(cols ...int) *Index {
 	for _, c := range cols {
 		if c < 0 || c >= len(r.cols) {
@@ -252,6 +264,8 @@ func (r *Relation) IndexOn(cols ...int) *Index {
 		}
 	}
 	k := indexKey(cols)
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
 	idx := r.indexes[k]
 	if idx == nil {
 		idx = &Index{rel: r, cols: append([]int(nil), cols...)}
@@ -282,13 +296,18 @@ func (ix *Index) keyOf(t Tuple) string {
 }
 
 // Lookup returns the tuples whose indexed columns equal vals, in
-// deterministic order. The slice is shared; do not mutate.
+// deterministic order. The slice is shared; do not mutate. The staleness
+// re-check takes the relation's index lock only when the relation changed
+// after IndexOn returned — concurrent readers over an unchanging relation
+// stay on the lock-free fast path.
 func (ix *Index) Lookup(vals ...Value) []Tuple {
 	if len(vals) != len(ix.cols) {
 		panic(fmt.Sprintf("db: index lookup with %d values, want %d", len(vals), len(ix.cols)))
 	}
 	if ix.built != ix.rel.version {
+		ix.rel.idxMu.Lock()
 		ix.refresh()
+		ix.rel.idxMu.Unlock()
 	}
 	return ix.buckets[strings.Join(vals, "\x1f")]
 }

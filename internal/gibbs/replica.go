@@ -413,6 +413,100 @@ func (l *ReplicaLearner) Weights(r int) []float64 { return l.weights[r] }
 // latest Average; between averages it holds the previous merge.
 func (l *ReplicaLearner) Canonical() []float64 { return l.canonical }
 
+// AsyncAverager coordinates overlap-averaged replica learning: instead
+// of stopping every worker at a segment boundary to merge (Average's
+// barrier), each worker publishes its private vector for segment s and
+// keeps stepping immediately; the segment mean becomes available once
+// all n workers have published, and workers fold it in one segment late.
+// Results are deterministic for a fixed seed regardless of goroutine
+// scheduling: a mean is computed — in replica order, so float summation
+// order is fixed — only from the complete set of published vectors, and
+// every correction a worker applies is a function of those means and its
+// own private trajectory.
+type AsyncAverager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	segs    map[int]*asyncSeg
+	aborted bool
+}
+
+type asyncSeg struct {
+	count    int
+	vals     [][]float64 // indexed by replica until complete
+	mean     []float64   // set once count == n
+	consumed int         // WaitMean calls served; n frees the segment
+}
+
+// NewAsyncAverager creates an averager for n replica workers.
+func NewAsyncAverager(n int) *AsyncAverager {
+	a := &AsyncAverager{n: n, segs: map[int]*asyncSeg{}}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Publish contributes replica r's weights to segment seg's mean (w is
+// copied). The completing publish computes the mean and wakes waiters.
+func (a *AsyncAverager) Publish(seg, r int, w []float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.aborted {
+		return
+	}
+	s := a.segs[seg]
+	if s == nil {
+		s = &asyncSeg{vals: make([][]float64, a.n)}
+		a.segs[seg] = s
+	}
+	s.vals[r] = append([]float64(nil), w...)
+	s.count++
+	if s.count == a.n {
+		mean := make([]float64, len(w))
+		inv := 1 / float64(a.n)
+		for k := range mean {
+			var sum float64
+			for _, v := range s.vals {
+				sum += v[k]
+			}
+			mean[k] = sum * inv
+		}
+		s.mean = mean
+		s.vals = nil
+		a.cond.Broadcast()
+	}
+}
+
+// WaitMean blocks until segment seg's mean is complete and returns it,
+// or nil after Abort. The slice is shared across workers — read-only.
+// Each of the n workers calls WaitMean once per segment; the n-th call
+// frees the segment's storage.
+func (a *AsyncAverager) WaitMean(seg int) []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.aborted {
+			return nil
+		}
+		if s := a.segs[seg]; s != nil && s.mean != nil {
+			s.consumed++
+			if s.consumed == a.n {
+				delete(a.segs, seg)
+			}
+			return s.mean
+		}
+		a.cond.Wait()
+	}
+}
+
+// Abort permanently unblocks every current and future WaitMean with a
+// nil mean — the cancellation path when one worker stops early.
+func (a *AsyncAverager) Abort() {
+	a.mu.Lock()
+	a.aborted = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
 // Average merges the replicas under the model-averaging rule — canonical
 // = mean over replicas, element-wise — and broadcasts the merged model
 // back into every replica. Returns the canonical vector. Driver-side

@@ -1,0 +1,77 @@
+package ground
+
+// BenchmarkApplyUpdateParallel isolates the sharded DRed delta
+// evaluation: one wide-document insert (m mentions in one sentence, so
+// candidate generation joins m·(m−1) ordered pairs plus the feature and
+// supervision rules) followed by its deletion, applied through
+// ApplyUpdate at 1 vs 4 evaluation workers. The insert/delete
+// round-trip keeps the grounder bounded across iterations.
+//
+// The udf dimension selects the weight-function regime. udf=inproc is
+// the pure-CPU case: sharding helps there only when spare cores exist
+// (on a single-vCPU container it is flat, since the workers timeslice
+// one core). udf=extractor models the paper's deployment shape —
+// feature extraction as external processes — by giving phrase() a fixed
+// per-call round-trip latency; workers overlap those waits, so sharding
+// wins on any core count. Precompute runs UDFs inside the workers
+// (eval.go), which is what makes the overlap possible.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"deepdive/internal/db"
+)
+
+func wideDocUpdate(i, m int) Update {
+	sid := fmt.Sprintf("bx%d", i)
+	u := Update{Inserts: map[string][]db.Tuple{
+		"Sentence": {{sid, "a sentence mentioning very many people at once"}},
+	}}
+	for k := 0; k < m; k++ {
+		mid := fmt.Sprintf("q%dm%d", i, k)
+		u.Inserts["PersonCandidate"] = append(u.Inserts["PersonCandidate"], db.Tuple{sid, mid})
+		u.Inserts["Mentions"] = append(u.Inserts["Mentions"], db.Tuple{sid, mid})
+		u.Inserts["EL"] = append(u.Inserts["EL"], db.Tuple{mid, "E" + mid})
+	}
+	return u
+}
+
+// extractorUDF wraps phraseUDF with a fixed per-call latency, standing
+// in for an out-of-process feature extractor.
+func extractorUDF(lat time.Duration) func([]string) string {
+	return func(args []string) string {
+		time.Sleep(lat)
+		return phraseUDF(args)
+	}
+}
+
+func BenchmarkApplyUpdateParallel(b *testing.B) {
+	udfs := []struct {
+		name string
+		reg  UDFRegistry
+	}{
+		{"inproc", testUDFs()},
+		{"extractor", UDFRegistry{"phrase": extractorUDF(time.Millisecond)}},
+	}
+	for _, u := range udfs {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("udf=%s/groundpar=%d", u.name, par), func(b *testing.B) {
+				g := newSpouseGrounderUDFs(b, spouseBase(), u.reg)
+				g.SetParallelism(par)
+				g.Graph()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					ins := wideDocUpdate(n, 16)
+					if _, err := g.ApplyUpdate(ins); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := g.ApplyUpdate(Update{Deletes: ins.Inserts}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

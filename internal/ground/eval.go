@@ -289,32 +289,77 @@ func (g *Grounder) applyEvidenceDelta(tr *tracker, baseRel string, evTuple db.Tu
 	return nil
 }
 
+// bindingPre holds the pure derivations of one rule binding — everything
+// applying it needs that does not touch mutable grounder state: the
+// instantiated head, the weight key (including the UDF evaluation, the
+// expensive part of feature-extraction rules), the grounding's binding
+// key, and the instantiated literal tuples. The parallel path computes
+// it inside the evaluation workers; the sequential path builds it inline
+// in applyBinding. Both produce identical values — every field is a pure
+// function of (rule, binding) — which keeps the parallel path
+// bit-identical.
+type bindingPre struct {
+	head  db.Tuple
+	wkey  string
+	winit float64
+	learn bool
+	bkey  string
+	lits  []db.Tuple
+}
+
+// precompute derives a binding's pure apply inputs. Safe to call from
+// evaluation workers: it reads only immutable rule state, the pre-warmed
+// plan/varsOf memos, and the (pure) UDF registry; the binding is not
+// retained.
+func (g *Grounder) precompute(re *ruleEval, b db.Binding) bindingPre {
+	p := bindingPre{head: instantiate(re.rule.Head, b)}
+	if re.rule.Kind != datalog.KindInference {
+		return p
+	}
+	p.wkey, p.winit, p.learn = g.weightKeyOf(re, b)
+	p.bkey = bindingKey(re, b)
+	items := g.planBody(re).litItems
+	if len(items) > 0 {
+		p.lits = make([]db.Tuple, len(items))
+		for k, i := range items {
+			p.lits[k] = instantiate(*re.rule.Body[i].Atom, b)
+		}
+	}
+	return p
+}
+
 // applyBinding applies one rule binding with the given sign (+1 derive,
 // −1 retract). Derivation and supervision rules derive head tuples;
 // weighted rules materialize factor groundings over existing candidate
 // variables (the head-guard join guarantees the head tuple exists).
 func (g *Grounder) applyBinding(re *ruleEval, b db.Binding, sign int, tr *tracker) error {
-	head := instantiate(re.rule.Head, b)
+	p := g.precompute(re, b)
+	return g.applyPre(re, &p, sign, tr)
+}
+
+// applyPre applies one precomputed rule binding: all remaining work is
+// the stateful part — relation deltas, variable/weight/group interning,
+// grounding counts — and must run on the driver goroutine.
+func (g *Grounder) applyPre(re *ruleEval, p *bindingPre, sign int, tr *tracker) error {
 	if re.rule.Kind != datalog.KindInference {
-		return g.applyTupleDelta(tr, re.rule.Head.Pred, head, sign)
+		return g.applyTupleDelta(tr, re.rule.Head.Pred, p.head, sign)
 	}
 	// Weighted rule: materialize the grounding.
-	headVar, ok := g.VarOf(re.rule.Head.Pred, head)
+	headVar, ok := g.VarOf(re.rule.Head.Pred, p.head)
 	if !ok {
 		// Candidate visible (guard join) but var not yet assigned — happens
 		// when the candidate was loaded as base data before Ground.
-		headVar = g.varFor(re.rule.Head.Pred, head)
+		headVar = g.varFor(re.rule.Head.Pred, p.head)
 		tr.newVars = append(tr.newVars, headVar)
 	}
-	wkey, winit, learn := g.weightKeyOf(re, b)
-	wid, isNewW := g.weightFor(wkey, winit, learn)
+	wid, isNewW := g.weightFor(p.wkey, p.winit, p.learn)
 	if isNewW {
 		tr.newWeights = append(tr.newWeights, wid)
 	}
 	var lits []factor.Literal
-	for _, i := range g.planBody(re).litItems {
+	for k, i := range g.planBody(re).litItems {
 		item := re.rule.Body[i]
-		t := instantiate(*item.Atom, b)
+		t := p.lits[k]
 		id, ok := g.VarOf(item.Atom.Pred, t)
 		if !ok {
 			id = g.varFor(item.Atom.Pred, t)
@@ -322,7 +367,7 @@ func (g *Grounder) applyBinding(re *ruleEval, b db.Binding, sign int, tr *tracke
 		}
 		lits = append(lits, factor.Literal{Var: id})
 	}
-	gkey := fmt.Sprintf("g:%d:%s:%d", re.idx, head.Key(), wid)
+	gkey := fmt.Sprintf("g:%d:%s:%d", re.idx, p.head.Key(), wid)
 	gi, isNewG := g.groupFor(gkey, headVar, wid, g.prog.SemOf(re.rule))
 	if isNewG {
 		tr.addedGroups = append(tr.addedGroups, gi)
@@ -332,10 +377,9 @@ func (g *Grounder) applyBinding(re *ruleEval, b db.Binding, sign int, tr *tracke
 	// modified: they do not exist in the pre-update graph, so reporting
 	// them in ModifiedGroups would leak an out-of-range index into
 	// ChangedGroupsOld.
-	bkey := bindingKey(re, b)
-	if g.addGrounding(gi, bkey, lits, sign) && !tr.addedSet[gi] {
+	if g.addGrounding(gi, p.bkey, lits, sign) && !tr.addedSet[gi] {
 		tr.modifiedGroups[gi] = true
-		tr.touch(gi, bkey)
+		tr.touch(gi, p.bkey)
 	}
 	g.graphDirty = true
 	return nil

@@ -137,6 +137,11 @@ type Grounder struct {
 	// compactThresh.
 	inPlace       bool
 	compactThresh float64
+
+	// par is the delta-grounding worker count (see SetParallelism):
+	// <= 1 sequential, n > 1 shards DRed join evaluation across n
+	// workers, negative one worker per core.
+	par int
 }
 
 // DefaultCompactionThreshold is the fragmentation ratio (tombstoned plus
@@ -150,6 +155,17 @@ const DefaultCompactionThreshold = 0.25
 // configuration, where every update marks the graph dirty and the next
 // Graph call rebuilds the flat pools from scratch.
 func (g *Grounder) SetInPlaceUpdates(on bool) { g.inPlace = on }
+
+// SetParallelism selects the worker count for incremental (DRed) delta
+// grounding: <= 1 keeps the sequential path, n > 1 fans the per-rule,
+// per-delta-seed join evaluations of each pipeline stage out across n
+// workers, negative means one worker per core. The parallel path is
+// bit-identical to the sequential one: workers only *evaluate* joins
+// (read-only), and the resulting bindings are applied serially in
+// exactly the order the sequential path would have produced them, so
+// variable/weight/group interning order — and therefore the graph — is
+// unchanged. See parallel.go for the decomposition.
+func (g *Grounder) SetParallelism(n int) { g.par = n }
 
 // Version returns the grounding generation: 0 before the initial Ground,
 // incremented by Ground and by every ApplyUpdate. Together with the

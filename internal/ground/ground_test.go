@@ -71,9 +71,14 @@ func spouseBase() baseData {
 	}
 }
 
-func newSpouseGrounder(t *testing.T, base baseData) *Grounder {
+func newSpouseGrounder(t testing.TB, base baseData) *Grounder {
 	t.Helper()
-	g, err := New(datalog.MustParse(spouseSrc), testUDFs())
+	return newSpouseGrounderUDFs(t, base, testUDFs())
+}
+
+func newSpouseGrounderUDFs(t testing.TB, base baseData, udfs UDFRegistry) *Grounder {
+	t.Helper()
+	g, err := New(datalog.MustParse(spouseSrc), udfs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package ground
 
 import (
 	"fmt"
+	"slices"
 
 	"deepdive/internal/datalog"
 	"deepdive/internal/db"
@@ -85,6 +86,31 @@ func (d *Delta) ChangedGroupsNew() []int32 {
 // delta terms; untouched rules are skipped), and new rules are evaluated
 // once in full. Returns the Δ bookkeeping for incremental inference.
 func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
+	d, commit, err := g.ApplyUpdateStaged(u)
+	if err != nil {
+		return nil, err
+	}
+	commit()
+	return d, nil
+}
+
+// ApplyUpdateStaged is the two-phase form of ApplyUpdate for pipelined
+// callers: the returned Delta reflects a fully evaluated update (all
+// relation, variable, weight, and group state is mutated), but the
+// cached factor graph has not advanced and the grounding version has not
+// bumped — that is what commit does. The split lets a serving layer run
+// the (expensive, read-heavy) delta evaluation of the next update while
+// inference over the current graph is still in flight, and perform the
+// (cheap, graph-mutating) commit only once the current graph is no
+// longer being evaluated.
+//
+// The caller must invoke commit exactly once, before any subsequent
+// Ground/ApplyUpdate/ApplyUpdateStaged/Graph call on this grounder, and
+// must not run commit concurrently with evaluation over any graph of the
+// cached graph's lineage (commit patches shared pool state; see
+// factor.Patch). On error no commit is returned and the grounder may be
+// left partially updated with a dirty graph, exactly like ApplyUpdate.
+func (g *Grounder) ApplyUpdateStaged(u Update) (*Delta, func(), error) {
 	// In-place patching needs the cached graph to reflect the pre-update
 	// state; decide before mutating anything. The dirty flag is set
 	// eagerly so error paths (which may leave the grounder partially
@@ -99,63 +125,81 @@ func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
 		g.prog.Rules = append(g.prog.Rules, u.NewRules...)
 		if err := datalog.Validate(g.prog); err != nil {
 			g.prog.Rules = g.prog.Rules[:len(g.prog.Rules)-len(u.NewRules)]
-			return nil, err
+			return nil, nil, err
 		}
 		for _, r := range u.NewRules {
 			re, err := g.compileRule(r)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			newRules[re] = true
 		}
 		if err := g.computeTopo(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	// 2. Apply base-relation deltas.
 	for rel, tuples := range u.Inserts {
 		if g.derived[rel] && !isNewHead(newRules, rel) {
-			return nil, fmt.Errorf("ground: cannot insert directly into derived relation %s", rel)
+			return nil, nil, fmt.Errorf("ground: cannot insert directly into derived relation %s", rel)
 		}
 		for _, t := range tuples {
 			if err := g.applyTupleDelta(tr, rel, t, +1); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	for rel, tuples := range u.Deletes {
 		for _, t := range tuples {
 			if err := g.applyTupleDelta(tr, rel, t, -1); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 
 	// 3. Propagate through the derivation pipeline in topological order,
-	// then ground weighted rules over the final candidate sets.
+	// then ground weighted rules over the final candidate sets. With
+	// parallelism configured, each level fans its DRed join evaluations
+	// out across workers (see parallel.go); the sequential path keeps the
+	// interleaved evaluate-and-apply loop, which never materializes
+	// binding lists.
+	par := g.parallelism() > 1
 	for _, relName := range g.topo {
-		for _, re := range g.rulesByHead[relName] {
+		rules := g.rulesByHead[relName]
+		if par {
+			if err := g.runRuleLevel(rules, tr, newRules); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		for _, re := range rules {
 			if newRules[re] {
 				if err := g.runRuleFull(re, tr); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				continue
 			}
 			if err := g.runRuleDelta(re, tr); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	for _, re := range g.weighted {
-		if newRules[re] {
-			if err := g.runRuleFull(re, tr); err != nil {
-				return nil, err
-			}
-			continue
+	if par {
+		if err := g.runRuleLevel(g.weighted, tr, newRules); err != nil {
+			return nil, nil, err
 		}
-		if err := g.runRuleDelta(re, tr); err != nil {
-			return nil, err
+	} else {
+		for _, re := range g.weighted {
+			if newRules[re] {
+				if err := g.runRuleFull(re, tr); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			if err := g.runRuleDelta(re, tr); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 
@@ -166,18 +210,20 @@ func (g *Grounder) ApplyUpdate(u Update) (*Delta, error) {
 	for gi := range tr.modifiedGroups {
 		d.ModifiedGroups = append(d.ModifiedGroups, gi)
 	}
-	sortInts(d.ModifiedGroups)
+	slices.Sort(d.ModifiedGroups)
 	d.AddedGroups = append(d.AddedGroups, tr.addedGroups...)
-	sortInts(d.AddedGroups)
+	slices.Sort(d.AddedGroups)
 	for v := range tr.evChanged {
 		d.EvidenceChanged = append(d.EvidenceChanged, v)
 	}
-	sortVarIDs(d.EvidenceChanged)
-	if canPatch {
-		g.patchGraph(tr)
+	slices.Sort(d.EvidenceChanged)
+	commit := func() {
+		if canPatch {
+			g.patchGraph(tr)
+		}
+		g.version++
 	}
-	g.version++
-	return d, nil
+	return d, commit, nil
 }
 
 // patchGraph splices the update's ΔV/ΔF into the current graph through a
@@ -224,7 +270,7 @@ func (g *Grounder) patchGraph(tr *tracker) {
 	for gi := range tr.touched {
 		modGroups = append(modGroups, gi)
 	}
-	sortInts(modGroups)
+	slices.Sort(modGroups)
 	for _, gi := range modGroups {
 		gs := g.groups[gi]
 		keys := tr.touched[gi]
@@ -256,7 +302,7 @@ func (g *Grounder) patchGraph(tr *tracker) {
 	for v := range tr.evChanged {
 		evs = append(evs, v)
 	}
-	sortVarIDs(evs)
+	slices.Sort(evs)
 	for _, v := range evs {
 		applyEv(v)
 	}
@@ -389,18 +435,7 @@ func (g *Grounder) recomputeRule(re *ruleEval, tr *tracker) error {
 	return g.runRuleFull(re, tr)
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func sortVarIDs(xs []factor.VarID) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+// The delta-sized sorts above use slices.Sort (O(n log n)); the former
+// hand-rolled insertion sorts were quadratic on large update batches.
+// Remaining per-update walks in this package (QueryVars/VarsOf/
+// NumGroundings and the patch loops) are single linear passes.

@@ -72,75 +72,10 @@ func runInPlaceDifferential(t *testing.T, seed int64, compactThresh float64) {
 	patched.g.Graph()
 	rebuild.g.Graph()
 
-	words := []string{"met", "wed", "in", "Paris", "on", "Sunday", "quietly", "again"}
-	entities := []string{"Barack", "Michelle", "Malia", "Sasha"}
-	var docID, mentionID, ruleID int
-	type mention struct{ sid, mid string }
-	var mentions []mention                             // Mentions tuples inserted and currently present
-	var removed []mention                              // previously deleted (candidates for re-assertion)
-	kbCount := map[string]int{"Barack\x00Michelle": 1} // Married derivation counts (base data)
-
+	gen := newSpouseStream()
 	sawPatched := false
 	for step := 0; step < 25; step++ {
-		u := Update{Inserts: map[string][]db.Tuple{}, Deletes: map[string][]db.Tuple{}}
-		ruleSrc := ""
-		for op := 0; op < 1+rng.Intn(3); op++ {
-			switch rng.Intn(5) {
-			case 0: // new document with two person mentions (ΔV + ΔF)
-				docID++
-				sid := fmt.Sprintf("d%d", docID)
-				content := ""
-				for w := 0; w < 3+rng.Intn(5); w++ {
-					content += words[rng.Intn(len(words))] + " "
-				}
-				u.Inserts["Sentence"] = append(u.Inserts["Sentence"], db.Tuple{sid, content})
-				for k := 0; k < 2; k++ {
-					mentionID++
-					mid := fmt.Sprintf("x%d", mentionID)
-					u.Inserts["PersonCandidate"] = append(u.Inserts["PersonCandidate"], db.Tuple{sid, mid})
-					u.Inserts["Mentions"] = append(u.Inserts["Mentions"], db.Tuple{sid, mid})
-					u.Inserts["EL"] = append(u.Inserts["EL"], db.Tuple{mid, entities[rng.Intn(len(entities))]})
-					mentions = append(mentions, mention{sid, mid})
-				}
-			case 1: // retract a mention (tombstoned groundings)
-				if len(mentions) == 0 {
-					continue
-				}
-				i := rng.Intn(len(mentions))
-				m := mentions[i]
-				mentions = append(mentions[:i], mentions[i+1:]...)
-				removed = append(removed, m)
-				u.Deletes["Mentions"] = append(u.Deletes["Mentions"], db.Tuple{m.sid, m.mid})
-			case 2: // re-assert a retracted mention (fresh grounding after tombstone)
-				if len(removed) == 0 {
-					continue
-				}
-				i := rng.Intn(len(removed))
-				m := removed[i]
-				removed = append(removed[:i], removed[i+1:]...)
-				mentions = append(mentions, m)
-				u.Inserts["Mentions"] = append(u.Inserts["Mentions"], db.Tuple{m.sid, m.mid})
-			case 3: // knowledge-base (supervision) change
-				a := entities[rng.Intn(len(entities))]
-				b := entities[rng.Intn(len(entities))]
-				key := a + "\x00" + b
-				if kbCount[key] == 0 || rng.Intn(2) == 0 {
-					u.Inserts["Married"] = append(u.Inserts["Married"], db.Tuple{a, b})
-					kbCount[key]++
-				} else {
-					u.Deletes["Married"] = append(u.Deletes["Married"], db.Tuple{a, b})
-					kbCount[key]--
-				}
-			case 4: // new inference rule (ΔF over every candidate)
-				if ruleSrc != "" || rng.Intn(3) != 0 {
-					continue
-				}
-				ruleID++
-				ruleSrc = fmt.Sprintf(
-					"I%d: MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2) weight = %.2f.",
-					ruleID, rng.Float64()-0.5)
-			}
-		}
+		u, ruleSrc := gen.next(rng)
 
 		dp := patched.apply(t, cloneUpdate(u), ruleSrc)
 		dr := rebuild.apply(t, cloneUpdate(u), ruleSrc)
@@ -165,6 +100,88 @@ func runInPlaceDifferential(t *testing.T, seed int64, compactThresh float64) {
 	if compactThresh == 0 && !sawPatched {
 		t.Fatalf("seed %d: in-place path never produced a patched graph", seed)
 	}
+}
+
+// spouseStream generates the randomized update stream both differential
+// tests (in-place vs rebuild, parallel vs sequential) drive the spouse
+// program with: new documents, retracted and re-asserted mentions,
+// supervision changes, and occasional new inference rules.
+type spouseStream struct {
+	docID, mentionID, ruleID int
+	mentions                 []spouseMention // Mentions tuples currently present
+	removed                  []spouseMention // previously deleted (candidates for re-assertion)
+	kbCount                  map[string]int  // Married derivation counts
+}
+
+type spouseMention struct{ sid, mid string }
+
+func newSpouseStream() *spouseStream {
+	return &spouseStream{kbCount: map[string]int{"Barack\x00Michelle": 1}}
+}
+
+func (g *spouseStream) next(rng *rand.Rand) (Update, string) {
+	words := []string{"met", "wed", "in", "Paris", "on", "Sunday", "quietly", "again"}
+	entities := []string{"Barack", "Michelle", "Malia", "Sasha"}
+	u := Update{Inserts: map[string][]db.Tuple{}, Deletes: map[string][]db.Tuple{}}
+	ruleSrc := ""
+	for op := 0; op < 1+rng.Intn(3); op++ {
+		switch rng.Intn(5) {
+		case 0: // new document with two person mentions (ΔV + ΔF)
+			g.docID++
+			sid := fmt.Sprintf("d%d", g.docID)
+			content := ""
+			for w := 0; w < 3+rng.Intn(5); w++ {
+				content += words[rng.Intn(len(words))] + " "
+			}
+			u.Inserts["Sentence"] = append(u.Inserts["Sentence"], db.Tuple{sid, content})
+			for k := 0; k < 2; k++ {
+				g.mentionID++
+				mid := fmt.Sprintf("x%d", g.mentionID)
+				u.Inserts["PersonCandidate"] = append(u.Inserts["PersonCandidate"], db.Tuple{sid, mid})
+				u.Inserts["Mentions"] = append(u.Inserts["Mentions"], db.Tuple{sid, mid})
+				u.Inserts["EL"] = append(u.Inserts["EL"], db.Tuple{mid, entities[rng.Intn(len(entities))]})
+				g.mentions = append(g.mentions, spouseMention{sid, mid})
+			}
+		case 1: // retract a mention (tombstoned groundings)
+			if len(g.mentions) == 0 {
+				continue
+			}
+			i := rng.Intn(len(g.mentions))
+			m := g.mentions[i]
+			g.mentions = append(g.mentions[:i], g.mentions[i+1:]...)
+			g.removed = append(g.removed, m)
+			u.Deletes["Mentions"] = append(u.Deletes["Mentions"], db.Tuple{m.sid, m.mid})
+		case 2: // re-assert a retracted mention (fresh grounding after tombstone)
+			if len(g.removed) == 0 {
+				continue
+			}
+			i := rng.Intn(len(g.removed))
+			m := g.removed[i]
+			g.removed = append(g.removed[:i], g.removed[i+1:]...)
+			g.mentions = append(g.mentions, m)
+			u.Inserts["Mentions"] = append(u.Inserts["Mentions"], db.Tuple{m.sid, m.mid})
+		case 3: // knowledge-base (supervision) change
+			a := entities[rng.Intn(len(entities))]
+			b := entities[rng.Intn(len(entities))]
+			key := a + "\x00" + b
+			if g.kbCount[key] == 0 || rng.Intn(2) == 0 {
+				u.Inserts["Married"] = append(u.Inserts["Married"], db.Tuple{a, b})
+				g.kbCount[key]++
+			} else {
+				u.Deletes["Married"] = append(u.Deletes["Married"], db.Tuple{a, b})
+				g.kbCount[key]--
+			}
+		case 4: // new inference rule (ΔF over every candidate)
+			if ruleSrc != "" || rng.Intn(3) != 0 {
+				continue
+			}
+			g.ruleID++
+			ruleSrc = fmt.Sprintf(
+				"I%d: MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2) weight = %.2f.",
+				g.ruleID, rng.Float64()-0.5)
+		}
+	}
+	return u, ruleSrc
 }
 
 // cloneUpdate deep-copies an update so the two grounders never share

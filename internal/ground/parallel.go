@@ -1,0 +1,216 @@
+package ground
+
+// Sharded delta grounding: the parallel analogue of the sequential DRed
+// loop in incremental.go. The decomposition exploits the structure the
+// sequential path already relies on:
+//
+//   - Evaluation is read-only. A DRed delta term (one rule, one delta
+//     seed, one sign) or a full-rule evaluation only *reads* relations
+//     and tracker delta lists; every mutation (relation inserts, variable
+//     and weight interning, grounding counts) happens in applyBinding.
+//   - Within one topological level — the rules deriving a single head
+//     relation, or the whole weighted-rule phase — no rule's applies can
+//     affect another rule's evaluation: a level's applies only mutate the
+//     head relation (which no same-level body may reference, by the
+//     no-recursion invariant) and factor state (which no join reads).
+//
+// So each level becomes: generate the evaluation jobs in sequential
+// order, evaluate them concurrently across workers (each job privately
+// accumulating its ordered bindings), then apply every job's bindings
+// serially in job order. The applied binding stream is exactly the one
+// the sequential path produces, which makes the parallel path
+// bit-identical — the property the differential test in parallel_test.go
+// pins down.
+//
+// Concurrent evaluation is safe because the lazily built db indexes are
+// the only mutable state a join touches, and package db serializes their
+// build/refresh internally; the lazy rule memos (plan, variable order)
+// are pre-warmed before fan-out.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"deepdive/internal/db"
+)
+
+// evalJob is one read-only join evaluation: a rule with an optional delta
+// seed bound at one body position, the relation-state resolver of its
+// DRed term, and the sign its bindings are applied with. Workers fill
+// out/err; the driver applies out serially.
+type evalJob struct {
+	re       *ruleEval
+	seedItem int      // body item index the seed binds, -1 for a full scan
+	seed     db.Tuple // nil for a full scan
+	sign     int      // +1 derive, -1 retract
+	resolve  func(item int, name string) *db.Relation
+	skipEval bool // out is pre-filled (empty-body rules)
+
+	out []bindingPre // precomputed bindings in emission order
+	err error
+}
+
+// parallelism resolves the configured worker count.
+func (g *Grounder) parallelism() int {
+	if g.par < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return g.par
+}
+
+// runEvalJob evaluates one job, collecting precomputed bindings in
+// emission order. Precomputing in the worker moves every pure
+// per-binding derivation — head/literal instantiation, the UDF weight
+// key, the binding key — off the serial apply path; EvalJoin's reused
+// binding need not be cloned because precompute retains nothing of it.
+func (g *Grounder) runEvalJob(j *evalJob) {
+	if j.skipEval {
+		return
+	}
+	j.err = g.evalRule(j.re, j.resolve, j.seedItem, j.seed, func(b db.Binding) bool {
+		j.out = append(j.out, g.precompute(j.re, b))
+		return true
+	})
+}
+
+// runJobs evaluates jobs across the configured workers (work-stealing by
+// atomic counter; job order does not matter here, only the apply order).
+func (g *Grounder) runJobs(jobs []*evalJob) {
+	n := g.parallelism()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for _, j := range jobs {
+			g.runEvalJob(j)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				g.runEvalJob(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fullJobs decomposes a full-rule evaluation (new rules) into jobs.
+func (g *Grounder) fullJobs(re *ruleEval) []*evalJob {
+	if len(re.rule.Body) == 0 {
+		return []*evalJob{{re: re, sign: +1, skipEval: true, out: []bindingPre{g.precompute(re, db.Binding{})}}}
+	}
+	return []*evalJob{{
+		re: re, seedItem: -1, sign: +1,
+		resolve: func(_ int, name string) *db.Relation { return g.currentState(name) },
+	}}
+}
+
+// deltaJobs decomposes one existing rule's DRed delta evaluation into
+// jobs, mirroring runRuleDelta term for term: one job per (changed
+// positive join atom, sign, delta seed), with the same old/new resolver
+// split around the seed position; the negated-atom fallback becomes the
+// ordered retract + re-derive job pair of recomputeRule.
+func (g *Grounder) deltaJobs(re *ruleEval, tr *tracker) []*evalJob {
+	if len(re.rule.Body) == 0 {
+		return nil // facts never re-fire
+	}
+	changed := func(name string) bool {
+		return len(tr.added[name]) > 0 || len(tr.removed[name]) > 0
+	}
+	plan := g.planBody(re)
+	touches := false
+	negOnChanged := false
+	for _, itemIdx := range plan.joinItems {
+		atom, neg := g.itemAtom(re, itemIdx)
+		if changed(atom.Pred) {
+			touches = true
+			if neg {
+				negOnChanged = true
+			}
+		}
+	}
+	if !touches {
+		return nil
+	}
+	if negOnChanged {
+		return append([]*evalJob{{
+			re: re, seedItem: -1, sign: -1,
+			resolve: func(_ int, name string) *db.Relation { return g.oldState(tr, name) },
+		}}, g.fullJobs(re)...)
+	}
+	var jobs []*evalJob
+	for si, itemIdx := range plan.joinItems {
+		atom, neg := g.itemAtom(re, itemIdx)
+		if neg || !changed(atom.Pred) {
+			continue
+		}
+		si := si
+		resolver := func(otherItem int, name string) *db.Relation {
+			for sj, idx := range plan.joinItems {
+				if idx == otherItem {
+					if sj < si {
+						return g.currentState(name)
+					}
+					return g.oldState(tr, name)
+				}
+			}
+			return g.currentState(name)
+		}
+		for _, sd := range []struct {
+			tuples []db.Tuple
+			sign   int
+		}{
+			{append([]db.Tuple(nil), tr.added[atom.Pred]...), +1},
+			{append([]db.Tuple(nil), tr.removed[atom.Pred]...), -1},
+		} {
+			for _, t := range sd.tuples {
+				jobs = append(jobs, &evalJob{re: re, seedItem: itemIdx, seed: t, sign: sd.sign, resolve: resolver})
+			}
+		}
+	}
+	return jobs
+}
+
+// runRuleLevel runs one level of the update pipeline on the parallel
+// path: jobs generated in sequential order, evaluated concurrently,
+// bindings applied serially in job order (the canonical sequential
+// order). Errors surface at the job that produced them, after all
+// earlier jobs' bindings were applied — the same "grounder partially
+// updated" error state the sequential path leaves behind.
+func (g *Grounder) runRuleLevel(rules []*ruleEval, tr *tracker, newRules map[*ruleEval]bool) error {
+	var jobs []*evalJob
+	for _, re := range rules {
+		// Pre-warm the rule's lazy memos before fan-out: evalRule consults
+		// the cached body plan, and applyBinding the variable order.
+		g.planBody(re)
+		re.varsOf()
+		if newRules[re] {
+			jobs = append(jobs, g.fullJobs(re)...)
+		} else {
+			jobs = append(jobs, g.deltaJobs(re, tr)...)
+		}
+	}
+	g.runJobs(jobs)
+	for _, j := range jobs {
+		if j.err != nil {
+			return j.err
+		}
+		for i := range j.out {
+			if err := g.applyPre(j.re, &j.out[i], j.sign, tr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

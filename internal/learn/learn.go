@@ -76,7 +76,14 @@ type Options struct {
 	// SyncEvery is the number of gradient steps between weight averaging
 	// in replica mode; <= 0 selects gibbs.DefaultSyncEvery.
 	SyncEvery int
-	Seed      int64
+	// AsyncAveraging overlaps the replica engine's SGD averaging barrier
+	// with the next segment's gradient steps: workers publish their
+	// private vectors and keep stepping, folding each segment mean in one
+	// segment late (see Trainer.asyncSGDEpoch). Deterministic for a fixed
+	// seed, but a different trajectory than the barrier schedule. Ignored
+	// outside replica SGD.
+	AsyncAveraging bool
+	Seed           int64
 	Warmstart []float64 // initial weights; nil means start from zero
 	// Frozen marks weights excluded from learning (fixed-value rule
 	// weights). nil means all weights are learnable.
@@ -377,6 +384,10 @@ func (t *Trainer) replicaEpoch(step float64) float64 {
 	}
 	switch t.opt.Method {
 	case SGD:
+		if t.opt.AsyncAveraging && len(t.workers) > 1 {
+			t.asyncSGDEpoch(step, syncEvery)
+			return step
+		}
 		remaining := t.opt.BatchSweeps
 		for remaining > 0 {
 			if t.canceled() {
@@ -411,6 +422,74 @@ func (t *Trainer) replicaEpoch(step float64) float64 {
 		panic(fmt.Sprintf("learn: unknown method %v", t.opt.Method))
 	}
 	return step
+}
+
+// asyncSGDEpoch is replicaEpoch's SGD arm with the averaging barrier
+// overlapped: each worker runs its segment of single-sweep gradient
+// steps, publishes its private vector V_{r,s} to an AsyncAverager, and
+// keeps stepping immediately instead of waiting at a barrier. The
+// segment-(s−1) mean C_{s−1} lands while segment s runs, and the worker
+// folds it in one segment late:
+//
+//	w_r ← C_{s−1} + (V_{r,s} − V_{r,s−1})
+//
+// i.e. the lagged consensus plus the worker's own progress since it was
+// taken — for frozen weights the correction is the identity. The
+// trajectory differs from the barrier schedule (the consensus arrives
+// one segment late) but is deterministic for a fixed seed regardless of
+// goroutine scheduling: every mean is computed in replica order from the
+// complete published set, and every correction is a function of those
+// means and the worker's private trajectory. A final driver-side merge
+// produces the canonical model.
+func (t *Trainer) asyncSGDEpoch(step float64, syncEvery int) {
+	// Segment lengths, identical for every worker.
+	var segs []int
+	for remaining := t.opt.BatchSweeps; remaining > 0; {
+		seg := syncEvery
+		if seg > remaining {
+			seg = remaining
+		}
+		segs = append(segs, seg)
+		remaining -= seg
+	}
+	av := gibbs.NewAsyncAverager(len(t.workers))
+	var wg sync.WaitGroup
+	wg.Add(len(t.workers))
+	for r := range t.workers {
+		go func(r int) {
+			defer wg.Done()
+			wk := &t.workers[r]
+			prev := append([]float64(nil), wk.weights...)
+			cur := make([]float64, len(wk.weights))
+			for s, n := range segs {
+				for i := 0; i < n; i++ {
+					if !t.workerGradient(wk, 1) {
+						av.Abort() // unblock peers waiting on this worker's publish
+						return
+					}
+					t.workerApply(wk, step)
+				}
+				copy(cur, wk.weights)
+				av.Publish(s, r, cur)
+				if s > 0 {
+					mean := av.WaitMean(s - 1)
+					if mean == nil {
+						return // aborted by a cancelled peer
+					}
+					for k := range wk.weights {
+						wk.weights[k] = mean[k] + (cur[k] - prev[k])
+					}
+					wk.clamped.Graph().NoteWeightsChanged()
+					wk.free.Graph().NoteWeightsChanged()
+				}
+				prev, cur = cur, prev
+			}
+		}(r)
+	}
+	wg.Wait()
+	if !t.canceled() {
+		t.averageReplicas()
+	}
 }
 
 // workerGradient estimates the gradient from the worker's private chains

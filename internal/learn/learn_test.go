@@ -183,6 +183,48 @@ func TestTrainReplicasDeterministic(t *testing.T) {
 	}
 }
 
+func TestTrainReplicasAsyncAveragingLearns(t *testing.T) {
+	g, _ := classifierGraph(40, 30)
+	res := Train(g, Options{Epochs: 40, StepSize: 0.3, Seed: 1, Replicas: 4, SyncEvery: 4, AsyncAveraging: true})
+	if res.Weights[0] <= 0.5 {
+		t.Fatalf("async weight for positive feature = %v, want > 0.5", res.Weights[0])
+	}
+	if res.Weights[1] >= -0.5 {
+		t.Fatalf("async weight for negative feature = %v, want < -0.5", res.Weights[1])
+	}
+	if g.Weight(0) != res.Weights[0] || g.Weight(1) != res.Weights[1] {
+		t.Fatal("final canonical weights not pushed into the graph")
+	}
+}
+
+// TestTrainReplicasAsyncAveragingDeterministic pins the scheme's core
+// claim: the overlapped averaging trajectory is a function of the seed
+// alone, not of goroutine scheduling.
+func TestTrainReplicasAsyncAveragingDeterministic(t *testing.T) {
+	run := func() []float64 {
+		g, _ := classifierGraph(30, 24)
+		return Train(g, Options{Epochs: 6, StepSize: 0.3, Seed: 9, Replicas: 3, SyncEvery: 2, AsyncAveraging: true}).Weights
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("weight %d: run1 %v, run2 %v — async averaging not deterministic", k, a[k], b[k])
+		}
+	}
+}
+
+func TestTrainReplicasAsyncAveragingRespectsFrozen(t *testing.T) {
+	g, _ := classifierGraph(20, 16)
+	frozen := []bool{false, true} // weight 1 fixed
+	res := Train(g, Options{Epochs: 15, StepSize: 0.3, Seed: 3, Replicas: 3, SyncEvery: 2, AsyncAveraging: true, Frozen: frozen})
+	if res.Weights[1] != 0 {
+		t.Fatalf("frozen weight moved to %v under async averaging", res.Weights[1])
+	}
+	if res.Weights[0] <= 0.3 {
+		t.Fatalf("learnable weight did not move: %v", res.Weights[0])
+	}
+}
+
 func TestTrainReplicasGD(t *testing.T) {
 	g, _ := classifierGraph(40, 30)
 	res := Train(g, Options{Method: GD, Epochs: 60, StepSize: 0.5, BatchSweeps: 5, Seed: 6, Replicas: 2})

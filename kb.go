@@ -24,11 +24,20 @@ import (
 //     load. Any number of goroutines may query snapshots while writes
 //     are in flight; a reader never observes a half-applied update.
 //   - Writes — Init, Learn, Infer, Materialize, Apply — are serialized
-//     on an internal mutex, accept a context.Context for cancellation
-//     and deadlines (checked cooperatively between Gibbs sweeps and
-//     Metropolis-Hastings proposals), and publish a fresh snapshot on
-//     success. A cancelled write returns the context's error and
-//     publishes nothing: readers keep the previous consistent view.
+//     per stage, accept a context.Context for cancellation and deadlines
+//     (checked cooperatively between Gibbs sweeps and Metropolis-Hastings
+//     proposals), and publish a fresh snapshot on success. A cancelled
+//     write returns the context's error and publishes nothing: readers
+//     keep the previous consistent view.
+//
+// Apply is internally a two-stage pipeline: a *grounding stage* (DRed
+// delta evaluation + graph commit, under groundMu) and a *finish stage*
+// (warmstart learning, incremental inference, snapshot publication,
+// under stateMu). The stages of consecutive applies overlap — the update
+// queue grounds batch N+1 while batch N is still learning/inferring —
+// but a sequencer forces graph commits and publications into submission
+// order, so the published epoch stream is identical to fully serialized
+// execution (see applyGround/applyFinish).
 //
 // Updates() exposes an asynchronous, coalescing update queue on top of
 // Apply for streaming ingest. The zero KB is not usable; construct one
@@ -37,15 +46,33 @@ import (
 type KB struct {
 	opts Options
 
-	mu       sync.Mutex // serializes writers and DB access
-	grounder *ground.Grounder
-	engine   *inc.Engine
-	marg     []float64
-	inited   bool
+	// groundMu serializes the grounding stage: all grounder and database
+	// access. stateMu serializes the finish stage: engine, marginals, the
+	// pending change set, graph mutation (the commit of a staged delta
+	// patches the served graph's lineage) and snapshot publication.
+	// Monolithic writers (Init, Learn, Infer, Materialize) hold both with
+	// the pipeline drained in between (lockExclusive); lock order is
+	// always groundMu → stateMu.
+	groundMu sync.Mutex
+	stateMu  sync.Mutex
+
+	// Apply-pipeline sequencer: every staged apply takes a ticket
+	// (seqTail) after its delta evaluation, and commits + finishes run in
+	// strict ticket order (seqHead advances when a finish completes), so
+	// publish order equals grounding order even when stages overlap.
+	seqMu   sync.Mutex
+	seqCond *sync.Cond
+	seqHead uint64
+	seqTail uint64
+
+	grounder *ground.Grounder // guarded by groundMu
+	engine   *inc.Engine      // written under both locks, read under either
+	marg     []float64        // guarded by stateMu
+	inited   bool             // written under both locks, read under either
 	// pending accumulates the change sets of applies whose grounding
 	// committed but whose inference never published (cancelled mid-way):
 	// the next apply scores the union, so no grounded delta's factors
-	// escape the acceptance test.
+	// escape the acceptance test. Guarded by stateMu.
 	pending inc.ChangeSet
 
 	epoch atomic.Uint64
@@ -77,9 +104,63 @@ func OpenKB(source string, opts ...Option) (*KB, error) {
 		return nil, err
 	}
 	g.SetInPlaceUpdates(!o.RebuildUpdates)
+	g.SetParallelism(o.Parallelism)
 	kb := &KB{opts: o, grounder: g}
+	kb.seqCond = sync.NewCond(&kb.seqMu)
 	kb.snap.Store(emptySnapshot())
 	return kb, nil
+}
+
+// seqEnter issues the next pipeline ticket. Called at the end of a
+// successful delta evaluation, under groundMu, so tickets are issued in
+// grounding order.
+func (kb *KB) seqEnter() uint64 {
+	kb.seqMu.Lock()
+	s := kb.seqTail
+	kb.seqTail++
+	kb.seqMu.Unlock()
+	return s
+}
+
+// seqAwait blocks until every apply ticketed before s has finished.
+func (kb *KB) seqAwait(s uint64) {
+	kb.seqMu.Lock()
+	for kb.seqHead != s {
+		kb.seqCond.Wait()
+	}
+	kb.seqMu.Unlock()
+}
+
+// seqExit retires ticket s, unblocking the next staged apply.
+func (kb *KB) seqExit(s uint64) {
+	kb.seqMu.Lock()
+	kb.seqHead = s + 1
+	kb.seqCond.Broadcast()
+	kb.seqMu.Unlock()
+}
+
+// seqDrain waits until no staged applies are in flight. Callers hold
+// groundMu, so no new ticket can be issued while draining.
+func (kb *KB) seqDrain() {
+	kb.seqMu.Lock()
+	for kb.seqHead != kb.seqTail {
+		kb.seqCond.Wait()
+	}
+	kb.seqMu.Unlock()
+}
+
+// lockExclusive acquires both writer locks for a monolithic operation:
+// groundMu first stops new grounding stages, the drain then waits out
+// every staged finish, stateMu finally claims the inference state.
+// Release through the returned func.
+func (kb *KB) lockExclusive() func() {
+	kb.groundMu.Lock()
+	kb.seqDrain()
+	kb.stateMu.Lock()
+	return func() {
+		kb.stateMu.Unlock()
+		kb.groundMu.Unlock()
+	}
 }
 
 // Snapshot returns the latest published view of the knowledge base. The
@@ -91,8 +172,8 @@ func (kb *KB) Snapshot() *Snapshot { return kb.snap.Load() }
 // Load inserts base tuples into a base relation. Call before Init; use
 // Apply (or the update queue) for changes afterwards.
 func (kb *KB) Load(relation string, tuples []Tuple) error {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	kb.groundMu.Lock()
+	defer kb.groundMu.Unlock()
 	if kb.inited {
 		return fmt.Errorf("deepdive: Load after Init; use Apply for incremental data")
 	}
@@ -103,8 +184,7 @@ func (kb *KB) Load(relation string, tuples []Tuple) error {
 // extraction, supervision, factor-graph construction) and publishes the
 // first snapshot (evidence-only until inference runs).
 func (kb *KB) Init(ctx context.Context) error {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	defer kb.lockExclusive()()
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -139,8 +219,7 @@ func (kb *KB) runtime() gibbs.Runtime {
 // remain installed (a coherent, partially trained model) but no new
 // snapshot is published.
 func (kb *KB) Learn(ctx context.Context) (time.Duration, error) {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	defer kb.lockExclusive()()
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
@@ -151,14 +230,15 @@ func (kb *KB) Learn(ctx context.Context) (time.Duration, error) {
 		warm[w] = 0
 	}
 	_, err := learn.TrainCtx(ctx, g, learn.Options{
-		Epochs:      kb.opts.LearnEpochs,
-		StepSize:    kb.opts.LearnStep,
-		Parallelism: kb.opts.Parallelism,
-		Replicas:    kb.opts.Replicas,
-		SyncEvery:   kb.opts.SyncEvery,
-		Seed:        kb.opts.Seed + 1,
-		Warmstart:   warm,
-		Frozen:      kb.frozen(g),
+		Epochs:         kb.opts.LearnEpochs,
+		StepSize:       kb.opts.LearnStep,
+		Parallelism:    kb.opts.Parallelism,
+		Replicas:       kb.opts.Replicas,
+		SyncEvery:      kb.opts.SyncEvery,
+		AsyncAveraging: kb.opts.AsyncAveraging,
+		Seed:           kb.opts.Seed + 1,
+		Warmstart:      warm,
+		Frozen:         kb.frozen(g),
 	})
 	if err != nil {
 		return time.Since(start), err
@@ -172,8 +252,7 @@ func (kb *KB) Learn(ctx context.Context) (time.Duration, error) {
 // them. Cancellation returns promptly with the context's error; the
 // partial estimate is discarded and the previous snapshot keeps serving.
 func (kb *KB) Infer(ctx context.Context) (time.Duration, error) {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	defer kb.lockExclusive()()
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
@@ -194,8 +273,7 @@ func (kb *KB) Infer(ctx context.Context) (time.Duration, error) {
 // is all-or-nothing under cancellation: a cancelled call installs no
 // engine and returns the context's error.
 func (kb *KB) Materialize(ctx context.Context) (time.Duration, error) {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	defer kb.lockExclusive()()
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
@@ -233,12 +311,37 @@ func (kb *KB) Materialize(ctx context.Context) (time.Duration, error) {
 // later successful Apply (or a full Infer/Materialize) publishes the
 // accumulated state with every grounded factor accounted for.
 func (kb *KB) Apply(ctx context.Context, u Update) (*UpdateResult, error) {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
-	return kb.applyLocked(ctx, u)
+	st, err := kb.applyGround(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return kb.applyFinish(ctx, st)
 }
 
-func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) {
+// stagedApply is an update whose grounding stage has committed: the
+// graph is patched and the grounding version bumped, but learning,
+// inference, and publication have not run. applyFinish completes it.
+// Every successful applyGround MUST be followed by exactly one
+// applyFinish (even if the caller no longer wants the result) — the
+// finish retires the pipeline ticket that later applies wait on.
+type stagedApply struct {
+	seq    uint64
+	delta  *ground.Delta
+	graph  *factor.Graph
+	frozen []bool
+	skel   *Snapshot
+	res    *UpdateResult
+}
+
+// applyGround runs the grounding stage of the apply pipeline: DRed delta
+// evaluation under groundMu, then — once every earlier apply has
+// finished — the graph commit, pending-change-set merge, and snapshot
+// skeleton under stateMu. The expensive half (delta evaluation, often
+// parallel itself; see ground.SetParallelism) overlaps the previous
+// apply's learning and inference; only the cheap O(Δ) commit waits.
+func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
+	kb.groundMu.Lock()
+	defer kb.groundMu.Unlock()
 	if !kb.inited {
 		return nil, fmt.Errorf("deepdive: Apply before Init")
 	}
@@ -261,7 +364,7 @@ func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) 
 	res := &UpdateResult{}
 
 	start := time.Now()
-	delta, err := kb.grounder.ApplyUpdate(ground.Update{
+	delta, commit, err := kb.grounder.ApplyUpdateStaged(ground.Update{
 		NewRules: rules,
 		Inserts:  u.Inserts,
 		Deletes:  u.Deletes,
@@ -269,28 +372,58 @@ func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	res.GroundTime = time.Since(start)
-	res.NewVars = len(delta.NewVars)
-	res.NewFactors = len(delta.AddedGroups)
+	// The delta is fully evaluated; no error returns beyond this point
+	// (the ticket taken here must be retired by applyFinish).
+	st := &stagedApply{seq: kb.seqEnter(), delta: delta, res: res}
 
-	// From here on the grounded delta is committed. Fold it into the
-	// pending change set immediately: if learning or inference below is
+	// Committing patches the served graph's lineage, which must observe
+	// the previous apply's learned weights (the patch snapshots the
+	// weight vector) and must not race its still-running inference. Wait
+	// for the preceding finish, then commit under stateMu.
+	kb.seqAwait(st.seq)
+	kb.stateMu.Lock()
+	commit()
+	st.graph = kb.grounder.Graph()
+	// The grounded delta is now committed. Fold it into the pending
+	// change set immediately: if this update's learning or inference is
 	// cancelled, the next apply scores this delta's groups too instead of
 	// silently dropping their energy from the acceptance test.
 	kb.pending = kb.pending.Merge(inc.FromDelta(delta))
+	st.frozen = kb.frozen(st.graph)
+	st.skel = kb.buildSkeleton(st.graph)
+	kb.stateMu.Unlock()
 
-	newGraph := kb.grounder.Graph()
+	res.GroundTime = time.Since(start)
+	res.NewVars = len(delta.NewVars)
+	res.NewFactors = len(delta.AddedGroups)
+	return st, nil
+}
+
+// applyFinish runs the finish stage of the apply pipeline — warmstart
+// learning when the model changed, incremental inference under the
+// optimizer's strategy choice, snapshot publication — and retires the
+// pipeline ticket. It holds only stateMu, so the next update's grounding
+// stage evaluates concurrently under groundMu.
+func (kb *KB) applyFinish(ctx context.Context, st *stagedApply) (*UpdateResult, error) {
+	defer kb.seqExit(st.seq)
+	kb.stateMu.Lock()
+	defer kb.stateMu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	res, delta := st.res, st.delta
 	if delta.StructureChanged() || delta.HasEvidenceChange() {
-		start = time.Now()
-		_, err := learn.TrainCtx(ctx, newGraph, learn.Options{
-			Epochs:      kb.opts.IncLearnEpochs,
-			StepSize:    kb.opts.LearnStep,
-			Parallelism: kb.opts.Parallelism,
-			Replicas:    kb.opts.Replicas,
-			SyncEvery:   kb.opts.SyncEvery,
-			Seed:        kb.opts.Seed + 5,
-			Warmstart:   append([]float64(nil), newGraph.Weights()...),
-			Frozen:      kb.frozen(newGraph),
+		start := time.Now()
+		_, err := learn.TrainCtx(ctx, st.graph, learn.Options{
+			Epochs:         kb.opts.IncLearnEpochs,
+			StepSize:       kb.opts.LearnStep,
+			Parallelism:    kb.opts.Parallelism,
+			Replicas:       kb.opts.Replicas,
+			SyncEvery:      kb.opts.SyncEvery,
+			AsyncAveraging: kb.opts.AsyncAveraging,
+			Seed:           kb.opts.Seed + 5,
+			Warmstart:      append([]float64(nil), st.graph.Weights()...),
+			Frozen:         st.frozen,
 		})
 		res.LearnTime = time.Since(start)
 		if err != nil {
@@ -301,14 +434,14 @@ func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) 
 	// Score the accumulated set; weight drift is recomputed against the
 	// current weights on every attempt, so it is not folded into pending.
 	cs := kb.pending.Merge(inc.ChangeSet{})
-	addWeightChanges(&cs, kb.engine, newGraph)
+	addWeightChanges(&cs, kb.engine, st.graph)
 
-	start = time.Now()
+	start := time.Now()
 	var ir *inc.Result
 	if kb.engine.ChooseStrategy(cs) == inc.StrategySampling && cs.StructureChanged() {
-		ir = kb.engine.InferDecomposedCtx(ctx, newGraph, cs, inc.ComponentGroups(newGraph))
+		ir = kb.engine.InferDecomposedCtx(ctx, st.graph, cs, inc.ComponentGroups(st.graph))
 	} else {
-		ir = kb.engine.InferCtx(ctx, newGraph, cs)
+		ir = kb.engine.InferCtx(ctx, st.graph, cs)
 	}
 	res.InferTime = time.Since(start)
 	if err := ctxErr(ctx); err != nil {
@@ -318,7 +451,7 @@ func (kb *KB) applyLocked(ctx context.Context, u Update) (*UpdateResult, error) 
 	res.Acceptance = ir.AcceptanceRate
 	kb.marg = ir.Marginals
 	kb.pending = inc.ChangeSet{} // published: nothing carries over
-	res.Epoch = kb.publishLocked().Epoch()
+	res.Epoch = kb.publishStaged(st.skel).Epoch()
 	return res, nil
 }
 
@@ -342,18 +475,19 @@ func (kb *KB) Close() error {
 	return nil
 }
 
-// publishLocked freezes the current grounding + marginal state into a
-// fresh Snapshot and swaps it in as the served view. Callers hold kb.mu.
-func (kb *KB) publishLocked() *Snapshot {
-	g := kb.grounder.Graph()
+// buildSkeleton freezes the grounding-dependent half of a snapshot: the
+// per-relation fact tables (tuples, variable ids, evidence values) and
+// graph statistics, pinned to the current grounding version and graph
+// epoch. The marginal vector and the publication epoch are attached
+// later by publishStaged, once inference has run — this is what lets the
+// pipelined apply path build the skeleton during its grounding stage.
+// Callers hold groundMu (the skeleton reads grounder state) and pass the
+// committed graph the snapshot pins.
+func (kb *KB) buildSkeleton(g *factor.Graph) *Snapshot {
 	s := &Snapshot{
-		epoch:         kb.epoch.Add(1),
 		groundVersion: kb.grounder.Version(),
 		graphEpoch:    g.Epoch(),
 		rels:          map[string]*relView{},
-	}
-	if kb.marg != nil {
-		s.marg = append([]float64(nil), kb.marg...)
 	}
 	nv := kb.grounder.NumVars()
 	for v := 0; v < nv; v++ {
@@ -367,13 +501,10 @@ func (kb *KB) publishLocked() *Snapshot {
 			rv = &relView{byKey: map[string]int32{}}
 			s.rels[rel] = rv
 		}
-		f := snapFact{tuple: tuple}
+		f := snapFact{tuple: tuple, v: int32(v)}
 		if v < g.NumVars() && g.IsEvidence(id) {
 			f.evidence = true
 			f.evValue = g.EvidenceValue(id)
-		} else if s.marg != nil && v < len(s.marg) {
-			f.prob = s.marg[v]
-			f.hasProb = true
 		}
 		rv.byKey[tuple.Key()] = int32(len(rv.facts))
 		rv.facts = append(rv.facts, f)
@@ -390,8 +521,26 @@ func (kb *KB) publishLocked() *Snapshot {
 	}
 	st.QueryFacts = st.Variables - st.Evidence
 	s.stats = st
+	return s
+}
+
+// publishStaged attaches the current marginals and the next publication
+// epoch to a prepared skeleton and swaps it in as the served view.
+// Callers hold stateMu.
+func (kb *KB) publishStaged(s *Snapshot) *Snapshot {
+	if kb.marg != nil {
+		s.marg = append([]float64(nil), kb.marg...)
+	}
+	s.epoch = kb.epoch.Add(1)
 	kb.snap.Store(s)
 	return s
+}
+
+// publishLocked freezes the current grounding + marginal state into a
+// fresh Snapshot and swaps it in as the served view — the monolithic
+// writer path. Callers hold both writer locks (lockExclusive).
+func (kb *KB) publishLocked() *Snapshot {
+	return kb.publishStaged(kb.buildSkeleton(kb.grounder.Graph()))
 }
 
 // Marginal is shorthand for Snapshot().Marginal — one consistent point
@@ -417,8 +566,8 @@ func (kb *KB) Stats() GraphStats { return kb.Snapshot().Stats() }
 // tuples. Unlike snapshot queries this reads the live database (under
 // the writer lock): base relations are not part of the served KB view.
 func (kb *KB) Relation(name string) []Tuple {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
+	kb.groundMu.Lock()
+	defer kb.groundMu.Unlock()
 	r := kb.grounder.DB().Relation(name)
 	if r == nil {
 		return nil

@@ -39,8 +39,18 @@ func (t *Ticket) Wait(ctx context.Context) (*UpdateResult, error) {
 }
 
 type pendingUpdate struct {
-	u Update
-	t *Ticket
+	u   Update
+	t   *Ticket
+	ctx context.Context // submitter's context; nil = never cancelled
+}
+
+// stagedBatch is a coalesced batch whose grounding stage has committed,
+// in flight between the queue's ground worker and its finish worker.
+type stagedBatch struct {
+	st      *stagedApply
+	tickets []*Ticket
+	ctx     context.Context
+	release func() // stops the batch-context watcher
 }
 
 // UpdateQueue accepts a stream of Updates and applies them to the KB
@@ -58,6 +68,35 @@ type pendingUpdate struct {
 // Rule sources always coalesce — grounding a new rule over the batch's
 // fully-applied data equals grounding it first and delta-evaluating the
 // rest, because derivation counts are additive.
+//
+// # Pipelining
+//
+// The queue runs the KB's two apply stages on two workers: a ground
+// worker takes batches and runs their grounding stage (DRed delta
+// evaluation + graph commit), a finish worker runs learning, inference,
+// and snapshot publication. Because the stages take different KB locks,
+// batch N+1's grounding overlaps batch N's learning/inference; the KB's
+// sequencer still forces commits and publications into submission order,
+// so the published epoch stream — and every marginal in it — is
+// bit-identical to fully serialized execution (WithSerializedUpdates
+// disables the overlap for comparison). At most one grounded batch is
+// staged ahead at a time.
+//
+// # Cancellation
+//
+// Cancelling a SubmitCtx context before the update's batch is taken
+// retracts the update: its ticket resolves to the context's error and
+// nothing is applied. Once taken into a coalesced batch, one member's
+// cancellation cannot abort the batch — the other submitters share the
+// apply — so the batch's context cancels only when every member's
+// context is cancelled (updates submitted without a context make their
+// batch non-cancellable). An aborted batch follows KB.Apply semantics:
+// its grounded delta is kept and carried into the next batch's
+// acceptance scoring, but no snapshot is published and every ticket in
+// the batch resolves to the context error. Close drains gracefully;
+// CloseNow additionally cancels the queue's lifecycle context, which
+// aborts the in-flight batch at its next cooperative check so a stuck
+// batch cannot block shutdown.
 type UpdateQueue struct {
 	kb *KB
 
@@ -69,6 +108,16 @@ type UpdateQueue struct {
 	wake    chan struct{}
 	stop    chan struct{}
 	stopped chan struct{}
+
+	// staged hands grounded batches from the ground worker to the finish
+	// worker; capacity 1 bounds the pipeline at one batch ahead.
+	staged chan stagedBatch
+
+	// lifeCtx is the queue's lifecycle context, the parent of every batch
+	// context: cancelled by CloseNow (and after a graceful Close's drain)
+	// so no batch can outlive the queue.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 
 	// slots is the backpressure semaphore (nil when unbounded): each
 	// pending update holds one token from Submit until its batch is taken,
@@ -85,7 +134,9 @@ func newUpdateQueue(kb *KB) *UpdateQueue {
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
+		staged:  make(chan stagedBatch, 1),
 	}
+	q.lifeCtx, q.lifeCancel = context.WithCancel(context.Background())
 	if n := kb.opts.MaxPending; n > 0 {
 		q.slots = make(chan struct{}, n)
 	}
@@ -102,11 +153,16 @@ func (q *UpdateQueue) Submit(u Update) *Ticket {
 	return t
 }
 
-// SubmitCtx is Submit with a context guarding the backpressure wait: if
-// the queue is at its MaxPending bound and ctx is cancelled before a slot
-// frees up, it returns (nil, ctx.Err()) and the update is not enqueued.
-// A nil ctx waits indefinitely. Once enqueued, the returned ticket
-// resolves when the update's batch applies (its error is never from ctx).
+// SubmitCtx is Submit with a context that follows the update through the
+// queue. It guards the backpressure wait — if the queue is at its
+// MaxPending bound and ctx is cancelled before a slot frees up, SubmitCtx
+// returns (nil, ctx.Err()) and the update is not enqueued — and it
+// carries per-ticket cancellation semantics afterwards: cancelled while
+// still pending, the update is retracted and its ticket resolves to
+// ctx.Err(); cancelled after its batch was taken, the batch aborts only
+// if every other member's context is also cancelled (see the
+// UpdateQueue cancellation contract). A nil ctx waits indefinitely and
+// never cancels.
 func (q *UpdateQueue) SubmitCtx(ctx context.Context, u Update) (*Ticket, error) {
 	t := &Ticket{done: make(chan struct{})}
 	if q.slots != nil {
@@ -132,7 +188,7 @@ func (q *UpdateQueue) SubmitCtx(ctx context.Context, u Update) (*Ticket, error) 
 		close(t.done)
 		return t, nil
 	}
-	q.pending = append(q.pending, pendingUpdate{u: u, t: t})
+	q.pending = append(q.pending, pendingUpdate{u: u, t: t, ctx: ctx})
 	q.mu.Unlock()
 	q.kick()
 	return t, nil
@@ -170,8 +226,8 @@ func (q *UpdateQueue) Resume() {
 }
 
 // Close stops accepting new updates, drains everything already pending
-// (even while paused), waits for the worker to exit, and returns. Safe to
-// call more than once.
+// (even while paused), waits for both pipeline workers to exit, and
+// cancels the queue's lifecycle context. Safe to call more than once.
 func (q *UpdateQueue) Close() {
 	q.mu.Lock()
 	already := q.closed
@@ -182,6 +238,18 @@ func (q *UpdateQueue) Close() {
 		close(q.stop)
 	}
 	<-q.stopped
+}
+
+// CloseNow is Close without the graceful drain: it cancels the queue's
+// lifecycle context first, so the in-flight batch aborts at its next
+// cooperative check (its tickets resolve to the context error, its
+// grounded delta — if the grounding stage already committed — is carried
+// forward per KB.Apply semantics) and batches not yet taken resolve
+// without being applied. Use it to shut down a queue whose current batch
+// is stuck or no longer worth finishing.
+func (q *UpdateQueue) CloseNow() {
+	q.lifeCancel()
+	q.Close()
 }
 
 // Batches returns how many coalesced batches have been applied.
@@ -204,8 +272,19 @@ func (q *UpdateQueue) kick() {
 	}
 }
 
+// run is the ground worker: it takes coalesced batches, runs their
+// grounding stage, and hands the staged result to the finish worker. On
+// shutdown it drains the pending queue, closes the staging channel, and
+// waits for the finish worker before reporting stopped.
 func (q *UpdateQueue) run() {
-	defer close(q.stopped)
+	finDone := make(chan struct{})
+	go q.runFinish(finDone)
+	defer func() {
+		close(q.staged)
+		<-finDone
+		q.lifeCancel()
+		close(q.stopped)
+	}()
 	for {
 		select {
 		case <-q.stop:
@@ -217,36 +296,121 @@ func (q *UpdateQueue) run() {
 	}
 }
 
-// drain applies coalesced batches until nothing (processable) is left.
+// runFinish is the finish worker: it completes staged batches (learning,
+// inference, publication) in the order the ground worker staged them and
+// resolves their tickets.
+func (q *UpdateQueue) runFinish(done chan struct{}) {
+	defer close(done)
+	for b := range q.staged {
+		res, err := q.kb.applyFinish(b.ctx, b.st)
+		b.release()
+		q.resolveBatch(b.tickets, res, err)
+	}
+}
+
+// drain grounds coalesced batches until nothing (processable) is left.
+// Each successfully grounded batch is staged for the finish worker; the
+// next iteration's grounding then overlaps that batch's learning and
+// inference.
 func (q *UpdateQueue) drain() {
 	for {
-		merged, tickets := q.takeBatch()
+		merged, tickets, ctxs := q.takeBatch()
 		if len(tickets) == 0 {
 			return
 		}
-		res, err := q.kb.Apply(context.Background(), merged)
-		if res != nil {
-			res.Coalesced = len(tickets)
+		bctx, release := q.batchCtx(ctxs)
+		st, err := q.kb.applyGround(bctx, merged)
+		if err != nil {
+			release()
+			q.resolveBatch(tickets, nil, err)
+			continue
 		}
-		q.batches.Add(1)
-		q.applied.Add(uint64(len(tickets)))
-		for _, t := range tickets {
-			t.res, t.err = res, err
-			close(t.done)
+		if q.kb.opts.SerializedUpdates {
+			res, ferr := q.kb.applyFinish(bctx, st)
+			release()
+			q.resolveBatch(tickets, res, ferr)
+			continue
 		}
+		q.staged <- stagedBatch{st: st, tickets: tickets, ctx: bctx, release: release}
+	}
+}
+
+// resolveBatch counts one applied batch and resolves its tickets.
+func (q *UpdateQueue) resolveBatch(tickets []*Ticket, res *UpdateResult, err error) {
+	if res != nil {
+		res.Coalesced = len(tickets)
+	}
+	q.batches.Add(1)
+	q.applied.Add(uint64(len(tickets)))
+	for _, t := range tickets {
+		t.res, t.err = res, err
+		close(t.done)
+	}
+}
+
+// batchCtx derives the context one batched apply runs under. Every batch
+// context is a child of the queue's lifecycle context; when all members
+// carry a caller context, a watcher cancels the batch once every member
+// is cancelled (one member submitted without a context pins the batch to
+// the lifecycle context alone). The returned release func stops the
+// watcher; the finish worker calls it when the batch resolves.
+func (q *UpdateQueue) batchCtx(ctxs []context.Context) (context.Context, func()) {
+	for _, c := range ctxs {
+		if c == nil {
+			return q.lifeCtx, func() {}
+		}
+	}
+	merged, cancel := context.WithCancel(q.lifeCtx)
+	stop := make(chan struct{})
+	go func() {
+		for _, c := range ctxs {
+			select {
+			case <-c.Done():
+			case <-stop:
+				return
+			}
+		}
+		cancel()
+	}()
+	var once sync.Once
+	return merged, func() {
+		once.Do(func() {
+			close(stop)
+			cancel()
+		})
 	}
 }
 
 // takeBatch removes and merges the longest compatible prefix of the
-// pending queue. Returns no tickets when paused or empty.
-func (q *UpdateQueue) takeBatch() (Update, []*Ticket) {
+// pending queue, first retracting pending updates whose submitter
+// context is already cancelled (their tickets resolve to the context
+// error without being applied). Returns no tickets when paused or empty;
+// the third result carries each batched update's submitter context,
+// aligned with the tickets.
+func (q *UpdateQueue) takeBatch() (Update, []*Ticket, []context.Context) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if (q.paused && !q.closed) || len(q.pending) == 0 {
-		return Update{}, nil
+	if q.paused && !q.closed {
+		return Update{}, nil, nil
+	}
+	kept := q.pending[:0]
+	for _, p := range q.pending {
+		if p.ctx != nil && p.ctx.Err() != nil {
+			q.releaseSlots(1)
+			q.applied.Add(1)
+			p.t.err = p.ctx.Err()
+			close(p.t.done)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	q.pending = kept
+	if len(q.pending) == 0 {
+		return Update{}, nil, nil
 	}
 	var merged Update
 	var tickets []*Ticket
+	var ctxs []context.Context
 	touched := map[string]bool{}
 	n := 0
 	for _, p := range q.pending {
@@ -256,12 +420,13 @@ func (q *UpdateQueue) takeBatch() (Update, []*Ticket) {
 		mergeUpdate(&merged, &p.u)
 		touchKeys(&p.u, touched)
 		tickets = append(tickets, p.t)
+		ctxs = append(ctxs, p.ctx)
 		n++
 	}
 	rest := q.pending[n:]
 	q.pending = append(q.pending[:0:0], rest...)
 	q.releaseSlots(n) // free backpressure tokens for the batch just taken
-	return merged, tickets
+	return merged, tickets, ctxs
 }
 
 // CoalesceUpdates merges a sequence of updates into the minimal list of

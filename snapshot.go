@@ -18,11 +18,15 @@ type Snapshot struct {
 	rels          map[string]*relView
 }
 
-// snapFact is one live candidate fact frozen into a snapshot.
+// snapFact is one live candidate fact frozen into a snapshot. Marginals
+// are looked up through the variable id in the snapshot's marginal
+// vector: the fact table (the snapshot *skeleton*) is built during the
+// grounding stage of a pipelined apply, before that update's inference
+// has produced marginals — the finish stage attaches the vector and the
+// epoch without touching the fact table again.
 type snapFact struct {
 	tuple    Tuple
-	prob     float64
-	hasProb  bool // a marginal was available when the snapshot was taken
+	v        int32 // variable id (index into marg)
 	evidence bool
 	evValue  bool
 }
@@ -76,8 +80,8 @@ func (s *Snapshot) Marginal(relation string, t Tuple) (float64, bool) {
 			return 1, true
 		}
 		return 0, true
-	case f.hasProb:
-		return f.prob, true
+	case s.marg != nil && int(f.v) < len(s.marg):
+		return s.marg[f.v], true
 	default:
 		return 0, false
 	}
@@ -100,8 +104,8 @@ func (s *Snapshot) Extractions(relation string, threshold float64) []Extraction 
 			}
 			continue
 		}
-		if f.hasProb && f.prob > threshold {
-			out = append(out, Extraction{Tuple: f.tuple, Probability: f.prob})
+		if s.marg != nil && int(f.v) < len(s.marg) && s.marg[f.v] > threshold {
+			out = append(out, Extraction{Tuple: f.tuple, Probability: s.marg[f.v]})
 		}
 	}
 	return out
