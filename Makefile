@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving race-pipeline fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full profile
+.PHONY: check fmt vet build test race race-serving race-pipeline soak fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full profile
 
-# Everything CI runs.
+# Everything CI runs. (go test ./... includes the short soak; the full
+# acceptance-length soak is `make soak`.)
 check: fmt vet build test race race-serving fuzz-smoke
 
 fmt:
@@ -28,9 +29,19 @@ race:
 	$(GO) test -race ./internal/gibbs/... ./internal/factor/... ./internal/learn/... ./internal/ground/...
 
 # The serving API's concurrency proof: lock-free snapshot readers
-# against live Apply/queue writers, context cancellation, coalescing.
+# against live Apply/queue writers, context cancellation, coalescing,
+# and the background re-materializer (swap vs readers, write preemption,
+# Close/CloseNow mid-materialization).
 race-serving:
-	$(GO) test -race -count=1 -run 'TestSnapshot|TestKBContext|TestCoalesce|TestQueue|TestApplyModifies|TestCancelled' .
+	$(GO) test -race -count=1 -run 'TestSnapshot|TestKBContext|TestCoalesce|TestQueue|TestApplyModifies|TestCancelled|TestRemat' .
+
+# The quality-autopilot oracle soak at acceptance length: 200 queued
+# updates against an undersized store in all three modes (autopilot,
+# cumulative-only, static lesion), checkpoint marginals vs a
+# from-scratch inference oracle. The short variant (60 updates) runs in
+# the plain test suite.
+soak:
+	SOAK_UPDATES=200 $(GO) test -run 'TestSoak' -v -timeout 40m -count=1 .
 
 # The ground→learn→infer pipeline's concurrency proof: the pipelined
 # queue's bit-identical differential against the serialized lesion,

@@ -127,4 +127,3 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		}
 	}
 }
-

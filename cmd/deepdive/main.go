@@ -44,6 +44,9 @@ func run() int {
 	rebuild := flag.Bool("rebuild", false, "rebuild the factor graph on every update (lesion; default is the O(Δ) in-place patch)")
 	serve := flag.Duration("serve", 0, "after the iteration loop, run a snapshot-serving demo for this long (e.g. 2s): concurrent readers over deepdive.KB snapshots while the update queue coalesces rule iterations")
 	readers := flag.Int("readers", 4, "reader goroutines for the -serve demo")
+	rematLow := flag.Int("remat-low", 0, "serving demo: background re-materialization low-water mark in unconsumed samples (0 off)")
+	rematBudget := flag.Duration("remat-budget", 0, "serving demo: extra sampling time per background re-materialization")
+	staticOpt := flag.Bool("static-optimizer", false, "serving demo lesion: static §3.3 strategy rules, per-update change sets, no re-materialization")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -143,7 +146,9 @@ func run() int {
 	}
 
 	if *serve > 0 {
-		if err := serveDemo(sys, sem, cfg, *serve, *readers); err != nil {
+		sc := serveConfig{d: *serve, readers: *readers,
+			rematLow: *rematLow, rematBudget: *rematBudget, staticOpt: *staticOpt}
+		if err := serveDemo(sys, sem, cfg, sc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -151,18 +156,32 @@ func run() int {
 	return 0
 }
 
+// serveConfig carries the -serve demo's flags: window, reader count, and
+// the quality-autopilot knobs.
+type serveConfig struct {
+	d           time.Duration
+	readers     int
+	rematLow    int
+	rematBudget time.Duration
+	staticOpt   bool
+}
+
 // serveDemo exercises the snapshot-serving API end to end: a deepdive.KB
 // is built over the same generated system, `readers` goroutines query
 // snapshots continuously, and the coalescing update queue re-applies the
-// development iterations as streamed updates. Reader throughput and the
-// batch/coalescing statistics are printed at the end.
-func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, d time.Duration, readers int) error {
+// development iterations as streamed updates. Reader throughput, the
+// batch/coalescing statistics, and the quality autopilot's decisions are
+// printed at the end.
+func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, sc serveConfig) error {
+	d, readers := sc.d, sc.readers
 	fmt.Printf("\n== serving demo: %d readers, %v, updates streaming through the queue ==\n", readers, d)
 	opts := []deepdive.Option{
 		deepdive.WithSeed(cfg.Seed),
 		deepdive.WithParallelism(cfg.Parallelism),
 		deepdive.WithReplicas(cfg.Replicas, cfg.SyncEvery),
 		deepdive.WithRebuildUpdates(cfg.RebuildUpdates),
+		deepdive.WithRematerialization(sc.rematLow, sc.rematBudget),
+		deepdive.WithStaticOptimizer(sc.staticOpt),
 	}
 	for name, f := range kbc.UDFs() {
 		opts = append(opts, deepdive.WithUDF(name, f))
@@ -255,5 +274,15 @@ stream:
 		float64(reads.Load())/elapsed.Seconds(), q.Applied(), q.Batches())
 	fmt.Printf("final snapshot: epoch %d, ground version %d, graph epoch %d, %d vars\n",
 		snap.Epoch(), snap.GroundVersion(), snap.GraphEpoch(), snap.Stats().Variables)
+	ap := kb.Autopilot()
+	fmt.Printf("autopilot: %d sampling / %d variational / %d rerun runs (%d fallbacks), store %d/%d",
+		ap.SamplingRuns, ap.VariationalRuns, ap.RerunRuns, ap.Fallbacks, ap.StoreRemaining, ap.StoreLen)
+	if ap.LowWater > 0 {
+		fmt.Printf(", low-water %d, %d re-materializations (%d preempted)", ap.LowWater, ap.Rematerializations, ap.RematPreempted)
+	}
+	fmt.Println()
+	if ap.LastProbe >= 0 {
+		fmt.Printf("autopilot: last measured acceptance probe %.2f, histogram %v\n", ap.LastProbe, ap.AcceptanceHist)
+	}
 	return nil
 }

@@ -140,6 +140,34 @@ type Options struct {
 	// and debugging knob.
 	SerializedUpdates bool
 
+	// RematLowWater arms the quality autopilot's background
+	// re-materializer: when an update leaves fewer than this many
+	// unconsumed sample worlds in the store, the KB re-materializes Pr(0)
+	// in the background (sampling off-lock in the write locks' idle gaps)
+	// and atomically swaps the fresh engine in, resetting the
+	// materialization boundary. Any incoming write preempts an in-flight
+	// re-materialization. 0 (the default) disables background
+	// re-materialization.
+	RematLowWater int
+
+	// RematBudget extends each background re-materialization beyond the
+	// initial MatSamples worlds: after the baseline materialization the
+	// sampler keeps drawing for this much wall-clock time (the paper's
+	// "materialize as many samples as possible when idle" protocol,
+	// budget-bounded). 0 stops at MatSamples.
+	RematBudget time.Duration
+
+	// StaticOptimizer is the quality-autopilot lesion switch: the
+	// pre-autopilot behavior of the §3.3 static strategy rules, per-update
+	// change sets (no cumulative accumulation since materialization), and
+	// no background re-materialization. By default the KB runs the §3.2
+	// measured optimizer (strategy chosen from a non-consuming
+	// acceptance-rate probe of the stored samples) and scores every update
+	// against the cumulative post-materialization change set — the
+	// combination that keeps marginals pinned to a from-scratch oracle
+	// under sustained update streams (see the soak tests).
+	StaticOptimizer bool
+
 	// AsyncAveraging lets the replica learner overlap its model-averaging
 	// barrier with the first gradient steps of the next segment: each
 	// worker publishes its weights and immediately keeps stepping, then
@@ -214,6 +242,20 @@ func WithSerializedUpdates(on bool) Option { return func(o *Options) { o.Seriali
 // the next segment's gradient steps (see Options.AsyncAveraging).
 func WithAsyncAveraging(on bool) Option { return func(o *Options) { o.AsyncAveraging = on } }
 
+// WithRematerialization arms the background re-materializer: when fewer
+// than lowWater unconsumed samples remain after an update, Pr(0) is
+// re-materialized in the background and swapped in atomically, with
+// budget of extra sampling time beyond the baseline sample count (see
+// Options.RematLowWater / Options.RematBudget). lowWater <= 0 disables.
+func WithRematerialization(lowWater int, budget time.Duration) Option {
+	return func(o *Options) { o.RematLowWater = lowWater; o.RematBudget = budget }
+}
+
+// WithStaticOptimizer selects the quality-autopilot lesion configuration:
+// static §3.3 strategy rules, per-update change sets, and no background
+// re-materialization (see Options.StaticOptimizer).
+func WithStaticOptimizer(on bool) Option { return func(o *Options) { o.StaticOptimizer = on } }
+
 // WithInPlaceUpdates toggles O(Δ)-cost in-place factor-graph patching.
 //
 // Deprecated: in-place patching is on by default; use
@@ -260,6 +302,11 @@ type UpdateResult struct {
 	InferTime  time.Duration
 	Strategy   Strategy
 	Acceptance float64
+	// Probe is the measured acceptance-rate estimate the optimizer based
+	// its strategy choice on, or -1 when the choice was made without
+	// probing (static rules, empty change set, or an upfront store-level
+	// decision).
+	Probe      float64
 	NewVars    int
 	NewFactors int
 	// Coalesced is how many queued updates the batch merged (1 for a
@@ -284,6 +331,9 @@ type GraphStats struct {
 	Weights    int
 	Evidence   int
 	QueryFacts int
+	// Autopilot is the quality-autopilot state at publication time (nil
+	// on snapshots published before Materialize).
+	Autopilot *AutopilotStats
 }
 
 // Engine is the deprecated synchronous handle of one KBC system. It

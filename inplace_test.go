@@ -92,7 +92,7 @@ func TestEngineInPlaceUpdateMatchesRebuild(t *testing.T) {
 		}
 	}
 	sr, si := reb.Stats(), inp.Stats()
-	if sr != si {
+	if !statsEqual(sr, si) {
 		t.Fatalf("graph stats diverge: %+v vs %+v", sr, si)
 	}
 }

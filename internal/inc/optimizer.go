@@ -73,6 +73,38 @@ type Options struct {
 	SyncEvery int
 	Seed      int64
 
+	// MeasuredOptimizer drives the sampling-vs-variational choice from a
+	// measured acceptance-rate probe over the stored samples (the §3.2
+	// optimizer) instead of the purely rule-based §3.3 decision: sampling
+	// when the measured rate is ≥ AcceptHigh, variational when it is
+	// < AcceptLow, with the static rules as tie-breakers in between.
+	// Off by default — ChooseStrategy keeps the static behavior.
+	MeasuredOptimizer bool
+	// ProbeSamples is how many stored (unconsumed) samples a measured
+	// probe scores (default 24). Probing never consumes the store.
+	ProbeSamples int
+	// AcceptHigh is the normalized measured acceptance score
+	// (NormalizeAcceptance) at or above which sampling is chosen outright
+	// (default 0.2): stored proposals are still being adopted often
+	// enough to converge within the sample budget.
+	AcceptHigh float64
+	// AcceptLow is the normalized measured acceptance score below which
+	// the variational path is chosen outright (default 0.02): nearly
+	// every proposal would be rejected, so replaying the store would burn
+	// it without mixing.
+	AcceptLow float64
+
+	// CumulativeChanges makes the engine accumulate every change set it
+	// infers over (NoteChanges) since materialization, scoring each update
+	// against the union. The target distribution always differs from the
+	// materialized Pr(0) by *all* deltas since materialization, not just
+	// the latest one — without accumulation the variational inference
+	// graph encodes only the current update's groups and facts touched by
+	// earlier post-materialization updates drift toward 0.5. Off by
+	// default for compatibility with per-update callers that manage their
+	// own accumulation.
+	CumulativeChanges bool
+
 	// Lesion switches (Section 4.3): disable one side, or ignore workload
 	// information (NoWorkloadInfo: always try sampling first, regardless
 	// of the update's nature).
@@ -97,6 +129,15 @@ func (o Options) fill() Options {
 	if o.MaxDenseComponent <= 0 {
 		o.MaxDenseComponent = 300
 	}
+	if o.ProbeSamples <= 0 {
+		o.ProbeSamples = 24
+	}
+	if o.AcceptHigh <= 0 {
+		o.AcceptHigh = 0.2
+	}
+	if o.AcceptLow <= 0 {
+		o.AcceptLow = 0.02
+	}
 	return o
 }
 
@@ -113,6 +154,11 @@ type Result struct {
 	AcceptanceRate float64
 	SamplesUsed    int
 	Elapsed        time.Duration
+	// Probed is the measured acceptance-rate estimate the optimizer based
+	// its strategy choice on, or -1 when the choice was made without
+	// probing (static rules, empty change set, or an upfront store-level
+	// decision).
+	Probed float64
 }
 
 // Engine owns the materialization of the original distribution Pr(0) and
@@ -127,6 +173,11 @@ type Engine struct {
 	sampler gibbs.Chain
 	store   *gibbs.Store
 	vm      *Variational
+
+	// accum is the union of every change set noted since materialization
+	// (Options.CumulativeChanges): the updated distribution differs from
+	// Pr(0) by all of them, so every inference pass scores the union.
+	accum ChangeSet
 
 	matElapsed time.Duration
 }
@@ -154,7 +205,7 @@ func NewEngineCtx(ctx context.Context, g *factor.Graph, opts Options) (*Engine, 
 		return nil, ctx.Err()
 	}
 	if !o.DisableVariational {
-		vm, err := MaterializeVariational(g, e.store, VariationalOptions{
+		vm, err := MaterializeVariationalCtx(ctx, g, e.store, VariationalOptions{
 			Lambda:            o.Lambda,
 			MaxDenseComponent: o.MaxDenseComponent,
 		})
@@ -171,8 +222,16 @@ func NewEngineCtx(ctx context.Context, g *factor.Graph, opts Options) (*Engine, 
 // is spent (the paper's Figure 15 protocol, scaled down from 8 hours) and
 // returns how many samples are now stored.
 func (e *Engine) MaterializeForBudget(budget time.Duration) int {
+	return e.MaterializeForBudgetCtx(nil, budget)
+}
+
+// MaterializeForBudgetCtx is MaterializeForBudget with a cooperative
+// cancellation check between sweeps — the form the background
+// re-materializer uses so an incoming write can preempt it mid-budget.
+// The store keeps every world sampled before the cancellation.
+func (e *Engine) MaterializeForBudgetCtx(ctx context.Context, budget time.Duration) int {
 	deadline := time.Now().Add(budget)
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !canceled(ctx) {
 		e.sampler.Sweep()
 		// StoreWorlds, not Assign: the replica chain's Assign is a
 		// consensus vote, which would bias the materialized samples.
@@ -218,6 +277,94 @@ func (e *Engine) ChooseStrategy(cs ChangeSet) Strategy {
 	}
 }
 
+// ChooseStrategyMeasured is the §3.2 measured optimizer: instead of
+// deciding from the update's *shape* alone (the §3.3 rules), it estimates
+// the Metropolis-Hastings acceptance rate the stored samples would
+// achieve against the updated distribution (EstimateAcceptanceRate — a
+// non-consuming peek over the unconsumed region) and chooses:
+//
+//   - probe ≥ AcceptHigh → sampling: stored proposals still mix.
+//   - probe <  AcceptLow → variational: proposals would be rejected
+//     wholesale; replaying the store burns it without converging.
+//   - in between → the §3.3 static rules tie-break.
+//
+// The raw rate is rescaled by NormalizeAcceptance before thresholding —
+// a short probe chain accepts every new-record score no matter how much
+// the distribution changed, so the raw rate has a floor of ≈ H(n)/n that
+// would keep AcceptLow unreachable.
+//
+// The probe is skipped (returning -1) when measurement cannot inform the
+// choice: MeasuredOptimizer off or a lesion forcing one side (static
+// rules decide), an empty change set (every proposal accepts — the A1
+// case), an evidence change (forced evidence values hide the shift from
+// group-energy scoring, so rule 2 decides), or too few unconsumed samples
+// to finish a sampling pass anyway (rule 4 applied upfront instead of
+// after burning what is left).
+func (e *Engine) ChooseStrategyMeasured(newG *factor.Graph, cs ChangeSet) (Strategy, float64) {
+	if !e.opts.MeasuredOptimizer || e.opts.DisableSampling || e.opts.DisableVariational {
+		return e.ChooseStrategy(cs), -1
+	}
+	if cs.Empty() {
+		return StrategySampling, -1
+	}
+	if len(cs.EvidenceChanged) > 0 {
+		return e.ChooseStrategy(cs), -1
+	}
+	if e.vm != nil && e.store.Remaining() < e.opts.KeepSamples {
+		return StrategyVariational, -1
+	}
+	n := e.opts.ProbeSamples
+	if r := e.store.Remaining(); n > r {
+		n = r
+	}
+	probe := NormalizeAcceptance(
+		EstimateAcceptanceRate(e.old, newG, e.store, cs, n, e.opts.Seed+43), n)
+	switch {
+	case probe >= e.opts.AcceptHigh:
+		return StrategySampling, probe
+	case e.vm != nil && probe < e.opts.AcceptLow:
+		return StrategyVariational, probe
+	default:
+		return e.ChooseStrategy(cs), probe
+	}
+}
+
+// NoteChanges folds cs into the accumulated post-materialization change
+// set. A no-op unless Options.CumulativeChanges is set.
+func (e *Engine) NoteChanges(cs ChangeSet) {
+	if e.opts.CumulativeChanges {
+		e.accum = e.accum.Merge(cs)
+	}
+}
+
+// Accumulated returns the change sets noted since materialization (the
+// union AutoInferCtx scores against). Callers must not mutate it.
+func (e *Engine) Accumulated() ChangeSet { return e.accum }
+
+// AutoInferCtx is the serving layer's inference entry point: it notes cs
+// into the cumulative post-materialization change set (when enabled),
+// chooses a strategy — measured (§3.2) or static (§3.3) per the options —
+// and dispatches to the decomposed sampling path (Algorithm 2, when the
+// structure changed and a decomposition is supplied) or the plain
+// strategy runner. groups is called only when the decomposition is
+// actually used. Result.Probed carries the measured estimate (-1 when the
+// choice was unprobed).
+func (e *Engine) AutoInferCtx(ctx context.Context, newG *factor.Graph, cs ChangeSet, groups func() []DecompGroup) *Result {
+	if e.opts.CumulativeChanges {
+		e.accum = e.accum.Merge(cs)
+		cs = e.accum
+	}
+	strat, probed := e.ChooseStrategyMeasured(newG, cs)
+	if strat == StrategySampling && cs.StructureChanged() && groups != nil {
+		res := e.InferDecomposedCtx(ctx, newG, cs, groups())
+		res.Probed = probed
+		return res
+	}
+	res := e.inferAs(ctx, newG, cs, strat)
+	res.Probed = probed
+	return res
+}
+
 // Infer computes marginals under the updated distribution represented by
 // newG (the graph after incremental grounding) and the change set.
 func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
@@ -229,8 +376,15 @@ func (e *Engine) Infer(newG *factor.Graph, cs ChangeSet) *Result {
 // sweeps). A cancelled run returns partial marginals; callers that must
 // not serve them check ctx.Err() afterwards.
 func (e *Engine) InferCtx(ctx context.Context, newG *factor.Graph, cs ChangeSet) *Result {
+	return e.inferAs(ctx, newG, cs, e.ChooseStrategy(cs))
+}
+
+// inferAs runs one inference pass under an already-chosen strategy (the
+// run-time exhaustion fallback of rule 4 still applies inside the
+// sampling branch).
+func (e *Engine) inferAs(ctx context.Context, newG *factor.Graph, cs ChangeSet, strat Strategy) *Result {
 	start := time.Now()
-	res := &Result{Strategy: e.ChooseStrategy(cs), AcceptanceRate: 1}
+	res := &Result{Strategy: strat, AcceptanceRate: 1, Probed: -1}
 	switch res.Strategy {
 	case StrategySampling:
 		sr := SamplingInferCtx(ctx, e.old, newG, e.store, cs, e.opts.KeepSamples, e.opts.Seed+17, e.opts.Parallelism)
@@ -303,7 +457,7 @@ func (e *Engine) InferDecomposed(newG *factor.Graph, cs ChangeSet, groups []Deco
 // check between stored-sample proposals.
 func (e *Engine) InferDecomposedCtx(ctx context.Context, newG *factor.Graph, cs ChangeSet, groups []DecompGroup) *Result {
 	start := time.Now()
-	res := &Result{Strategy: StrategySampling, AcceptanceRate: 1}
+	res := &Result{Strategy: StrategySampling, AcceptanceRate: 1, Probed: -1}
 	// Groups created by post-materialization updates are not part of
 	// Pr(0); a later modification of one has no old-side energy.
 	cs.ChangedOld = clampToGraph(e.old, cs.ChangedOld)

@@ -182,25 +182,34 @@ func completeNewVars(s *gibbs.Sampler, firstNew int) {
 	}
 }
 
-// EstimateAcceptanceRate scores a prefix of the stored samples against
-// the updated distribution without consuming them — a cheap probe the
-// optimizer can use. probe is clamped to ≥ 1 (a non-positive probe would
-// otherwise score nothing and return 0/0 = NaN).
+// EstimateAcceptanceRate scores a random selection of the *unconsumed*
+// stored samples against the updated distribution — a cheap probe the
+// optimizer can use. Probing is strictly non-consuming: samples are read
+// through Store.Peek, so the cursor (and therefore the number of
+// proposals a subsequent sampling run can draw) is untouched — a measured
+// optimizer that probes before every update must not accelerate store
+// exhaustion. Only the unconsumed region is scored because those are the
+// proposals an actual sampling pass would replay; an exhausted store
+// reports 0 (nothing left to propose, matching the run-time fallback
+// rule). probe is clamped to ≥ 1 (a non-positive probe would otherwise
+// score nothing and return 0/0 = NaN).
 func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs ChangeSet, probe int, seed int64) float64 {
-	if store.Len() == 0 {
+	remaining := store.Remaining()
+	if remaining == 0 {
 		return 0
 	}
 	if probe < 1 {
 		probe = 1
 	}
-	if probe > store.Len() {
-		probe = store.Len()
+	if probe > remaining {
+		probe = remaining
 	}
 	cs.ChangedOld = clampToGraph(oldG, cs.ChangedOld)
 	rng := rand.New(rand.NewSource(seed))
 	full := make([]bool, newG.NumVars())
-	score := func(i int) float64 {
-		raw := store.Get(i, nil)
+	raw := make([]bool, store.NumVars())
+	score := func(k int) float64 {
+		raw, _ = store.Peek(k, raw)
 		copy(full, raw[:min(len(raw), len(full))])
 		for v := 0; v < newG.NumVars(); v++ {
 			if newG.IsEvidence(factor.VarID(v)) {
@@ -209,10 +218,10 @@ func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs Cha
 		}
 		return newG.EnergyOfGroups(full, cs.ChangedNew) - oldG.EnergyOfGroups(full, cs.ChangedOld)
 	}
-	cur := score(rng.Intn(store.Len()))
+	cur := score(rng.Intn(remaining))
 	accepted, proposed := 0, 0
 	for k := 0; k < probe; k++ {
-		s := score(rng.Intn(store.Len()))
+		s := score(rng.Intn(remaining))
 		proposed++
 		if s >= cur || rng.Float64() < math.Exp(s-cur) {
 			accepted++
@@ -220,4 +229,35 @@ func EstimateAcceptanceRate(oldG, newG *factor.Graph, store *gibbs.Store, cs Cha
 		}
 	}
 	return float64(accepted) / float64(proposed)
+}
+
+// NormalizeAcceptance rescales a measured acceptance rate from an
+// n-proposal probe into a [0,1] mixing score net of the record-only
+// baseline: an independence Metropolis-Hastings chain accepts every
+// new-record score unconditionally, so even against a maximally changed
+// distribution a probe of n i.i.d. proposals accepts ≈ H(n)/n of them
+// (the expected record count of a random sequence). Without the
+// correction a short probe can never read "low" — the §3.2 thresholds
+// would be dead letters. 1 means every proposal accepted (unchanged
+// distribution), 0 means nothing beyond the record floor (proposals are
+// rejected wholesale). n ≤ 1 returns the raw rate (the baseline equals
+// the whole probe).
+func NormalizeAcceptance(rate float64, n int) float64 {
+	if n <= 1 {
+		return rate
+	}
+	// H(n) ≈ ln n + γ + 1/(2n).
+	h := math.Log(float64(n)) + 0.5772156649 + 1/(2*float64(n))
+	base := h / float64(n)
+	if base >= 1 {
+		return rate
+	}
+	norm := (rate - base) / (1 - base)
+	if norm < 0 {
+		return 0
+	}
+	if norm > 1 {
+		return 1
+	}
+	return norm
 }

@@ -70,6 +70,15 @@ func (o VariationalOptions) fill() VariationalOptions {
 // larger than MaxDenseComponent use covariance thresholding directly (the
 // scalable fallback documented in DESIGN.md).
 func MaterializeVariational(g *factor.Graph, store *gibbs.Store, opts VariationalOptions) (*Variational, error) {
+	return MaterializeVariationalCtx(nil, g, store, opts)
+}
+
+// MaterializeVariationalCtx is MaterializeVariational with a cooperative
+// cancellation check between per-component solves, so a background
+// materialization can be preempted without waiting out the remaining
+// log-det optimizations. A cancelled run returns ctx's error and no
+// materialization.
+func MaterializeVariationalCtx(ctx context.Context, g *factor.Graph, store *gibbs.Store, opts VariationalOptions) (*Variational, error) {
 	o := opts.fill()
 	vm := &Variational{NumVars: g.NumVars(), Lambda: o.Lambda}
 
@@ -88,6 +97,9 @@ func MaterializeVariational(g *factor.Graph, store *gibbs.Store, opts Variationa
 
 	comps := components(g)
 	for _, comp := range comps {
+		if canceled(ctx) {
+			return nil, ctx.Err()
+		}
 		if len(comp) < 2 {
 			continue
 		}

@@ -84,7 +84,7 @@ type Options struct {
 	// outside replica SGD.
 	AsyncAveraging bool
 	Seed           int64
-	Warmstart []float64 // initial weights; nil means start from zero
+	Warmstart      []float64 // initial weights; nil means start from zero
 	// Frozen marks weights excluded from learning (fixed-value rule
 	// weights). nil means all weights are learnable.
 	Frozen []bool

@@ -75,6 +75,30 @@ type KB struct {
 	// escape the acceptance test. Guarded by stateMu.
 	pending inc.ChangeSet
 
+	// curGraph is the graph the served state corresponds to — the same
+	// pointer grounder.Graph() last returned, mirrored here so the
+	// background re-materializer can read it without touching the
+	// grounder (which would need groundMu). Guarded by stateMu.
+	curGraph *factor.Graph
+	// stateGen counts state mutations (graph commits, weight learning,
+	// engine swaps). A background re-materialization snapshots it at
+	// launch and installs its engine only if it is unchanged — a stale
+	// materialization (preempted by any write) is discarded. Guarded by
+	// stateMu.
+	stateGen uint64
+	// auto aggregates quality-autopilot statistics (strategy counts,
+	// acceptance histogram). Guarded by stateMu.
+	auto autoCounters
+
+	// Background re-materializer coordination; see autopilot.go.
+	rematMu     sync.Mutex
+	rematRun    *rematRun
+	rematClosed bool
+	rematSpawns int64
+	rematWG     sync.WaitGroup
+	remats      atomic.Uint64
+	rematLost   atomic.Uint64
+
 	epoch atomic.Uint64
 	snap  atomic.Pointer[Snapshot]
 
@@ -151,12 +175,18 @@ func (kb *KB) seqDrain() {
 
 // lockExclusive acquires both writer locks for a monolithic operation:
 // groundMu first stops new grounding stages, the drain then waits out
-// every staged finish, stateMu finally claims the inference state.
+// every staged finish, an in-flight background re-materialization is
+// preempted (every caller mutates graph or weight state the
+// re-materializer may be reading), and stateMu finally claims the
+// inference state. The generation bump invalidates any re-materialization
+// that already finished sampling but has not swapped in yet.
 // Release through the returned func.
 func (kb *KB) lockExclusive() func() {
 	kb.groundMu.Lock()
 	kb.seqDrain()
+	kb.preemptRemat()
 	kb.stateMu.Lock()
+	kb.stateGen++
 	return func() {
 		kb.stateMu.Unlock()
 		kb.groundMu.Unlock()
@@ -211,6 +241,26 @@ func (kb *KB) frozen(g *factor.Graph) []bool {
 // runtime derives the Gibbs chain-selection config from the options.
 func (kb *KB) runtime() gibbs.Runtime {
 	return gibbs.Runtime{Workers: kb.opts.Parallelism, Replicas: kb.opts.Replicas, SyncEvery: kb.opts.SyncEvery}
+}
+
+// engineOpts derives the incremental-engine configuration — shared by
+// Materialize and the background re-materializer so a swapped-in engine
+// behaves identically to an explicitly materialized one. The measured
+// §3.2 optimizer and cumulative change tracking are on unless the
+// StaticOptimizer lesion reverts to the pre-autopilot behavior.
+func (kb *KB) engineOpts(seed int64) inc.Options {
+	return inc.Options{
+		MaterializationSamples: kb.opts.MatSamples,
+		Burnin:                 kb.opts.InferBurnin,
+		KeepSamples:            kb.opts.InferKeep,
+		Lambda:                 kb.opts.Lambda,
+		Parallelism:            kb.opts.Parallelism,
+		Replicas:               kb.opts.Replicas,
+		SyncEvery:              kb.opts.SyncEvery,
+		Seed:                   seed,
+		MeasuredOptimizer:      !kb.opts.StaticOptimizer,
+		CumulativeChanges:      !kb.opts.StaticOptimizer,
+	}
 }
 
 // Learn fits rule weights from scratch (tied weights start at zero;
@@ -277,16 +327,7 @@ func (kb *KB) Materialize(ctx context.Context) (time.Duration, error) {
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
-	eng, err := inc.NewEngineCtx(ctx, kb.grounder.Graph(), inc.Options{
-		MaterializationSamples: kb.opts.MatSamples,
-		Burnin:                 kb.opts.InferBurnin,
-		KeepSamples:            kb.opts.InferKeep,
-		Lambda:                 kb.opts.Lambda,
-		Parallelism:            kb.opts.Parallelism,
-		Replicas:               kb.opts.Replicas,
-		SyncEvery:              kb.opts.SyncEvery,
-		Seed:                   kb.opts.Seed + 3,
-	})
+	eng, err := inc.NewEngineCtx(ctx, kb.grounder.Graph(), kb.engineOpts(kb.opts.Seed+3))
 	if err != nil {
 		return 0, err
 	}
@@ -379,11 +420,19 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 	// Committing patches the served graph's lineage, which must observe
 	// the previous apply's learned weights (the patch snapshots the
 	// weight vector) and must not race its still-running inference. Wait
-	// for the preceding finish, then commit under stateMu.
+	// for the preceding finish, then commit under stateMu. The preempt
+	// sits between the two: it must run after the preceding finish (which
+	// may spawn a re-materialization at its end) and before the commit
+	// patches pool state a re-materializer could be sampling from
+	// (factor.Patch is not safe against in-flight evaluation anywhere in
+	// the lineage).
 	kb.seqAwait(st.seq)
+	kb.preemptRemat()
 	kb.stateMu.Lock()
 	commit()
+	kb.stateGen++
 	st.graph = kb.grounder.Graph()
+	kb.curGraph = st.graph
 	// The grounded delta is now committed. Fold it into the pending
 	// change set immediately: if this update's learning or inference is
 	// cancelled, the next apply scores this delta's groups too instead of
@@ -437,21 +486,24 @@ func (kb *KB) applyFinish(ctx context.Context, st *stagedApply) (*UpdateResult, 
 	addWeightChanges(&cs, kb.engine, st.graph)
 
 	start := time.Now()
-	var ir *inc.Result
-	if kb.engine.ChooseStrategy(cs) == inc.StrategySampling && cs.StructureChanged() {
-		ir = kb.engine.InferDecomposedCtx(ctx, st.graph, cs, inc.ComponentGroups(st.graph))
-	} else {
-		ir = kb.engine.InferCtx(ctx, st.graph, cs)
-	}
+	ir := kb.engine.AutoInferCtx(ctx, st.graph, cs, func() []inc.DecompGroup {
+		return inc.ComponentGroups(st.graph)
+	})
 	res.InferTime = time.Since(start)
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	res.Strategy = ir.Strategy
 	res.Acceptance = ir.AcceptanceRate
+	res.Probe = ir.Probed
+	kb.recordAutoResult(ir)
 	kb.marg = ir.Marginals
 	kb.pending = inc.ChangeSet{} // published: nothing carries over
 	res.Epoch = kb.publishStaged(st.skel).Epoch()
+	// With the store drawn down by this update's inference, check the
+	// low-water mark and kick off a background re-materialization while
+	// the write locks are idle.
+	kb.maybeRematerialize()
 	return res, nil
 }
 
@@ -465,13 +517,26 @@ func (kb *KB) Updates() *UpdateQueue {
 }
 
 // Close shuts the update queue down (draining already-submitted updates)
-// and leaves the KB serving its last published snapshot. Reads stay
-// valid after Close; further writes are the caller's responsibility to
-// stop. Close is idempotent and safe against a concurrent first
-// Updates() call: it resolves the queue through the same once, so an
-// update submitted before Close is always drained.
+// and leaves the KB serving its last published snapshot. Any background
+// re-materialization is cancelled and waited out — after Close returns no
+// KB goroutine is left running. Reads stay valid after Close; further
+// writes are the caller's responsibility to stop. Close is idempotent and
+// safe against a concurrent first Updates() call: it resolves the queue
+// through the same once, so an update submitted before Close is always
+// drained.
 func (kb *KB) Close() error {
 	kb.Updates().Close()
+	kb.shutdownRemat()
+	return nil
+}
+
+// CloseNow is Close without draining: queued updates that have not
+// started resolve with ErrQueueClosed, in-flight batches are cancelled
+// through the queue's lifecycle context, and any background
+// re-materialization is cancelled and waited out.
+func (kb *KB) CloseNow() error {
+	kb.Updates().CloseNow()
+	kb.shutdownRemat()
 	return nil
 }
 
@@ -531,6 +596,10 @@ func (kb *KB) publishStaged(s *Snapshot) *Snapshot {
 	if kb.marg != nil {
 		s.marg = append([]float64(nil), kb.marg...)
 	}
+	if kb.engine != nil {
+		ap := kb.autopilotLocked()
+		s.stats.Autopilot = &ap
+	}
 	s.epoch = kb.epoch.Add(1)
 	kb.snap.Store(s)
 	return s
@@ -540,7 +609,9 @@ func (kb *KB) publishStaged(s *Snapshot) *Snapshot {
 // fresh Snapshot and swaps it in as the served view — the monolithic
 // writer path. Callers hold both writer locks (lockExclusive).
 func (kb *KB) publishLocked() *Snapshot {
-	return kb.publishStaged(kb.buildSkeleton(kb.grounder.Graph()))
+	g := kb.grounder.Graph()
+	kb.curGraph = g
+	return kb.publishStaged(kb.buildSkeleton(g))
 }
 
 // Marginal is shorthand for Snapshot().Marginal — one consistent point
