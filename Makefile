@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving race-pipeline soak fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full profile
+.PHONY: check fmt vet build test race race-serving race-pipeline race-persist soak fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full bench-persist profile
 
 # Everything CI runs. (go test ./... includes the short soak; the full
 # acceptance-length soak is `make soak`.)
@@ -51,6 +51,12 @@ race-pipeline:
 	$(GO) test -race -count=1 -run 'TestPipelined|TestSubmitCtx|TestQueueCloseNow|TestSnapshotReadersDuringPipelinedStream' .
 	$(GO) test -race -count=1 ./internal/ground/
 
+# The durability proof under the race detector: checkpoint/restart,
+# every crash kill point vs the never-crashed oracle, WAL replay
+# determinism per worker count.
+race-persist:
+	$(GO) test -race -count=1 -run 'TestCheckpoint|TestCrash|TestWALRe' .
+
 # Short native-fuzz pass over the datalog parser (no-panic + String
 # round-trip); extend -fuzztime for a real hunt.
 fuzz-smoke:
@@ -98,6 +104,13 @@ bench-pipeline:
 bench-pipeline-full:
 	$(GO) test -bench='PipelineThroughput' -benchtime=4x -run=xxx .
 	$(GO) test -bench='ApplyUpdateParallel' -benchtime=3x -run=xxx ./internal/ground/
+
+# Cold start from snapshot vs re-materializing from scratch at the same
+# sample budget, plus WAL replay throughput (results recorded in
+# BENCH_persist.json; run with -benchtime=2s -count=6 and take minima
+# for the recorded protocol). The smoke variant runs each once.
+bench-persist:
+	$(GO) test -bench='ColdStartFromSnapshot|RematerializeFromScratch|WALReplay' -benchtime=1x -run=xxx .
 
 # CPU-profile the corpus sweep benchmark under pprof; cmd/deepdive takes
 # the same -cpuprofile/-memprofile flags for whole-pipeline profiles.

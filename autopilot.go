@@ -42,13 +42,19 @@ type rematRun struct {
 	// Preemptors cancel and then block on done: when it is closed, no
 	// re-materialization code is evaluating shared graph state.
 	done chan struct{}
+	// finished is closed when the goroutine has fully exited — swap
+	// attempted (landed or discarded) and the run retired. The update
+	// queue's cooperative slot waits on it; unlike done it covers the
+	// swap itself, and it closes on every exit path, so the wait is
+	// bounded even when the run is preempted.
+	finished chan struct{}
 }
 
 // maybeRematerialize launches a background re-materialization when the
 // store has drained below the configured low-water mark. Callers hold
 // stateMu (it reads engine state and the current graph/generation).
 func (kb *KB) maybeRematerialize() {
-	if kb.opts.RematLowWater <= 0 || kb.opts.StaticOptimizer || kb.engine == nil || kb.curGraph == nil {
+	if kb.replaying || kb.opts.RematLowWater <= 0 || kb.opts.StaticOptimizer || kb.engine == nil || kb.curGraph == nil {
 		return
 	}
 	if kb.engine.Store().Remaining() >= kb.opts.RematLowWater {
@@ -60,7 +66,7 @@ func (kb *KB) maybeRematerialize() {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	run := &rematRun{cancel: cancel, done: make(chan struct{})}
+	run := &rematRun{cancel: cancel, done: make(chan struct{}), finished: make(chan struct{})}
 	kb.rematRun = run
 	// Vary the seed per launch so a re-materialized Pr(0) is a fresh
 	// sample set, not a replay of the previous one.
@@ -75,6 +81,7 @@ func (kb *KB) maybeRematerialize() {
 func (kb *KB) rematerialize(ctx context.Context, run *rematRun, g *factor.Graph, gen uint64, seed int64) {
 	defer kb.rematWG.Done()
 	defer kb.clearRematRun(run)
+	defer close(run.finished)
 
 	eng, err := inc.NewEngineCtx(ctx, g, kb.engineOpts(seed))
 	if err == nil && kb.opts.RematBudget > 0 && ctx.Err() == nil {
@@ -89,15 +96,20 @@ func (kb *KB) rematerialize(ctx context.Context, run *rematRun, g *factor.Graph,
 
 	if err != nil || ctx.Err() != nil {
 		kb.rematLost.Add(1)
+		if ctx.Err() != nil {
+			kb.noteRematOutcome(false)
+		}
 		return
 	}
 
+	landed := false
 	kb.groundMu.Lock()
 	kb.seqDrain()
 	kb.stateMu.Lock()
 	if kb.stateGen == gen && ctx.Err() == nil {
 		kb.stateGen++
 		kb.engine = eng
+		kb.engineSeed = seed
 		// The fresh store is an i.i.d. sample of the current
 		// distribution: its means are from-scratch-quality marginals.
 		// Publishing them snaps any drift the approximate paths
@@ -106,11 +118,85 @@ func (kb *KB) rematerialize(ctx context.Context, run *rematRun, g *factor.Graph,
 		kb.pending = inc.ChangeSet{} // the new Pr(0) bakes in every grounded delta
 		kb.remats.Add(1)
 		kb.publishLocked()
+		landed = true
 	} else {
 		kb.rematLost.Add(1)
 	}
 	kb.stateMu.Unlock()
 	kb.groundMu.Unlock()
+	kb.noteRematOutcome(landed)
+
+	// A landed swap is a state change WAL replay cannot reproduce (its
+	// timing against the update stream is not logged), so persist it:
+	// write a fresh snapshot in the background. Failure is tolerable —
+	// the durable chain stays valid at the pre-swap state and the next
+	// checkpoint retries.
+	if landed && kb.opts.DataDir != "" {
+		kb.rematMu.Lock()
+		spawn := !kb.rematClosed
+		if spawn {
+			// Safe: this goroutine's own WG slot is still held (its Done
+			// is the last deferred call), so the counter cannot be zero.
+			kb.rematWG.Add(1)
+		}
+		kb.rematMu.Unlock()
+		if spawn {
+			go func() {
+				defer kb.rematWG.Done()
+				_ = kb.Checkpoint(context.Background())
+			}()
+		}
+	}
+}
+
+// noteRematOutcome maintains the preemption streak behind the
+// cooperative queue slot: landed runs reset it, preempted or superseded
+// runs extend it (hard failures leave it unchanged).
+func (kb *KB) noteRematOutcome(landed bool) {
+	kb.rematMu.Lock()
+	if landed {
+		kb.rematPreemptStreak = 0
+	} else {
+		kb.rematPreemptStreak++
+	}
+	kb.rematMu.Unlock()
+}
+
+// cooperativeRematSlot bounds re-materialization starvation: once
+// RematForceAfter consecutive launches have been preempted by writes,
+// the update queue calls this before taking its next batch and blocks
+// until the in-flight (or a freshly launched) re-materialization
+// finishes — one cooperative slot in which no new write can preempt it.
+// The wait is bounded because rematRun.finished closes on every exit
+// path, and the queue's lifecycle context aborts the hold on shutdown.
+func (kb *KB) cooperativeRematSlot(ctx context.Context) {
+	n := kb.opts.RematForceAfter
+	if n <= 0 || kb.opts.RematLowWater <= 0 || kb.opts.StaticOptimizer {
+		return
+	}
+	kb.rematMu.Lock()
+	streak := kb.rematPreemptStreak
+	run := kb.rematRun
+	kb.rematMu.Unlock()
+	if streak < n {
+		return
+	}
+	if run == nil {
+		kb.stateMu.Lock()
+		kb.maybeRematerialize()
+		kb.stateMu.Unlock()
+		kb.rematMu.Lock()
+		run = kb.rematRun
+		kb.rematMu.Unlock()
+		if run == nil {
+			return // store refilled through another path, or shutting down
+		}
+	}
+	kb.rematForced.Add(1)
+	select {
+	case <-run.finished:
+	case <-ctx.Done():
+	}
 }
 
 // preemptRemat cancels any in-flight background re-materialization and
@@ -220,6 +306,9 @@ type AutopilotStats struct {
 	Rematerializations uint64
 	RematPreempted     uint64
 	Rematerializing    bool
+	// RematForced counts cooperative slots the update queue held open for
+	// a starving re-materialization (see Options.RematForceAfter).
+	RematForced uint64
 }
 
 // Autopilot reports the live quality-autopilot state. Snapshots carry the
@@ -243,6 +332,7 @@ func (kb *KB) autopilotLocked() AutopilotStats {
 		LowWater:           kb.opts.RematLowWater,
 		Rematerializations: kb.remats.Load(),
 		RematPreempted:     kb.rematLost.Load(),
+		RematForced:        kb.rematForced.Load(),
 	}
 	if kb.engine != nil {
 		st.StoreLen = kb.engine.Store().Len()

@@ -7,6 +7,12 @@
 //
 //	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full]
 //	         [-parallel -1 | -replicas -1 [-syncevery 8]] [-inplace]
+//	         [-serve 2s [-data-dir ./kb]]
+//
+// With -data-dir the serving demo is durable: the materialized KB is
+// checkpointed there, every streamed update is write-ahead logged, and
+// a rerun with the same directory restarts from snapshot + WAL instead
+// of re-grounding and re-materializing.
 package main
 
 import (
@@ -47,6 +53,7 @@ func run() int {
 	rematLow := flag.Int("remat-low", 0, "serving demo: background re-materialization low-water mark in unconsumed samples (0 off)")
 	rematBudget := flag.Duration("remat-budget", 0, "serving demo: extra sampling time per background re-materialization")
 	staticOpt := flag.Bool("static-optimizer", false, "serving demo lesion: static §3.3 strategy rules, per-update change sets, no re-materialization")
+	dataDir := flag.String("data-dir", "", "serving demo: durable KB directory (snapshot + WAL); rerunning with the same directory restarts from disk")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -147,7 +154,8 @@ func run() int {
 
 	if *serve > 0 {
 		sc := serveConfig{d: *serve, readers: *readers,
-			rematLow: *rematLow, rematBudget: *rematBudget, staticOpt: *staticOpt}
+			rematLow: *rematLow, rematBudget: *rematBudget, staticOpt: *staticOpt,
+			dataDir: *dataDir}
 		if err := serveDemo(sys, sem, cfg, sc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -164,6 +172,7 @@ type serveConfig struct {
 	rematLow    int
 	rematBudget time.Duration
 	staticOpt   bool
+	dataDir     string
 }
 
 // serveDemo exercises the snapshot-serving API end to end: a deepdive.KB
@@ -186,27 +195,41 @@ func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, sc serv
 	for name, f := range kbc.UDFs() {
 		opts = append(opts, deepdive.WithUDF(name, f))
 	}
+	if sc.dataDir != "" {
+		opts = append(opts, deepdive.WithDataDir(sc.dataDir))
+	}
 	kb, err := deepdive.OpenKB(kbc.BaseProgram(sys, sem), opts...)
 	if err != nil {
 		return err
 	}
-	for rel, tuples := range kbc.BaseTuples(sys) {
-		if err := kb.Load(rel, tuples); err != nil {
+	ctx := context.Background()
+	if kb.Recovered() {
+		fmt.Printf("restarted from %s: epoch %d, %d vars — skipping ground/learn/infer/materialize\n",
+			sc.dataDir, kb.Snapshot().Epoch(), kb.Stats().Variables)
+	} else {
+		for rel, tuples := range kbc.BaseTuples(sys) {
+			if err := kb.Load(rel, tuples); err != nil {
+				return err
+			}
+		}
+		if err := kb.Init(ctx); err != nil {
 			return err
 		}
-	}
-	ctx := context.Background()
-	if err := kb.Init(ctx); err != nil {
-		return err
-	}
-	if _, err := kb.Learn(ctx); err != nil {
-		return err
-	}
-	if _, err := kb.Infer(ctx); err != nil {
-		return err
-	}
-	if _, err := kb.Materialize(ctx); err != nil {
-		return err
+		if _, err := kb.Learn(ctx); err != nil {
+			return err
+		}
+		if _, err := kb.Infer(ctx); err != nil {
+			return err
+		}
+		if _, err := kb.Materialize(ctx); err != nil {
+			return err
+		}
+		if sc.dataDir != "" {
+			if err := kb.Checkpoint(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("checkpointed materialized KB to %s\n", sc.dataDir)
+		}
 	}
 	rels := make([]string, 0, len(sys.Spec.Relations))
 	for _, r := range sys.Spec.Relations {
@@ -266,6 +289,14 @@ stream:
 	}
 	close(stop)
 	wg.Wait()
+	if sc.dataDir != "" {
+		if err := kb.Checkpoint(ctx); err != nil {
+			fmt.Printf("  final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Printf("final checkpoint written to %s; rerun with -data-dir %s to restart from it\n",
+				sc.dataDir, sc.dataDir)
+		}
+	}
 	kb.Close()
 	elapsed := time.Since(start)
 	snap := kb.Snapshot()
@@ -278,7 +309,8 @@ stream:
 	fmt.Printf("autopilot: %d sampling / %d variational / %d rerun runs (%d fallbacks), store %d/%d",
 		ap.SamplingRuns, ap.VariationalRuns, ap.RerunRuns, ap.Fallbacks, ap.StoreRemaining, ap.StoreLen)
 	if ap.LowWater > 0 {
-		fmt.Printf(", low-water %d, %d re-materializations (%d preempted)", ap.LowWater, ap.Rematerializations, ap.RematPreempted)
+		fmt.Printf(", low-water %d, %d re-materializations (%d preempted, %d forced slots)",
+			ap.LowWater, ap.Rematerializations, ap.RematPreempted, ap.RematForced)
 	}
 	fmt.Println()
 	if ap.LastProbe >= 0 {

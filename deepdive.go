@@ -157,6 +157,34 @@ type Options struct {
 	// budget-bounded). 0 stops at MatSamples.
 	RematBudget time.Duration
 
+	// RematForceAfter bounds re-materialization starvation under a
+	// saturated update queue: after this many consecutive preempted (or
+	// superseded) background re-materializations, the update queue holds
+	// one cooperative slot — it waits for the in-flight (or a freshly
+	// launched) re-materialization to finish before taking the next batch,
+	// guaranteeing the store is eventually refilled no matter how dense
+	// the write stream is. 0 (the default) never holds the queue.
+	RematForceAfter int
+
+	// DataDir enables durability: the directory holds snapshot files
+	// (sectioned, checksummed images of the full KB state) and write-ahead
+	// log segments recording every committed update. Opening a KB with a
+	// DataDir that already holds a snapshot recovers from it — the latest
+	// valid snapshot is loaded and the WAL tail replayed — instead of
+	// starting empty (see KB.Recovered). Durability begins at the first
+	// Checkpoint: Load/Init/Learn/Materialize are not logged, so the
+	// intended lifecycle is to Checkpoint once the pipeline is
+	// materialized and after any later monolithic writer. Empty (the
+	// default) disables persistence.
+	DataDir string
+
+	// PersistFault is the crash-injection hook used by the recovery tests:
+	// when set, it is invoked at the named kill points of the WAL-append
+	// and checkpoint paths (see the Fault* constants), and a non-nil error
+	// aborts the operation at exactly that point — simulating a crash whose
+	// on-disk state recovery must handle. Nil in production.
+	PersistFault FaultHook
+
 	// StaticOptimizer is the quality-autopilot lesion switch: the
 	// pre-autopilot behavior of the §3.3 static strategy rules, per-update
 	// change sets (no cumulative accumulation since materialization), and
@@ -251,6 +279,21 @@ func WithRematerialization(lowWater int, budget time.Duration) Option {
 	return func(o *Options) { o.RematLowWater = lowWater; o.RematBudget = budget }
 }
 
+// WithRematForceAfter bounds re-materialization starvation (see
+// Options.RematForceAfter): after n consecutive preempted background
+// re-materializations the update queue holds one cooperative slot for
+// the next one to finish. n <= 0 (the default) never holds the queue.
+func WithRematForceAfter(n int) Option { return func(o *Options) { o.RematForceAfter = n } }
+
+// WithDataDir enables durability under dir: checkpoints write snapshot
+// files there, committed updates are write-ahead logged, and reopening
+// recovers the latest snapshot plus the WAL tail (see Options.DataDir).
+func WithDataDir(dir string) Option { return func(o *Options) { o.DataDir = dir } }
+
+// WithPersistFaultHook installs a crash-injection hook for recovery
+// testing (see Options.PersistFault).
+func WithPersistFaultHook(h FaultHook) Option { return func(o *Options) { o.PersistFault = h } }
+
 // WithStaticOptimizer selects the quality-autopilot lesion configuration:
 // static §3.3 strategy rules, per-update change sets, and no background
 // re-materialization (see Options.StaticOptimizer).
@@ -306,9 +349,13 @@ type UpdateResult struct {
 	// its strategy choice on, or -1 when the choice was made without
 	// probing (static rules, empty change set, or an upfront store-level
 	// decision).
-	Probe      float64
-	NewVars    int
-	NewFactors int
+	Probe float64
+	// ProbeReused reports that the optimizer served its strategy verdict
+	// from the per-batch probe memo instead of re-measuring (the probe for
+	// an identical change-set fingerprint was amortized).
+	ProbeReused bool
+	NewVars     int
+	NewFactors  int
 	// Coalesced is how many queued updates the batch merged (1 for a
 	// direct Apply; set by the update queue).
 	Coalesced int

@@ -139,19 +139,23 @@ func (g *Grounder) ApplyUpdateStaged(u Update) (*Delta, func(), error) {
 		}
 	}
 
-	// 2. Apply base-relation deltas.
-	for rel, tuples := range u.Inserts {
+	// 2. Apply base-relation deltas, relations in sorted-name order:
+	// applyTupleDelta interns variables for variable base relations, so a
+	// map-order walk here would make VarID assignment depend on Go's map
+	// iteration — breaking the bit-for-bit determinism WAL replay (and
+	// the differential harnesses) relies on.
+	for _, rel := range sortedRelNames(u.Inserts) {
 		if g.derived[rel] && !isNewHead(newRules, rel) {
 			return nil, nil, fmt.Errorf("ground: cannot insert directly into derived relation %s", rel)
 		}
-		for _, t := range tuples {
+		for _, t := range u.Inserts[rel] {
 			if err := g.applyTupleDelta(tr, rel, t, +1); err != nil {
 				return nil, nil, err
 			}
 		}
 	}
-	for rel, tuples := range u.Deletes {
-		for _, t := range tuples {
+	for _, rel := range sortedRelNames(u.Deletes) {
+		for _, t := range u.Deletes[rel] {
 			if err := g.applyTupleDelta(tr, rel, t, -1); err != nil {
 				return nil, nil, err
 			}
@@ -312,6 +316,16 @@ func (g *Grounder) patchGraph(tr *tracker) {
 	ng := p.Apply()
 	g.lastGraph = ng
 	g.graphDirty = ng.Fragmentation() > g.compactionThreshold()
+}
+
+// sortedRelNames returns a delta map's relation names in sorted order.
+func sortedRelNames(m map[string][]db.Tuple) []string {
+	out := make([]string, 0, len(m))
+	for rel := range m {
+		out = append(out, rel)
+	}
+	slices.Sort(out)
+	return out
 }
 
 func isNewHead(newRules map[*ruleEval]bool, rel string) bool {

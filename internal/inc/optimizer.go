@@ -159,6 +159,13 @@ type Result struct {
 	// probing (static rules, empty change set, or an upfront store-level
 	// decision).
 	Probed float64
+	// ProbeReused reports that the measured verdict was served from the
+	// engine's memo instead of re-scoring stored samples: the probe's
+	// inputs (store position, accumulated change set, graph shape) were
+	// identical to the previous probe's, which happens on every member
+	// of a coalesced batch after the first once cumulative change sets
+	// stabilize.
+	ProbeReused bool
 }
 
 // Engine owns the materialization of the original distribution Pr(0) and
@@ -178,6 +185,18 @@ type Engine struct {
 	// (Options.CumulativeChanges): the updated distribution differs from
 	// Pr(0) by all of them, so every inference pass scores the union.
 	accum ChangeSet
+
+	// Probe-verdict memo (see ChooseStrategyMeasured): the last measured
+	// (strategy, probe) pair and the fingerprint of the inputs it was
+	// measured under. Weight drift between applies with an unchanged
+	// change set is deliberately tolerated — that small staleness is the
+	// amortization — while anything that moves the store cursor, the
+	// accumulated change set, or the graph shape forces a re-probe.
+	probeKey   uint64
+	probeStrat Strategy
+	probeVal   float64
+	probeValid bool
+	probeHit   bool // last ChooseStrategyMeasured call reused the memo
 
 	matElapsed time.Duration
 }
@@ -301,6 +320,7 @@ func (e *Engine) ChooseStrategy(cs ChangeSet) Strategy {
 // to finish a sampling pass anyway (rule 4 applied upfront instead of
 // after burning what is left).
 func (e *Engine) ChooseStrategyMeasured(newG *factor.Graph, cs ChangeSet) (Strategy, float64) {
+	e.probeHit = false
 	if !e.opts.MeasuredOptimizer || e.opts.DisableSampling || e.opts.DisableVariational {
 		return e.ChooseStrategy(cs), -1
 	}
@@ -313,20 +333,85 @@ func (e *Engine) ChooseStrategyMeasured(newG *factor.Graph, cs ChangeSet) (Strat
 	if e.vm != nil && e.store.Remaining() < e.opts.KeepSamples {
 		return StrategyVariational, -1
 	}
+	// Probe amortization: scoring stored samples against the updated
+	// distribution costs a full EnergyOfGroups pass per probe sample, and
+	// a coalesced batch re-asks the same question per member once the
+	// cumulative change set has absorbed the batch's groups. Reuse the
+	// last verdict while its inputs are unchanged; a sampling run (cursor
+	// moves), a structural delta (change set grows), or a re-shaped graph
+	// invalidates the key. Weight-only drift under an identical change
+	// set reuses the verdict — the documented staleness this trades for
+	// not re-probing every batch member.
+	key := e.probeFingerprint(newG, cs)
+	if e.probeValid && key == e.probeKey {
+		e.probeHit = true
+		return e.probeStrat, e.probeVal
+	}
 	n := e.opts.ProbeSamples
 	if r := e.store.Remaining(); n > r {
 		n = r
 	}
 	probe := NormalizeAcceptance(
 		EstimateAcceptanceRate(e.old, newG, e.store, cs, n, e.opts.Seed+43), n)
+	var strat Strategy
 	switch {
 	case probe >= e.opts.AcceptHigh:
-		return StrategySampling, probe
+		strat = StrategySampling
 	case e.vm != nil && probe < e.opts.AcceptLow:
-		return StrategyVariational, probe
+		strat = StrategyVariational
 	default:
-		return e.ChooseStrategy(cs), probe
+		strat = e.ChooseStrategy(cs)
 	}
+	e.probeKey, e.probeStrat, e.probeVal, e.probeValid = key, strat, probe, true
+	return strat, probe
+}
+
+// probeFingerprint hashes (FNV-1a) everything a probe's outcome depends
+// on apart from the weight values: the store's consumption position and
+// size, the updated graph's shape, and the change-set membership.
+func (e *Engine) probeFingerprint(newG *factor.Graph, cs ChangeSet) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(e.store.Len()))
+	mix(uint64(e.store.Remaining()))
+	mix(uint64(newG.NumVars()))
+	mix(uint64(newG.NumGroups()))
+	mix(uint64(newG.NumGroundings()))
+	mix(uint64(len(cs.ChangedOld)))
+	for _, gi := range cs.ChangedOld {
+		mix(uint64(uint32(gi)))
+	}
+	mix(uint64(len(cs.ChangedNew)))
+	for _, gi := range cs.ChangedNew {
+		mix(uint64(uint32(gi)))
+	}
+	if cs.NewFeatures {
+		mix(1)
+	}
+	return h
+}
+
+// ProbeReused reports whether the most recent strategy choice was
+// served from the probe memo.
+func (e *Engine) ProbeReused() bool { return e.probeHit }
+
+// ResetProbeCache drops the memoized probe verdict. The serving layer
+// calls it at every checkpoint so a process recovered from that
+// checkpoint (whose restored engine starts with a cold memo) makes the
+// same probe decisions the original process made after it.
+func (e *Engine) ResetProbeCache() {
+	e.probeValid = false
+	e.probeHit = false
 }
 
 // NoteChanges folds cs into the accumulated post-materialization change
@@ -358,10 +443,12 @@ func (e *Engine) AutoInferCtx(ctx context.Context, newG *factor.Graph, cs Change
 	if strat == StrategySampling && cs.StructureChanged() && groups != nil {
 		res := e.InferDecomposedCtx(ctx, newG, cs, groups())
 		res.Probed = probed
+		res.ProbeReused = e.probeHit
 		return res
 	}
 	res := e.inferAs(ctx, newG, cs, strat)
 	res.Probed = probed
+	res.ProbeReused = e.probeHit
 	return res
 }
 

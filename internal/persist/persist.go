@@ -1,0 +1,459 @@
+// Package persist implements the on-disk wire format shared by every
+// layer that owns durable KB state. Three pieces:
+//
+//   - Buf/Rd: a little-endian buffer codec whose slice payloads are raw
+//     pool dumps — on little-endian hosts an []int32/[]float64/[]uint64
+//     pool is written and read back with a single memmove, no
+//     per-element decode, so a cold start is bounded by I/O rather than
+//     deserialization.
+//   - Sectioned file container: magic + a sequence of (kind, length,
+//     CRC-32C, payload) sections + an end marker. A file without a
+//     valid end marker or with any checksum mismatch is rejected whole;
+//     recovery then falls back to the previous snapshot generation.
+//   - WAL segments: length-prefixed records (ticket + payload +
+//     CRC-32C) with torn-tail truncation on read, so a crash mid-append
+//     loses at most the record being written.
+//
+// The package is pure wire format: it imports nothing from the rest of
+// the module, so every layer (factor, gibbs, ground, db, inc, the KB)
+// can depend on it without cycles.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLE reports whether the host is little-endian; on such hosts the
+// slice codecs below degenerate to single memmoves.
+var hostLE = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ---------------------------------------------------------------------
+// Buf: append-only encoder.
+
+// Buf is the append-only encoder for snapshot payloads. All integers
+// are fixed-width little-endian; slices are a u64 element count
+// followed by the raw little-endian element data.
+type Buf struct {
+	b []byte
+}
+
+// Bytes returns the encoded payload.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Len returns the current encoded length.
+func (b *Buf) Len() int { return len(b.b) }
+
+func (b *Buf) U8(v uint8) { b.b = append(b.b, v) }
+
+func (b *Buf) Bool(v bool) {
+	if v {
+		b.U8(1)
+	} else {
+		b.U8(0)
+	}
+}
+
+func (b *Buf) U32(v uint32) {
+	b.b = append(b.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (b *Buf) U64(v uint64) {
+	b.b = append(b.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (b *Buf) I64(v int64) { b.U64(uint64(v)) }
+
+func (b *Buf) F64(v float64) { b.U64(math.Float64bits(v)) }
+
+// rawAppend appends the raw bytes of a slice whose element type is
+// size bytes wide. Little-endian hosts take the memmove path.
+func rawAppend[T any](b *Buf, s []T, size int) {
+	b.U64(uint64(len(s)))
+	if len(s) == 0 {
+		return
+	}
+	if hostLE {
+		p := unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*size)
+		b.b = append(b.b, p...)
+		return
+	}
+	// Portable fallback for big-endian hosts (practically unreachable).
+	for i := range s {
+		switch v := any(s[i]).(type) {
+		case int32:
+			b.U32(uint32(v))
+		case uint64:
+			b.U64(v)
+		case float64:
+			b.F64(v)
+		case bool:
+			b.Bool(v)
+		default:
+			panic("persist: unsupported raw element type")
+		}
+	}
+}
+
+func (b *Buf) I32s(s []int32)   { rawAppend(b, s, 4) }
+func (b *Buf) U64s(s []uint64)  { rawAppend(b, s, 8) }
+func (b *Buf) F64s(s []float64) { rawAppend(b, s, 8) }
+
+// Bools writes a []bool as one byte per element (matching Go's in-memory
+// layout, so the little-endian path is a memmove too).
+func (b *Buf) Bools(s []bool) { rawAppend(b, s, 1) }
+
+// Ints writes a []int as 64-bit values (no memmove: int width is
+// platform-dependent, and these tables are small).
+func (b *Buf) Ints(s []int) {
+	b.U64(uint64(len(s)))
+	for _, v := range s {
+		b.I64(int64(v))
+	}
+}
+
+// Str writes a length-prefixed string.
+func (b *Buf) Str(s string) {
+	b.U64(uint64(len(s)))
+	b.b = append(b.b, s...)
+}
+
+// Strs writes a string table in CSR form: count, a u32 length table,
+// then the concatenated bytes — two contiguous reads on decode.
+func (b *Buf) Strs(s []string) {
+	b.U64(uint64(len(s)))
+	for _, v := range s {
+		b.U32(uint32(len(v)))
+	}
+	for _, v := range s {
+		b.b = append(b.b, v...)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rd: sticky-error decoder.
+
+// Rd decodes a payload written by Buf. Errors are sticky: after the
+// first failure every method returns a zero value and Err() reports
+// the original problem, so decode call sites stay linear.
+type Rd struct {
+	b   []byte
+	off int
+	err error
+}
+
+func NewRd(b []byte) *Rd { return &Rd{b: b} }
+
+// Err returns the first decode error, if any.
+func (r *Rd) Err() error { return r.err }
+
+// Done reports whether the payload was fully consumed without error.
+func (r *Rd) Done() bool { return r.err == nil && r.off == len(r.b) }
+
+// Fail records a structural validation error discovered by a caller
+// (e.g. CSR row bounds that do not add up); like internal decode
+// errors it is sticky.
+func (r *Rd) Fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("persist: invalid payload: %s at offset %d", what, r.off)
+	}
+}
+
+func (r *Rd) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("persist: truncated payload reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *Rd) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail(what)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *Rd) U8(what string) uint8 {
+	p := r.take(1, what)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *Rd) Bool(what string) bool { return r.U8(what) != 0 }
+
+func (r *Rd) U32(what string) uint32 {
+	p := r.take(4, what)
+	if p == nil {
+		return 0
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func (r *Rd) U64(what string) uint64 {
+	p := r.take(8, what)
+	if p == nil {
+		return 0
+	}
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+func (r *Rd) I64(what string) int64 { return int64(r.U64(what)) }
+
+func (r *Rd) F64(what string) float64 { return math.Float64frombits(r.U64(what)) }
+
+// count reads a u64 element count and bounds-checks it against the
+// remaining payload so a corrupt length cannot drive a huge allocation.
+func (r *Rd) count(size int, what string) int {
+	n := r.U64(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off)/uint64(size) {
+		r.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+// rawRead reads n elements of width size into a freshly allocated
+// slice; one memmove on little-endian hosts.
+func rawRead[T any](r *Rd, size int, what string) []T {
+	n := r.count(size, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p := r.take(n*size, what)
+	if p == nil {
+		return nil
+	}
+	if hostLE {
+		dst := unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*size)
+		copy(dst, p)
+		return out
+	}
+	sub := Rd{b: p}
+	for i := range out {
+		switch any(out[i]).(type) {
+		case int32:
+			out[i] = any(int32(sub.U32(what))).(T)
+		case uint64:
+			out[i] = any(sub.U64(what)).(T)
+		case float64:
+			out[i] = any(sub.F64(what)).(T)
+		case bool:
+			out[i] = any(sub.Bool(what)).(T)
+		default:
+			panic("persist: unsupported raw element type")
+		}
+	}
+	return out
+}
+
+func (r *Rd) I32s(what string) []int32   { return rawRead[int32](r, 4, what) }
+func (r *Rd) U64s(what string) []uint64  { return rawRead[uint64](r, 8, what) }
+func (r *Rd) F64s(what string) []float64 { return rawRead[float64](r, 8, what) }
+func (r *Rd) Bools(what string) []bool   { return rawRead[bool](r, 1, what) }
+
+func (r *Rd) Ints(what string) []int {
+	n := r.count(8, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64(what))
+	}
+	return out
+}
+
+func (r *Rd) Str(what string) string {
+	n := r.count(1, what)
+	p := r.take(n, what)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+func (r *Rd) Strs(what string) []string {
+	n := r.count(4, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	lens := r.take(4*n, what)
+	if lens == nil {
+		return nil
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += int(uint32(lens[4*i]) | uint32(lens[4*i+1])<<8 |
+			uint32(lens[4*i+2])<<16 | uint32(lens[4*i+3])<<24)
+		if total > len(r.b)-r.off {
+			r.fail(what)
+			return nil
+		}
+	}
+	blob := r.take(total, what)
+	if blob == nil {
+		return nil
+	}
+	out := make([]string, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		l := int(uint32(lens[4*i]) | uint32(lens[4*i+1])<<8 |
+			uint32(lens[4*i+2])<<16 | uint32(lens[4*i+3])<<24)
+		out[i] = string(blob[off : off+l])
+		off += l
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Sectioned file container.
+
+// Section is one typed, independently checksummed region of a snapshot
+// file. Payloads are 8-byte aligned in the file so pool dumps land on
+// natural boundaries for mmap-style access.
+type Section struct {
+	Kind    uint32
+	Payload []byte
+}
+
+const endKind = 0xFFFFFFFF
+
+// EncodeFile assembles a snapshot file image: magic, each section with
+// its CRC-32C, and the end marker that proves the file was written out
+// completely.
+func EncodeFile(magic uint64, secs []Section) []byte {
+	var b Buf
+	b.U64(magic)
+	for _, s := range secs {
+		b.U32(s.Kind)
+		b.U32(0) // reserved / pad to 8
+		b.U64(uint64(len(s.Payload)))
+		b.U32(crc32.Checksum(s.Payload, castagnoli))
+		b.U32(0) // pad: payload starts 8-byte aligned
+		b.b = append(b.b, s.Payload...)
+		for len(b.b)%8 != 0 {
+			b.U8(0)
+		}
+	}
+	b.U32(endKind)
+	b.U32(0)
+	b.U64(0)
+	b.U32(0)
+	b.U32(0)
+	return b.Bytes()
+}
+
+// ErrBadFile marks a snapshot file that fails structural validation
+// (wrong magic, checksum mismatch, or missing end marker).
+var ErrBadFile = errors.New("persist: invalid or incomplete snapshot file")
+
+// DecodeFile validates a snapshot image and returns its sections.
+func DecodeFile(magic uint64, data []byte) ([]Section, error) {
+	r := NewRd(data)
+	if got := r.U64("magic"); r.Err() != nil || got != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFile)
+	}
+	var secs []Section
+	for {
+		kind := r.U32("section kind")
+		r.U32("section pad")
+		n := r.U64("section length")
+		crc := r.U32("section crc")
+		r.U32("section pad")
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: truncated section header", ErrBadFile)
+		}
+		if kind == endKind {
+			return secs, nil
+		}
+		if n > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: section length overflows file", ErrBadFile)
+		}
+		payload := r.take(int(n), "section payload")
+		for r.off%8 != 0 && r.err == nil {
+			r.U8("section padding")
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: truncated section payload", ErrBadFile)
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrBadFile, kind)
+		}
+		secs = append(secs, Section{Kind: kind, Payload: payload})
+	}
+}
+
+// FindSection returns the first section of the given kind, or nil.
+func FindSection(secs []Section, kind uint32) []byte {
+	for _, s := range secs {
+		if s.Kind == kind {
+			return s.Payload
+		}
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path crash-consistently: a temp file
+// in the same directory, fsync, rename into place, fsync the directory.
+// Readers therefore see either the old file or the complete new one.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames and unlinks within it are
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

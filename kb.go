@@ -3,6 +3,7 @@ package deepdive
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"deepdive/internal/ground"
 	"deepdive/internal/inc"
 	"deepdive/internal/learn"
+	"deepdive/internal/persist"
 )
 
 // KB is the serving handle of a DeepDive knowledge base. It separates the
@@ -91,13 +93,38 @@ type KB struct {
 	auto autoCounters
 
 	// Background re-materializer coordination; see autopilot.go.
-	rematMu     sync.Mutex
-	rematRun    *rematRun
-	rematClosed bool
-	rematSpawns int64
-	rematWG     sync.WaitGroup
-	remats      atomic.Uint64
-	rematLost   atomic.Uint64
+	// rematPreemptStreak counts consecutive launches lost to writer
+	// preemption (guarded by rematMu); rematForced counts cooperative
+	// slots the update queue held for a starving re-materialization.
+	rematMu            sync.Mutex
+	rematRun           *rematRun
+	rematClosed        bool
+	rematSpawns        int64
+	rematPreemptStreak int
+	rematWG            sync.WaitGroup
+	remats             atomic.Uint64
+	rematLost          atomic.Uint64
+	rematForced        atomic.Uint64
+
+	// Durability state; see persist.go. wal/walGen form the active
+	// write-ahead segment (appends run under groundMu; Checkpoint swaps
+	// the handle under lockExclusive, which excludes appenders);
+	// commitTicket numbers logged commits in WAL order (guarded by
+	// groundMu). walBroken latches a failed append — every later update
+	// reports a durability error until a Checkpoint writes a complete
+	// chain again. ckptMu serializes checkpoints; replaying marks WAL
+	// replay during recovery (suppresses re-logging and background
+	// re-materialization); recovered reports restore-from-snapshot;
+	// engineSeed is the seed the live engine was materialized with
+	// (persisted so a restored engine is reconstructed identically).
+	wal          *persist.WAL
+	walGen       uint64
+	commitTicket uint64
+	walBroken    atomic.Bool
+	ckptMu       sync.Mutex
+	replaying    bool
+	recovered    bool
+	engineSeed   int64
 
 	epoch atomic.Uint64
 	snap  atomic.Pointer[Snapshot]
@@ -109,12 +136,31 @@ type KB struct {
 // OpenKB parses and validates a DeepDive program and returns a serving
 // handle over it. The KB starts empty: Load base data, then Init, Learn,
 // Infer/Materialize, and serve.
+//
+// With WithDataDir, OpenKB first attempts recovery: if the directory
+// holds a snapshot, the newest valid generation is restored, the WAL
+// tail replayed, and the returned KB (Recovered() == true) is already
+// materialized and serving — skip Init/Learn/Materialize. Otherwise the
+// KB starts empty as usual and durability begins at the first
+// Checkpoint.
 func OpenKB(source string, opts ...Option) (*KB, error) {
 	var o Options
 	for _, f := range opts {
 		f(&o)
 	}
 	o.fill()
+	if o.DataDir != "" {
+		if err := os.MkdirAll(o.DataDir, 0o755); err != nil {
+			return nil, err
+		}
+		kb, err := recoverKB(source, o)
+		if err != nil {
+			return nil, err
+		}
+		if kb != nil {
+			return kb, nil
+		}
+	}
 	prog, err := datalog.Parse(source)
 	if err != nil {
 		return nil, err
@@ -332,6 +378,7 @@ func (kb *KB) Materialize(ctx context.Context) (time.Duration, error) {
 		return 0, err
 	}
 	kb.engine = eng
+	kb.engineSeed = kb.opts.Seed + 3
 	kb.pending = inc.ChangeSet{} // the new Pr(0) bakes in every grounded delta
 	kb.publishLocked()
 	return eng.MaterializationTime(), nil
@@ -372,6 +419,11 @@ type stagedApply struct {
 	frozen []bool
 	skel   *Snapshot
 	res    *UpdateResult
+	// walErr records a durability failure (or an injected crash) on this
+	// update's write-ahead append: the commit stands, but applyFinish
+	// fails the update without publishing and the delta carries in
+	// pending, exactly like a cancellation.
+	walErr error
 }
 
 // applyGround runs the grounding stage of the apply pipeline: DRed delta
@@ -427,6 +479,39 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 	// (factor.Patch is not safe against in-flight evaluation anywhere in
 	// the lineage).
 	kb.seqAwait(st.seq)
+	// Write-ahead: once a durable log is active, the record describing
+	// this commit must be on disk before the commit happens — recovery
+	// replays the logged tail over the last snapshot, so a committed but
+	// unlogged mutation would silently diverge the durable chain. The
+	// append runs here, after seqAwait, so records land in commit order.
+	// A failed append latches walBroken: the in-memory commit still
+	// proceeds (the grounder tables are already mutated and must stay
+	// consistent), but this and every later update reports a durability
+	// error until a Checkpoint writes a fresh snapshot and rotates to a
+	// complete segment.
+	if kb.wal != nil && !kb.replaying {
+		if kb.walBroken.Load() {
+			st.walErr = errWALSuspended
+		} else {
+			payload := encodeUpdate(&u)
+			if h := kb.opts.PersistFault; h != nil {
+				st.walErr = h(FaultWALAppend)
+			}
+			if st.walErr == nil {
+				st.walErr = kb.wal.Append(kb.commitTicket+1, payload)
+			}
+			if st.walErr != nil {
+				kb.walBroken.Store(true)
+			} else {
+				kb.commitTicket++
+				if h := kb.opts.PersistFault; h != nil {
+					// The record is durable; an abort past this point
+					// loses only the publication, which replay completes.
+					st.walErr = h(FaultWALAppended)
+				}
+			}
+		}
+	}
 	kb.preemptRemat()
 	kb.stateMu.Lock()
 	commit()
@@ -457,6 +542,9 @@ func (kb *KB) applyFinish(ctx context.Context, st *stagedApply) (*UpdateResult, 
 	defer kb.seqExit(st.seq)
 	kb.stateMu.Lock()
 	defer kb.stateMu.Unlock()
+	if st.walErr != nil {
+		return nil, st.walErr
+	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -496,6 +584,7 @@ func (kb *KB) applyFinish(ctx context.Context, st *stagedApply) (*UpdateResult, 
 	res.Strategy = ir.Strategy
 	res.Acceptance = ir.AcceptanceRate
 	res.Probe = ir.Probed
+	res.ProbeReused = ir.ProbeReused
 	kb.recordAutoResult(ir)
 	kb.marg = ir.Marginals
 	kb.pending = inc.ChangeSet{} // published: nothing carries over
@@ -527,7 +616,21 @@ func (kb *KB) Updates() *UpdateQueue {
 func (kb *KB) Close() error {
 	kb.Updates().Close()
 	kb.shutdownRemat()
-	return nil
+	return kb.closeWAL()
+}
+
+// closeWAL releases the active write-ahead segment. Further applies on
+// a closed KB are the caller's responsibility to stop (as with any
+// post-Close write).
+func (kb *KB) closeWAL() error {
+	kb.groundMu.Lock()
+	defer kb.groundMu.Unlock()
+	if kb.wal == nil {
+		return nil
+	}
+	err := kb.wal.Close()
+	kb.wal = nil
+	return err
 }
 
 // CloseNow is Close without draining: queued updates that have not
@@ -537,7 +640,7 @@ func (kb *KB) Close() error {
 func (kb *KB) CloseNow() error {
 	kb.Updates().CloseNow()
 	kb.shutdownRemat()
-	return nil
+	return kb.closeWAL()
 }
 
 // buildSkeleton freezes the grounding-dependent half of a snapshot: the
