@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving race-pipeline race-persist soak fuzz-smoke bench bench-incupdate bench-replicas bench-serving bench-hotpath bench-pipeline bench-pipeline-full bench-persist profile
+.PHONY: check fmt vet build test race race-serving race-serve race-pipeline race-persist soak fuzz-smoke serve-demo bench bench-incupdate bench-replicas bench-serving bench-serve-http bench-serve-http-smoke bench-hotpath bench-pipeline bench-pipeline-full bench-persist profile
 
 # Everything CI runs. (go test ./... includes the short soak; the full
 # acceptance-length soak is `make soak`.)
-check: fmt vet build test race race-serving fuzz-smoke
+check: fmt vet build test race race-serving race-serve fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -34,6 +34,21 @@ race:
 # Close/CloseNow mid-materialization).
 race-serving:
 	$(GO) test -race -count=1 -run 'TestSnapshot|TestKBContext|TestCoalesce|TestQueue|TestApplyModifies|TestCancelled|TestRemat' .
+
+# The HTTP serving tier's concurrency proof: concurrent wire readers and
+# SSE subscribers against the live pipelined writer (epoch monotonicity
+# per subscriber, a deliberately stalled client cannot delay a publish),
+# plus the internal/serve handler and hub suite.
+race-serve:
+	$(GO) test -race -count=1 -run 'TestServeHTTP|TestProgressPublish' .
+	$(GO) test -race -count=1 ./internal/serve/
+
+# Interactive demo of the network serving tier: builds and materializes
+# the News KB, serves it on :8090, and streams the rule iterations
+# through the update queue while it runs. Curl the printed endpoints or
+# point `go run ./cmd/kbload -addr http://127.0.0.1:8090` at it.
+serve-demo:
+	$(GO) run ./cmd/deepdive -system News -serve 127.0.0.1:8090 -serve-for 30s
 
 # The quality-autopilot oracle soak at acceptance length: 200 queued
 # updates against an undersized store in all three modes (autopilot,
@@ -78,6 +93,16 @@ bench-replicas:
 # recorded in BENCH_serving.json). Smoke: one short cell per column.
 bench-serving:
 	$(GO) test -bench='ServingThroughput/readers=1' -benchtime=0.1s -run=xxx .
+
+# Wire-level serving benchmark (results recorded in
+# BENCH_serve_http.json): p50/p99 HTTP read latency and SSE fan-out lag
+# under a sustained writer, swept over 1/4/8 reader clients against a
+# self-hosted KB. The smoke variant runs one short single-client phase.
+bench-serve-http:
+	$(GO) run ./cmd/kbload -self -clients 1,4,8 -duration 3s -out BENCH_serve_http.json
+
+bench-serve-http-smoke:
+	$(GO) run ./cmd/kbload -self -clients 1 -subscribers 1 -duration 500ms
 
 # Gibbs hot-path suite (results recorded in BENCH_hotpath.json): corpus
 # sweep throughput on all three runtimes, the near-convergence regime the

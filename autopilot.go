@@ -249,6 +249,7 @@ type autoCounters struct {
 	hist        [10]uint64
 	lastAccept  float64
 	lastProbe   float64
+	probeSkips  uint64
 }
 
 // recordAutoResult folds one update's inference outcome into the
@@ -264,6 +265,9 @@ func (kb *KB) recordAutoResult(ir *inc.Result) {
 	}
 	if ir.FellBack {
 		kb.auto.fallbacks++
+	}
+	if ir.ProbeSkipped {
+		kb.auto.probeSkips++
 	}
 	kb.auto.lastAccept = ir.AcceptanceRate
 	kb.auto.lastProbe = ir.Probed
@@ -295,6 +299,10 @@ type AutopilotStats struct {
 	// LastProbe its pre-inference probe (-1 when the choice was unprobed).
 	LastAcceptance float64
 	LastProbe      float64
+	// ProbeSkips counts strategy choices decided from the previous
+	// sampling run's observed acceptance rate — a decisive prior — with
+	// no probe measured at all (these do not enter AcceptanceHist).
+	ProbeSkips uint64
 	// Store fill level: total stored worlds and how many remain
 	// unconsumed, against the configured low-water mark.
 	StoreLen       int
@@ -329,6 +337,7 @@ func (kb *KB) autopilotLocked() AutopilotStats {
 		AcceptanceHist:     kb.auto.hist,
 		LastAcceptance:     kb.auto.lastAccept,
 		LastProbe:          kb.auto.lastProbe,
+		ProbeSkips:         kb.auto.probeSkips,
 		LowWater:           kb.opts.RematLowWater,
 		Rematerializations: kb.remats.Load(),
 		RematPreempted:     kb.rematLost.Load(),

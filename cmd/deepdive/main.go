@@ -7,9 +7,16 @@
 //
 //	deepdive [-system News] [-sem ratio] [-threshold 0.9] [-seed 1] [-full]
 //	         [-parallel -1 | -replicas -1 [-syncevery 8]] [-inplace]
-//	         [-serve 2s [-data-dir ./kb]]
+//	         [-serve 127.0.0.1:8090 [-serve-for 30s] [-data-dir ./kb]]
 //
-// With -data-dir the serving demo is durable: the materialized KB is
+// -serve starts the real HTTP serving tier (KB.Serve) on the given
+// address after the iteration loop: lock-free snapshot reads, update
+// POSTs through the coalescing queue, and SSE marginal-delta
+// subscriptions. The development iterations are streamed through the
+// queue while serving so subscribers see live deltas. The server runs
+// until -serve-for elapses or SIGINT/SIGTERM.
+//
+// With -data-dir the served KB is durable: the materialized KB is
 // checkpointed there, every streamed update is write-ahead logged, and
 // a rerun with the same directory restarts from snapshot + WAL instead
 // of re-grounding and re-materializing.
@@ -20,10 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sync"
-	"sync/atomic"
+	"syscall"
 	"time"
 
 	"deepdive"
@@ -48,12 +55,12 @@ func run() int {
 	replicas := flag.Int("replicas", 0, "replica engine workers (0 off, -1 one per core); overrides -parallel")
 	syncEvery := flag.Int("syncevery", 0, "replica merge interval in sweeps/steps (0 = default)")
 	rebuild := flag.Bool("rebuild", false, "rebuild the factor graph on every update (lesion; default is the O(Δ) in-place patch)")
-	serve := flag.Duration("serve", 0, "after the iteration loop, run a snapshot-serving demo for this long (e.g. 2s): concurrent readers over deepdive.KB snapshots while the update queue coalesces rule iterations")
-	readers := flag.Int("readers", 4, "reader goroutines for the -serve demo")
-	rematLow := flag.Int("remat-low", 0, "serving demo: background re-materialization low-water mark in unconsumed samples (0 off)")
-	rematBudget := flag.Duration("remat-budget", 0, "serving demo: extra sampling time per background re-materialization")
-	staticOpt := flag.Bool("static-optimizer", false, "serving demo lesion: static §3.3 strategy rules, per-update change sets, no re-materialization")
-	dataDir := flag.String("data-dir", "", "serving demo: durable KB directory (snapshot + WAL); rerunning with the same directory restarts from disk")
+	serve := flag.String("serve", "", "after the iteration loop, serve the KB over HTTP on this address (e.g. 127.0.0.1:8090, :0 for a free port) while streaming the rule iterations through the update queue")
+	serveFor := flag.Duration("serve-for", 0, "shut the -serve server down after this long (0 = serve until SIGINT/SIGTERM)")
+	rematLow := flag.Int("remat-low", 0, "serving: background re-materialization low-water mark in unconsumed samples (0 off)")
+	rematBudget := flag.Duration("remat-budget", 0, "serving: extra sampling time per background re-materialization")
+	staticOpt := flag.Bool("static-optimizer", false, "serving lesion: static §3.3 strategy rules, per-update change sets, no re-materialization")
+	dataDir := flag.String("data-dir", "", "serving: durable KB directory (snapshot + WAL); rerunning with the same directory restarts from disk")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -152,11 +159,11 @@ func run() int {
 		fmt.Printf("  [%.1f,%.1f): %4d facts, %.2f true\n", b.Lo, b.Hi, b.Count, b.FracTrue)
 	}
 
-	if *serve > 0 {
-		sc := serveConfig{d: *serve, readers: *readers,
+	if *serve != "" {
+		sc := serveConfig{addr: *serve, serveFor: *serveFor,
 			rematLow: *rematLow, rematBudget: *rematBudget, staticOpt: *staticOpt,
 			dataDir: *dataDir}
-		if err := serveDemo(sys, sem, cfg, sc); err != nil {
+		if err := serveHTTP(sys, sem, cfg, sc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -164,26 +171,25 @@ func run() int {
 	return 0
 }
 
-// serveConfig carries the -serve demo's flags: window, reader count, and
-// the quality-autopilot knobs.
+// serveConfig carries the -serve flags: listen address, window, and the
+// quality-autopilot knobs.
 type serveConfig struct {
-	d           time.Duration
-	readers     int
+	addr        string
+	serveFor    time.Duration
 	rematLow    int
 	rematBudget time.Duration
 	staticOpt   bool
 	dataDir     string
 }
 
-// serveDemo exercises the snapshot-serving API end to end: a deepdive.KB
-// is built over the same generated system, `readers` goroutines query
-// snapshots continuously, and the coalescing update queue re-applies the
-// development iterations as streamed updates. Reader throughput, the
-// batch/coalescing statistics, and the quality autopilot's decisions are
-// printed at the end.
-func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, sc serveConfig) error {
-	d, readers := sc.d, sc.readers
-	fmt.Printf("\n== serving demo: %d readers, %v, updates streaming through the queue ==\n", readers, d)
+// serveHTTP is the network serving tier end to end: a deepdive.KB is
+// built over the same generated system (or recovered from -data-dir),
+// exposed over HTTP via KB.Serve, and the development iterations are
+// streamed through the coalescing update queue while clients read,
+// update, and subscribe. Runs until serveFor elapses or the process is
+// interrupted; queue and autopilot statistics are printed at the end.
+func serveHTTP(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, sc serveConfig) error {
+	fmt.Printf("\n== serving: HTTP tier on %s, updates streaming through the queue ==\n", sc.addr)
 	opts := []deepdive.Option{
 		deepdive.WithSeed(cfg.Seed),
 		deepdive.WithParallelism(cfg.Parallelism),
@@ -231,55 +237,44 @@ func serveDemo(sys *corpus.System, sem factor.Semantics, cfg kbc.Config, sc serv
 			fmt.Printf("checkpointed materialized KB to %s\n", sc.dataDir)
 		}
 	}
-	rels := make([]string, 0, len(sys.Spec.Relations))
-	for _, r := range sys.Spec.Relations {
-		rels = append(rels, "Rel_"+r.Name)
+	// The server lives until the window elapses or the process is
+	// interrupted; cancelling the context severs subscription streams.
+	sctx, stopSig := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if sc.serveFor > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, sc.serveFor)
+		defer cancel()
 	}
-
-	var reads atomic.Uint64
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for r := 0; r < readers; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			var n uint64
-			for {
-				select {
-				case <-stop:
-					reads.Add(n)
-					return
-				default:
-				}
-				snap := kb.Snapshot()
-				rel := rels[int(n)%len(rels)]
-				for _, c := range snap.Candidates(rel) {
-					snap.Marginal(rel, c)
-				}
-				snap.Extractions(rel, 0.9)
-				n++
-			}
-		}(r)
+	srv, err := kb.Serve(sctx, deepdive.ServeOptions{Addr: sc.addr})
+	if err != nil {
+		kb.Close()
+		return err
 	}
-
-	// Stream each development iteration through the coalescing queue
-	// once, spaced across the window; readers keep hammering snapshots
-	// until the deadline regardless of when the updates run dry.
-	q := kb.Updates()
 	start := time.Now()
-	deadline := time.After(d)
+	fmt.Printf("serving on http://%s\n", srv.Addr())
+	fmt.Printf("  curl 'http://%s/v1/health'\n", srv.Addr())
+	fmt.Printf("  curl 'http://%s/v1/facts?relation=Rel_%s&threshold=0.9'\n", srv.Addr(), sys.Spec.Relations[0].Name)
+	fmt.Printf("  curl -N 'http://%s/v1/subscribe?relation=Rel_%s'\n", srv.Addr(), sys.Spec.Relations[0].Name)
+
+	// Stream each development iteration through the coalescing queue,
+	// spaced across the window (capped at 2s apart), so subscribers see
+	// live deltas; HTTP clients read/update/subscribe concurrently.
+	q := kb.Updates()
+	space := 2 * time.Second
+	if sc.serveFor > 0 {
+		if s := sc.serveFor / 20; s < space {
+			space = s
+		}
+	}
 	var tickets []*deepdive.Ticket
-stream:
-	for i := 0; ; i++ {
-		if i < len(kbc.IterationNames) {
-			if src := kbc.IterationRules(sys, kbc.IterationNames[i]); src != "" {
-				tickets = append(tickets, q.Submit(deepdive.Update{RuleSource: src}))
-			}
+	for _, rule := range kbc.IterationNames {
+		if src := kbc.IterationRules(sys, rule); src != "" {
+			tickets = append(tickets, q.Submit(deepdive.Update{RuleSource: src}))
 		}
 		select {
-		case <-deadline:
-			break stream
-		case <-time.After(d / 20):
+		case <-sctx.Done():
+		case <-time.After(space):
 		}
 	}
 	for _, t := range tickets {
@@ -287,8 +282,12 @@ stream:
 			fmt.Printf("  update failed: %v\n", err)
 		}
 	}
-	close(stop)
-	wg.Wait()
+	<-sctx.Done()
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		fmt.Printf("  shutdown: %v\n", err)
+	}
 	if sc.dataDir != "" {
 		if err := kb.Checkpoint(ctx); err != nil {
 			fmt.Printf("  final checkpoint failed: %v\n", err)
@@ -300,9 +299,8 @@ stream:
 	kb.Close()
 	elapsed := time.Since(start)
 	snap := kb.Snapshot()
-	fmt.Printf("served %d snapshot scans in %v (%.0f scans/sec) while applying %d updates in %d coalesced batches\n",
-		reads.Load(), elapsed.Round(time.Millisecond),
-		float64(reads.Load())/elapsed.Seconds(), q.Applied(), q.Batches())
+	fmt.Printf("served for %v: %d updates applied in %d coalesced batches\n",
+		elapsed.Round(time.Millisecond), q.Applied(), q.Batches())
 	fmt.Printf("final snapshot: epoch %d, ground version %d, graph epoch %d, %d vars\n",
 		snap.Epoch(), snap.GroundVersion(), snap.GraphEpoch(), snap.Stats().Variables)
 	ap := kb.Autopilot()

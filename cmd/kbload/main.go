@@ -1,0 +1,506 @@
+// Command kbload drives mixed read/update/subscribe traffic against a
+// deepdive HTTP server (internal/serve) and reports wire-level latency:
+// read p50/p99, update round-trip, and subscription fan-out lag under a
+// sustained writer, swept over client counts.
+//
+// Usage:
+//
+//	kbload -addr http://127.0.0.1:8090 [-clients 1,4,8] [-duration 3s]
+//	kbload -self [-out BENCH_serve_http.json]
+//
+// With -self the tool hosts its own spouse KB on a loopback port via
+// KB.Serve and drives that, so the benchmark is reproducible without a
+// separately started server.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepdive"
+)
+
+func main() {
+	var cfg config
+	var clients string
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running server (e.g. http://127.0.0.1:8090)")
+	flag.BoolVar(&cfg.self, "self", false, "self-host a spouse KB on a loopback port and drive it")
+	flag.StringVar(&clients, "clients", "1,4,8", "comma-separated reader-client counts to sweep")
+	flag.IntVar(&cfg.writers, "writers", 1, "sustained writer goroutines (waited update POSTs)")
+	flag.IntVar(&cfg.subscribers, "subscribers", 2, "SSE subscribers measuring fan-out lag")
+	flag.DurationVar(&cfg.dur, "duration", 3*time.Second, "measurement window per client count")
+	flag.StringVar(&cfg.out, "out", "", "write the benchmark JSON here (default stdout only)")
+	flag.Int64Var(&cfg.seed, "seed", 7, "seed for the self-hosted KB")
+	flag.Parse()
+
+	for _, part := range strings.Split(clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -clients entry %q\n", part)
+			os.Exit(2)
+		}
+		cfg.clients = append(cfg.clients, n)
+	}
+	if cfg.addr == "" && !cfg.self {
+		fmt.Fprintln(os.Stderr, "need -addr or -self")
+		os.Exit(2)
+	}
+
+	doc, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc, _ := json.MarshalIndent(doc, "", "  ")
+	fmt.Println(string(enc))
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type config struct {
+	addr        string
+	self        bool
+	clients     []int
+	writers     int
+	subscribers int
+	dur         time.Duration
+	out         string
+	seed        int64
+}
+
+type benchDoc struct {
+	Bench  string `json:"bench"`
+	Config struct {
+		DurationMS  float64 `json:"duration_ms_per_phase"`
+		Writers     int     `json:"writers"`
+		Subscribers int     `json:"subscribers"`
+		SelfHosted  bool    `json:"self_hosted"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	Phases []phaseResult `json:"phases"`
+	Repro  []string      `json:"repro"`
+}
+
+type phaseResult struct {
+	Clients      int     `json:"clients"`
+	Reads        uint64  `json:"reads"`
+	ReadErrors   uint64  `json:"read_errors"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	ReadP50us    float64 `json:"read_p50_us"`
+	ReadP99us    float64 `json:"read_p99_us"`
+	Updates      uint64  `json:"updates"`
+	UpdateP50ms  float64 `json:"update_p50_ms"`
+	SubDeltas    uint64  `json:"sub_deltas"`
+	FanoutP50us  float64 `json:"fanout_p50_us"`
+	FanoutP99us  float64 `json:"fanout_p99_us"`
+	FanoutMaxUS  float64 `json:"fanout_max_us"`
+	FinalEpoch   uint64  `json:"final_epoch"`
+	SubsDropped  float64 `json:"subscribers_dropped"`
+	UpdateErrors uint64  `json:"update_errors"`
+}
+
+// docID numbers the inserted documents across all phases so repeated
+// sweeps against one server never collide on tuple keys.
+var docID atomic.Int64
+
+func run(ctx context.Context, cfg config) (*benchDoc, error) {
+	base := cfg.addr
+	if cfg.self {
+		srv, cleanup, err := selfHost(ctx, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		base = "http://" + srv.Addr()
+		fmt.Fprintf(os.Stderr, "self-hosted spouse KB at %s\n", base)
+	}
+	docID.Store(10_000)
+
+	doc := &benchDoc{Bench: "serve_http"}
+	doc.Config.DurationMS = float64(cfg.dur.Milliseconds())
+	doc.Config.Writers = cfg.writers
+	doc.Config.Subscribers = cfg.subscribers
+	doc.Config.SelfHosted = cfg.self
+	doc.Config.Seed = cfg.seed
+	doc.Repro = []string{
+		"go run ./cmd/kbload -self -clients 1,4,8 -duration 3s -out BENCH_serve_http.json",
+		"go run ./cmd/deepdive -system News -serve 127.0.0.1:8090 -serve-for 60s  # then: go run ./cmd/kbload -addr http://127.0.0.1:8090",
+	}
+	for _, c := range cfg.clients {
+		pr, err := runPhase(ctx, base, c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "clients=%d: %d reads (p50 %.0fus p99 %.0fus), %d updates, %d deltas (fanout p50 %.0fus p99 %.0fus)\n",
+			c, pr.Reads, pr.ReadP50us, pr.ReadP99us, pr.Updates, pr.SubDeltas, pr.FanoutP50us, pr.FanoutP99us)
+		doc.Phases = append(doc.Phases, pr)
+	}
+	return doc, nil
+}
+
+// runPhase drives one measurement window: `clients` readers, the
+// configured writers and subscribers, all against `base`, for cfg.dur.
+func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseResult, error) {
+	pr := phaseResult{Clients: clients}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer acks: epoch -> time the waited POST returned. Fan-out lag is
+	// measured against the ack because the publish instant is not visible
+	// on the wire; the ack happens strictly after the publish, so the
+	// reported lag is a floor-biased (never inflated) estimate.
+	var ackMu sync.Mutex
+	acks := make(map[uint64]time.Time)
+
+	// Subscribers connect first so every writer epoch is observable.
+	type recvMap struct {
+		sync.Mutex
+		m map[uint64]time.Time
+	}
+	recvs := make([]*recvMap, cfg.subscribers)
+	subReady := make(chan error, cfg.subscribers)
+	subBodies := make([]func() error, 0, cfg.subscribers)
+	var deltas atomic.Uint64
+	for s := 0; s < cfg.subscribers; s++ {
+		resp, err := http.Get(base + "/v1/subscribe?relation=HasSpouse")
+		if err != nil {
+			return pr, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return pr, fmt.Errorf("subscribe: %s", resp.Status)
+		}
+		subBodies = append(subBodies, resp.Body.Close)
+		rm := &recvMap{m: make(map[uint64]time.Time)}
+		recvs[s] = rm
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+			event, ready := "", false
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "event: "):
+					event = line[len("event: "):]
+				case strings.HasPrefix(line, "data: "):
+					now := time.Now()
+					switch event {
+					case "snapshot":
+						if !ready {
+							ready = true
+							subReady <- nil
+						}
+					case "delta":
+						var payload struct {
+							Epoch uint64 `json:"epoch"`
+						}
+						if json.Unmarshal([]byte(line[len("data: "):]), &payload) == nil {
+							deltas.Add(1)
+							rm.Lock()
+							if _, seen := rm.m[payload.Epoch]; !seen {
+								rm.m[payload.Epoch] = now
+							}
+							rm.Unlock()
+						}
+					}
+				}
+			}
+			if !ready {
+				subReady <- fmt.Errorf("subscriber stream ended before snapshot event")
+			}
+		}()
+	}
+	for s := 0; s < cfg.subscribers; s++ {
+		select {
+		case err := <-subReady:
+			if err != nil {
+				return pr, err
+			}
+		case <-time.After(10 * time.Second):
+			return pr, fmt.Errorf("subscriber %d never received its snapshot event", s)
+		}
+	}
+
+	// Readers: alternate point marginal lookups and extraction-table
+	// scans, recording wire latency per request.
+	lats := make([][]time.Duration, clients)
+	var reads, readErrs atomic.Uint64
+	for r := 0; r < clients; r++ {
+		r := r
+		lats[r] = make([]time.Duration, 0, 4096)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			urls := [2]string{
+				base + "/v1/marginal?relation=HasSpouse&tuple=a&tuple=b",
+				base + "/v1/facts?relation=HasSpouse&threshold=0.5",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				resp, err := http.Get(urls[i%2])
+				if err != nil {
+					readErrs.Add(1)
+					continue
+				}
+				_, _ = bufio.NewReader(resp.Body).WriteTo(noopWriter{})
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					readErrs.Add(1)
+					continue
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+				reads.Add(1)
+			}
+		}()
+	}
+
+	// Writers: sustained waited update POSTs, one new document each.
+	var updates, updateErrs atomic.Uint64
+	var updateLats struct {
+		sync.Mutex
+		d []time.Duration
+	}
+	var finalEpoch atomic.Uint64
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := updateBody(int(docID.Add(1)))
+				t0 := time.Now()
+				resp, err := http.Post(base+"/v1/update?wait=1", "application/json", bytes.NewReader(body))
+				if err != nil {
+					updateErrs.Add(1)
+					continue
+				}
+				var res struct {
+					Epoch uint64 `json:"epoch"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					updateErrs.Add(1)
+					continue
+				}
+				ack := time.Now()
+				updates.Add(1)
+				updateLats.Lock()
+				updateLats.d = append(updateLats.d, ack.Sub(t0))
+				updateLats.Unlock()
+				ackMu.Lock()
+				acks[res.Epoch] = ack
+				ackMu.Unlock()
+				for {
+					cur := finalEpoch.Load()
+					if res.Epoch <= cur || finalEpoch.CompareAndSwap(cur, res.Epoch) {
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-time.After(cfg.dur):
+	case <-ctx.Done():
+	}
+	close(stop)
+	// Give in-flight deltas a moment to land, then cut the SSE streams so
+	// the subscriber goroutines unblock.
+	time.Sleep(200 * time.Millisecond)
+	for _, closeBody := range subBodies {
+		closeBody()
+	}
+	wg.Wait()
+
+	// Fan-out lag: delta arrival relative to the writer's ack, per
+	// (epoch, subscriber) pair; arrivals before the ack count as zero.
+	var fanout []time.Duration
+	ackMu.Lock()
+	for _, rm := range recvs {
+		rm.Lock()
+		for epoch, at := range rm.m {
+			if ack, ok := acks[epoch]; ok {
+				lag := at.Sub(ack)
+				if lag < 0 {
+					lag = 0
+				}
+				fanout = append(fanout, lag)
+			}
+		}
+		rm.Unlock()
+	}
+	ackMu.Unlock()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	pr.Reads = reads.Load()
+	pr.ReadErrors = readErrs.Load()
+	pr.ReadsPerSec = float64(pr.Reads) / cfg.dur.Seconds()
+	pr.ReadP50us = us(percentile(all, 0.50))
+	pr.ReadP99us = us(percentile(all, 0.99))
+	pr.Updates = updates.Load()
+	pr.UpdateErrors = updateErrs.Load()
+	pr.UpdateP50ms = us(percentile(updateLats.d, 0.50)) / 1000
+	pr.SubDeltas = deltas.Load()
+	pr.FanoutP50us = us(percentile(fanout, 0.50))
+	pr.FanoutP99us = us(percentile(fanout, 0.99))
+	pr.FanoutMaxUS = us(percentile(fanout, 1.0))
+	pr.FinalEpoch = finalEpoch.Load()
+	if pr.Updates == 0 {
+		return pr, fmt.Errorf("clients=%d: no update succeeded (%d errors)", clients, pr.UpdateErrors)
+	}
+	if pr.Reads == 0 {
+		return pr, fmt.Errorf("clients=%d: no read succeeded (%d errors)", clients, pr.ReadErrors)
+	}
+	return pr, nil
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func percentile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// updateBody is the wire form of the test suite's docUpdate: one new
+// two-mention sentence whose ordered pairs become HasSpouse candidates.
+func updateBody(i int) []byte {
+	sid := fmt.Sprintf("sx%d", i)
+	m1, m2 := fmt.Sprintf("p%da", i), fmt.Sprintf("p%db", i)
+	u := map[string]any{
+		"inserts": map[string][][]string{
+			"Sentence":      {{sid, "Pat and his wife Sam"}},
+			"PersonMention": {{m1, sid, "Pat" + sid}, {m2, sid, "Sam" + sid}},
+		},
+	}
+	b, _ := json.Marshal(u)
+	return b
+}
+
+// The self-hosted target: the same spouse program the root test suite
+// serves, materialized and exposed through KB.Serve on a loopback port.
+const spouseSource = `
+@relation Sentence(sid, words).
+@relation PersonMention(mid, sid, eid).
+@relation Married(e1, e2).
+@variable HasSpouse(m1, m2).
+@relation HasSpouse_Ev(m1, m2, label).
+
+@semantics(ratio).
+
+Cand: HasSpouse(m1, m2) :-
+    PersonMention(m1, s, e1), PersonMention(m2, s, e2), m1 != m2.
+
+FE: HasSpouse(m1, m2) :-
+    PersonMention(m1, s, e1), PersonMention(m2, s, e2),
+    Sentence(s, words), m1 != m2
+    weight = phrase(m1, m2, words).
+
+Sup: HasSpouse_Ev(m1, m2, true) :-
+    HasSpouse(m1, m2), PersonMention(m1, s, e1), PersonMention(m2, s, e2),
+    Married(e1, e2).
+`
+
+func phraseUDF(args []string) string {
+	words := strings.Fields(args[2])
+	if len(words) > 2 {
+		return strings.Join(words[1:len(words)-1], "_")
+	}
+	return "short"
+}
+
+func selfHost(ctx context.Context, seed int64) (*deepdive.KBServer, func(), error) {
+	kb, err := deepdive.OpenKB(spouseSource,
+		deepdive.WithUDF("phrase", phraseUDF),
+		deepdive.WithSeed(seed),
+		deepdive.WithLearning(15, 0.3),
+		deepdive.WithInference(30, 400),
+		deepdive.WithMaterialization(600, 0.01),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	load := func(rel string, tuples []deepdive.Tuple) {
+		if err == nil {
+			err = kb.Load(rel, tuples)
+		}
+	}
+	load("Sentence", []deepdive.Tuple{
+		{"s1", "Alan and his wife Beth"},
+		{"s2", "Carl and his wife Dana"},
+		{"s3", "Eve met Frank"},
+	})
+	load("PersonMention", []deepdive.Tuple{
+		{"a", "s1", "Alan"}, {"b", "s1", "Beth"},
+		{"c", "s2", "Carl"}, {"d", "s2", "Dana"},
+		{"e", "s3", "Eve"}, {"f", "s3", "Frank"},
+	})
+	load("Married", []deepdive.Tuple{{"Alan", "Beth"}})
+	if err != nil {
+		kb.Close()
+		return nil, nil, err
+	}
+	for _, step := range []func() error{
+		func() error { return kb.Init(ctx) },
+		func() error { _, err := kb.Learn(ctx); return err },
+		func() error { _, err := kb.Infer(ctx); return err },
+		func() error { _, err := kb.Materialize(ctx); return err },
+	} {
+		if err := step(); err != nil {
+			kb.Close()
+			return nil, nil, err
+		}
+	}
+	srv, err := kb.Serve(ctx, deepdive.ServeOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		kb.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		kb.Close()
+	}
+	return srv, cleanup, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadHarnessSmoke runs the full harness — self-hosted KB, readers,
+// a sustained writer, and fan-out-measuring subscribers — for a short
+// window and checks every traffic class actually moved.
+func TestLoadHarnessSmoke(t *testing.T) {
+	cfg := config{
+		self:        true,
+		clients:     []int{2},
+		writers:     1,
+		subscribers: 1,
+		dur:         400 * time.Millisecond,
+		seed:        7,
+	}
+	doc, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(doc.Phases))
+	}
+	pr := doc.Phases[0]
+	if pr.Reads == 0 || pr.Updates == 0 || pr.SubDeltas == 0 {
+		t.Fatalf("idle traffic class: %+v", pr)
+	}
+	if pr.ReadP99us < pr.ReadP50us {
+		t.Fatalf("p99 %v < p50 %v", pr.ReadP99us, pr.ReadP50us)
+	}
+	if pr.FinalEpoch == 0 {
+		t.Fatal("writer never learned an epoch")
+	}
+}

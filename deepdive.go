@@ -196,6 +196,17 @@ type Options struct {
 	// under sustained update streams (see the soak tests).
 	StaticOptimizer bool
 
+	// ProgressPublish auto-publishes partial progress on long coalesced
+	// batches: when an update's grounding stage (delta evaluation + graph
+	// commit) runs for at least this long, an intermediate snapshot is
+	// published immediately after the commit — new candidates, evidence
+	// values, and deletions become visible right away instead of after the
+	// batch's learning and inference finish. The intermediate snapshot
+	// carries the previous marginal vector: facts the batch grounded
+	// report no marginal until the final publication. 0 (the default)
+	// publishes only final states.
+	ProgressPublish time.Duration
+
 	// AsyncAveraging lets the replica learner overlap its model-averaging
 	// barrier with the first gradient steps of the next segment: each
 	// worker publishes its weights and immediately keeps stepping, then
@@ -285,6 +296,14 @@ func WithRematerialization(lowWater int, budget time.Duration) Option {
 // the next one to finish. n <= 0 (the default) never holds the queue.
 func WithRematForceAfter(n int) Option { return func(o *Options) { o.RematForceAfter = n } }
 
+// WithProgressPublish auto-publishes an intermediate snapshot after the
+// graph commit of any update whose grounding stage ran at least d (see
+// Options.ProgressPublish). d <= 0 (the default) publishes only final
+// states.
+func WithProgressPublish(d time.Duration) Option {
+	return func(o *Options) { o.ProgressPublish = d }
+}
+
 // WithDataDir enables durability under dir: checkpoints write snapshot
 // files there, committed updates are write-ahead logged, and reopening
 // recovers the latest snapshot plus the WAL tail (see Options.DataDir).
@@ -362,6 +381,11 @@ type UpdateResult struct {
 	// Epoch is the snapshot generation this update's results were
 	// published under.
 	Epoch uint64
+	// IntermediateEpoch is the partial-progress snapshot published after
+	// this update's graph commit, or 0 when none was (the grounding stage
+	// finished under the Options.ProgressPublish threshold, or the
+	// threshold is unset).
+	IntermediateEpoch uint64
 }
 
 // Extraction is one fact of the output knowledge base.

@@ -186,3 +186,65 @@ func TestChooseStrategyMeasured(t *testing.T) {
 		t.Fatalf("drained store: (%v, %v), want (variational, -1)", s, p)
 	}
 }
+
+// TestAcceptancePriorSkipsProbe pins the acceptance-prior short-circuit:
+// a sampling run's observed acceptance rate, when decisive by the 2x
+// margin, decides the next strategy choice without measuring a probe —
+// and the prior is one-shot, so the choice after a skip probes again
+// unless another sampling run re-validated it.
+func TestAcceptancePriorSkipsProbe(t *testing.T) {
+	g := chainGraph(6, 0.6)
+	eng, err := NewEngine(g, Options{
+		MaterializationSamples: 600,
+		KeepSamples:            100,
+		Seed:                   13,
+		MeasuredOptimizer:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retune := func(gi int) (*factor.Graph, ChangeSet) {
+		ng := factor.NewBuilderFrom(g).MustBuild()
+		ng.SetWeight(ng.Group(gi).Weight, 0.6+1e-6)
+		return ng, ChangeSet{ChangedOld: []int32{int32(gi)}, ChangedNew: []int32{int32(gi)}}
+	}
+
+	// Cold engine: the first update probes, runs sampling (near-identical
+	// distribution), and its observed acceptance becomes a decisive prior.
+	g1, cs1 := retune(0)
+	r := eng.AutoInferCtx(nil, g1, cs1, nil)
+	if r.Strategy != StrategySampling || r.Probed < 0 || r.ProbeSkipped {
+		t.Fatalf("cold update: strategy=%v probed=%v skipped=%v, want probed sampling", r.Strategy, r.Probed, r.ProbeSkipped)
+	}
+	if !eng.priorValid || eng.priorAccept < 2*eng.opts.AcceptHigh {
+		t.Fatalf("sampling run left prior (valid=%v, %v), want decisive >= %v", eng.priorValid, eng.priorAccept, 2*eng.opts.AcceptHigh)
+	}
+
+	// Next choice (new fingerprint, so the memo cannot answer): the prior
+	// decides sampling without a probe.
+	g2, cs2 := retune(1)
+	if s, p := eng.ChooseStrategyMeasured(g2, cs2); s != StrategySampling || p != -1 || !eng.ProbeSkipped() {
+		t.Fatalf("primed prior: (%v, %v, skipped=%v), want (sampling, -1, true)", s, p, eng.ProbeSkipped())
+	}
+
+	// The skip consumed the prior: the same question again must measure.
+	if s, p := eng.ChooseStrategyMeasured(g2, cs2); s != StrategySampling || p < 0 || eng.ProbeSkipped() {
+		t.Fatalf("consumed prior: (%v, %v, skipped=%v), want a fresh probe", s, p, eng.ProbeSkipped())
+	}
+
+	// A wholesale-rejection observation skips straight to variational.
+	eng.notePrior(0, 200)
+	g3, cs3 := retune(2)
+	if s, p := eng.ChooseStrategyMeasured(g3, cs3); s != StrategyVariational || p != -1 || !eng.ProbeSkipped() {
+		t.Fatalf("low prior: (%v, %v, skipped=%v), want (variational, -1, true)", s, p, eng.ProbeSkipped())
+	}
+
+	// ResetProbeCache (the checkpoint hook) drops the prior along with the
+	// memo, so a recovered process starts from the same cold state.
+	eng.notePrior(1, 200)
+	eng.ResetProbeCache()
+	g4, cs4 := retune(3)
+	if s, p := eng.ChooseStrategyMeasured(g4, cs4); s != StrategySampling || p < 0 || eng.ProbeSkipped() {
+		t.Fatalf("after reset: (%v, %v, skipped=%v), want a fresh probe", s, p, eng.ProbeSkipped())
+	}
+}

@@ -166,6 +166,11 @@ type Result struct {
 	// of a coalesced batch after the first once cumulative change sets
 	// stabilize.
 	ProbeReused bool
+	// ProbeSkipped reports that the measured probe was skipped because
+	// the acceptance rate observed by the previous actual sampling run
+	// was decisive on its own (see the acceptance prior in
+	// ChooseStrategyMeasured). Probed is -1 on such runs.
+	ProbeSkipped bool
 }
 
 // Engine owns the materialization of the original distribution Pr(0) and
@@ -197,6 +202,18 @@ type Engine struct {
 	probeVal   float64
 	probeValid bool
 	probeHit   bool // last ChooseStrategyMeasured call reused the memo
+
+	// Acceptance prior: the normalized acceptance score the previous
+	// *actual* sampling run observed over its full replay — a far larger
+	// sample than any probe. When the prior is decisive by a wide margin
+	// (see ChooseStrategyMeasured) the probe is skipped outright. The
+	// prior is one-shot: consumed by the decision it informs and
+	// re-validated only by the next sampling run, so a variational
+	// stretch (which observes no acceptance) can never coast on a stale
+	// prior indefinitely.
+	priorAccept float64
+	priorValid  bool
+	probeSkip   bool // last ChooseStrategyMeasured call decided from the prior
 
 	matElapsed time.Duration
 }
@@ -321,6 +338,7 @@ func (e *Engine) ChooseStrategy(cs ChangeSet) Strategy {
 // after burning what is left).
 func (e *Engine) ChooseStrategyMeasured(newG *factor.Graph, cs ChangeSet) (Strategy, float64) {
 	e.probeHit = false
+	e.probeSkip = false
 	if !e.opts.MeasuredOptimizer || e.opts.DisableSampling || e.opts.DisableVariational {
 		return e.ChooseStrategy(cs), -1
 	}
@@ -346,6 +364,29 @@ func (e *Engine) ChooseStrategyMeasured(newG *factor.Graph, cs ChangeSet) (Strat
 	if e.probeValid && key == e.probeKey {
 		e.probeHit = true
 		return e.probeStrat, e.probeVal
+	}
+	// Acceptance-prior short-circuit: the previous sampling run scored
+	// every proposal it replayed against the then-current distribution —
+	// a measurement over KeepSamples proposals, versus the probe's
+	// ProbeSamples. When that observation is decisive by a 2x margin
+	// (the distribution has not shifted enough between two adjacent
+	// updates to cross half an order of magnitude), re-measuring adds
+	// nothing: skip the probe and spend the EnergyOfGroups pass on the
+	// inference itself. The margins are deliberately asymmetric-safe —
+	// an indecisive prior falls through to a normal probe, and the prior
+	// is consumed either way it decides, so the next choice after a
+	// skip is measured afresh unless a new sampling run re-validated it.
+	if e.priorValid {
+		switch {
+		case e.priorAccept >= 2*e.opts.AcceptHigh:
+			e.priorValid = false
+			e.probeSkip = true
+			return StrategySampling, -1
+		case e.vm != nil && e.priorAccept < e.opts.AcceptLow/2:
+			e.priorValid = false
+			e.probeSkip = true
+			return StrategyVariational, -1
+		}
 	}
 	n := e.opts.ProbeSamples
 	if r := e.store.Remaining(); n > r {
@@ -405,13 +446,32 @@ func (e *Engine) probeFingerprint(newG *factor.Graph, cs ChangeSet) uint64 {
 // served from the probe memo.
 func (e *Engine) ProbeReused() bool { return e.probeHit }
 
-// ResetProbeCache drops the memoized probe verdict. The serving layer
-// calls it at every checkpoint so a process recovered from that
-// checkpoint (whose restored engine starts with a cold memo) makes the
-// same probe decisions the original process made after it.
+// ProbeSkipped reports whether the most recent strategy choice was
+// decided from the acceptance prior without probing.
+func (e *Engine) ProbeSkipped() bool { return e.probeSkip }
+
+// notePrior records the acceptance rate an actual sampling pass
+// observed over proposed replayed proposals, normalized the same way
+// probe scores are (NormalizeAcceptance) so it is comparable against
+// the AcceptHigh/AcceptLow thresholds.
+func (e *Engine) notePrior(rate float64, proposed int) {
+	if proposed <= 0 {
+		return
+	}
+	e.priorAccept = NormalizeAcceptance(rate, proposed)
+	e.priorValid = true
+}
+
+// ResetProbeCache drops the memoized probe verdict and the acceptance
+// prior. The serving layer calls it at every checkpoint so a process
+// recovered from that checkpoint (whose restored engine starts with a
+// cold memo and no prior) makes the same probe decisions the original
+// process made after it.
 func (e *Engine) ResetProbeCache() {
 	e.probeValid = false
 	e.probeHit = false
+	e.priorValid = false
+	e.probeSkip = false
 }
 
 // NoteChanges folds cs into the accumulated post-materialization change
@@ -440,15 +500,18 @@ func (e *Engine) AutoInferCtx(ctx context.Context, newG *factor.Graph, cs Change
 		cs = e.accum
 	}
 	strat, probed := e.ChooseStrategyMeasured(newG, cs)
+	skipped := e.probeSkip
 	if strat == StrategySampling && cs.StructureChanged() && groups != nil {
 		res := e.InferDecomposedCtx(ctx, newG, cs, groups())
 		res.Probed = probed
 		res.ProbeReused = e.probeHit
+		res.ProbeSkipped = skipped
 		return res
 	}
 	res := e.inferAs(ctx, newG, cs, strat)
 	res.Probed = probed
 	res.ProbeReused = e.probeHit
+	res.ProbeSkipped = skipped
 	return res
 }
 
@@ -477,6 +540,9 @@ func (e *Engine) inferAs(ctx context.Context, newG *factor.Graph, cs ChangeSet, 
 		sr := SamplingInferCtx(ctx, e.old, newG, e.store, cs, e.opts.KeepSamples, e.opts.Seed+17, e.opts.Parallelism)
 		res.AcceptanceRate = sr.AcceptanceRate()
 		res.SamplesUsed = sr.Proposed
+		if !canceled(ctx) {
+			e.notePrior(res.AcceptanceRate, sr.Proposed)
+		}
 		if sr.Exhausted && sr.WorldsObserved < e.opts.KeepSamples && !canceled(ctx) {
 			if e.vm != nil {
 				// Rule 4: out of samples → variational.
@@ -682,6 +748,9 @@ func (e *Engine) InferDecomposedCtx(ctx context.Context, newG *factor.Graph, cs 
 	}
 	if proposed > 0 {
 		res.AcceptanceRate = float64(accepted) / float64(proposed)
+	}
+	if !canceled(ctx) {
+		e.notePrior(res.AcceptanceRate, proposed)
 	}
 	res.SamplesUsed = proposed
 	res.Elapsed = time.Since(start)

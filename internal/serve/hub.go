@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Change is one per-fact delta pushed on a subscription stream.
+type Change struct {
+	Relation string   `json:"relation"`
+	Tuple    []string `json:"tuple"`
+	// Probability/Known/Evidence mirror Fact; meaningless when Removed.
+	Probability float64 `json:"probability"`
+	Known       bool    `json:"known"`
+	Evidence    bool    `json:"evidence,omitempty"`
+	// Delta is the signed probability movement since the last state this
+	// subscriber was sent (0 for newly appearing facts).
+	Delta float64 `json:"delta,omitempty"`
+	// Removed marks a fact that left the KB (e.g. its document was
+	// deleted and DRed retracted the candidate).
+	Removed bool `json:"removed,omitempty"`
+}
+
+// deltaEvent is the payload of one "delta" stream event: every tracked
+// fact that moved between the subscriber's last-sent state and the
+// current snapshot.
+type deltaEvent struct {
+	Epoch uint64 `json:"epoch"`
+	// Skipped counts publications this event coalesced over: 0 when the
+	// subscriber kept up, n when it was slow (or filtered events were
+	// suppressed) and n intermediate epochs were never sent. Consumers
+	// needing every epoch must check Skipped and treat the event as a
+	// state resync, not a strict journal.
+	Skipped uint64   `json:"skipped,omitempty"`
+	Changes []Change `json:"changes"`
+}
+
+// snapshotEvent is the payload of the initial "snapshot" stream event.
+type snapshotEvent struct {
+	Epoch uint64            `json:"epoch"`
+	Facts map[string][]Fact `json:"facts"`
+}
+
+// sentFact is the last per-fact state written to one subscriber.
+type sentFact struct {
+	p        float64
+	known    bool
+	evidence bool
+}
+
+// subFilter is one subscription's fact filter.
+type subFilter struct {
+	rels     map[string]bool // nil = all relations
+	tupleKey string          // "" = all tuples
+	minDelta float64
+}
+
+func (f *subFilter) wantRel(rel string) bool { return f.rels == nil || f.rels[rel] }
+
+func factKey(tuple []string) string { return strings.Join(tuple, "\x00") }
+
+// handleSubscribe streams per-fact marginal deltas as Server-Sent Events.
+//
+// Protocol: one "snapshot" event with the full filtered fact state, then
+// one "delta" event per observed publication carrying every fact whose
+// probability moved by at least min_delta (plus all appearances,
+// removals, and known/evidence transitions). Each subscriber runs in its
+// own handler goroutine and diffs the current snapshot against the state
+// it last SENT — not against the previous epoch — so a subscriber that
+// falls behind coalesces the missed epochs into one resync delta (the
+// event's skipped count says how many) instead of replaying a backlog.
+//
+// The publish path never blocks on subscribers: publication just closes
+// a broadcast channel (see Backend.Published), and all per-subscriber
+// work — diffing, JSON encoding, the connection write — happens here.
+// A write is bounded by Options.WriteTimeout; a client stalled past it
+// is dropped and must reconnect for a fresh snapshot+resync.
+//
+// Query parameters: relation (repeatable; default all), tuple
+// (repeatable components naming one fact; requires exactly one
+// relation), min_delta (default Options.MinDelta).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if max := s.opts.MaxSubscribers; max > 0 && s.subscribers.Load() >= int64(max) {
+		writeErr(w, http.StatusServiceUnavailable, "subscriber limit (%d) reached", max)
+		return
+	}
+	q := r.URL.Query()
+	filter := subFilter{minDelta: s.opts.MinDelta}
+	if rels := q["relation"]; len(rels) > 0 {
+		filter.rels = make(map[string]bool, len(rels))
+		for _, rel := range rels {
+			filter.rels[rel] = true
+		}
+	}
+	if tuple := q["tuple"]; len(tuple) > 0 {
+		if len(filter.rels) != 1 {
+			writeErr(w, http.StatusBadRequest, "tuple filter requires exactly one relation parameter")
+			return
+		}
+		filter.tupleKey = factKey(tuple)
+	}
+	if md := q.Get("min_delta"); md != "" {
+		v, err := strconv.ParseFloat(md, 64)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "bad min_delta %q", md)
+			return
+		}
+		filter.minDelta = v
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	s.subscribers.Add(1)
+	s.subsTotal.Add(1)
+	defer s.subscribers.Add(-1)
+
+	rc := http.NewResponseController(w)
+	writeEvent := func(name string, v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if err := rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil &&
+			!errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.subsDropped.Add(1)
+			}
+			return err
+		}
+		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+		return nil
+	}
+
+	// Arm the publication channel BEFORE reading the view: a publication
+	// racing the initial snapshot then still wakes the loop, which diffs
+	// against last-sent state and so never misses it.
+	pub := s.b.Published()
+	v := s.b.View()
+	sent := make(map[string]map[string]sentFact)
+	lastEpoch := v.Epoch()
+
+	init := snapshotEvent{Epoch: v.Epoch(), Facts: map[string][]Fact{}}
+	for _, rel := range v.Relations() {
+		if !filter.wantRel(rel) {
+			continue
+		}
+		m := make(map[string]sentFact)
+		var kept []Fact
+		for _, f := range v.Facts(rel) {
+			k := factKey(f.Tuple)
+			if filter.tupleKey != "" && k != filter.tupleKey {
+				continue
+			}
+			m[k] = sentFact{p: f.Probability, known: f.Known, evidence: f.Evidence}
+			kept = append(kept, f)
+		}
+		sent[rel] = m
+		init.Facts[rel] = kept
+	}
+	if err := writeEvent("snapshot", init); err != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(s.opts.Heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if err := rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil &&
+				!errors.Is(err, http.ErrNotSupported) {
+				return
+			}
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					s.subsDropped.Add(1)
+				}
+				return
+			}
+			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				return
+			}
+		case <-pub:
+		}
+		// Re-arm before reading so a publication landing between the read
+		// and the next select wakes the loop immediately.
+		pub = s.b.Published()
+		v = s.b.View()
+		if v.Epoch() == lastEpoch {
+			continue
+		}
+		ev := s.diff(v, &filter, sent)
+		if len(ev.Changes) == 0 {
+			// All movement below min_delta: keep lastEpoch stale so the
+			// skipped count stays honest when a change finally clears it.
+			continue
+		}
+		ev.Skipped = v.Epoch() - lastEpoch - 1
+		lastEpoch = v.Epoch()
+		if err := writeEvent("delta", ev); err != nil {
+			return
+		}
+	}
+}
+
+// diff computes the delta event between a subscriber's last-sent state
+// and the current view, updating sent in place for every emitted change
+// (changes below the min_delta floor keep their old sent state, so small
+// drifts accumulate and eventually clear the floor).
+func (s *Server) diff(v View, filter *subFilter, sent map[string]map[string]sentFact) deltaEvent {
+	ev := deltaEvent{Epoch: v.Epoch()}
+	seen := make(map[string]bool, len(sent))
+	for _, rel := range v.Relations() {
+		if !filter.wantRel(rel) {
+			continue
+		}
+		seen[rel] = true
+		m := sent[rel]
+		if m == nil {
+			m = make(map[string]sentFact)
+			sent[rel] = m
+		}
+		live := make(map[string]bool, len(m))
+		for _, f := range v.Facts(rel) {
+			k := factKey(f.Tuple)
+			if filter.tupleKey != "" && k != filter.tupleKey {
+				continue
+			}
+			live[k] = true
+			old, existed := m[k]
+			cur := sentFact{p: f.Probability, known: f.Known, evidence: f.Evidence}
+			switch {
+			case !existed:
+				ev.Changes = append(ev.Changes, Change{
+					Relation: rel, Tuple: f.Tuple,
+					Probability: f.Probability, Known: f.Known, Evidence: f.Evidence,
+				})
+			case old.known != cur.known || old.evidence != cur.evidence ||
+				(cur.known && abs(cur.p-old.p) >= filter.minDelta && cur.p != old.p):
+				ev.Changes = append(ev.Changes, Change{
+					Relation: rel, Tuple: f.Tuple,
+					Probability: f.Probability, Known: f.Known, Evidence: f.Evidence,
+					Delta: cur.p - old.p,
+				})
+			default:
+				continue
+			}
+			m[k] = cur
+		}
+		for k, old := range m {
+			if live[k] {
+				continue
+			}
+			ev.Changes = append(ev.Changes, Change{
+				Relation: rel, Tuple: strings.Split(k, "\x00"),
+				Delta: -old.p, Removed: true,
+			})
+			delete(m, k)
+		}
+	}
+	// Relations that vanished entirely (every fact retracted).
+	for rel, m := range sent {
+		if seen[rel] || len(m) == 0 {
+			continue
+		}
+		if !filter.wantRel(rel) {
+			continue
+		}
+		for k, old := range m {
+			ev.Changes = append(ev.Changes, Change{
+				Relation: rel, Tuple: strings.Split(k, "\x00"),
+				Delta: -old.p, Removed: true,
+			})
+			delete(m, k)
+		}
+	}
+	return ev
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

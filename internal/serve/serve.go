@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure the HTTP serving tier.
+type Options struct {
+	// MinDelta is the default minimum |Δ probability| a subscription
+	// pushes; per-request ?min_delta overrides it. 0 pushes every change.
+	MinDelta float64
+	// WriteTimeout bounds one subscriber event write: a client that
+	// stalls longer than this is dropped (it reconnects for a fresh
+	// resync). Default 30s.
+	WriteTimeout time.Duration
+	// Heartbeat is the idle keep-alive interval on subscription streams
+	// (an SSE comment line, so intermediaries do not sever quiet
+	// connections). Default 15s.
+	Heartbeat time.Duration
+	// MaxSubscribers caps concurrent subscription streams (503 beyond).
+	// 0 means unbounded.
+	MaxSubscribers int
+}
+
+func (o Options) fill() Options {
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Second
+	}
+	return o
+}
+
+// Server is the HTTP serving tier over one Backend. Construct with New;
+// expose via Handler (testable without a listener) or an http.Server of
+// the caller's choosing.
+type Server struct {
+	b    Backend
+	opts Options
+	mux  *http.ServeMux
+
+	subscribers atomic.Int64 // live subscription streams
+	subsTotal   atomic.Uint64
+	subsDropped atomic.Uint64 // streams dropped for stalling past WriteTimeout
+	reads       atomic.Uint64 // read-endpoint requests served
+	updates     atomic.Uint64 // update POSTs accepted
+}
+
+// New builds the serving tier over b.
+func New(b Backend, opts Options) *Server {
+	s := &Server{b: b, opts: opts.fill(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/autopilot", s.handleAutopilot)
+	s.mux.HandleFunc("GET /v1/marginal", s.handleMarginal)
+	s.mux.HandleFunc("GET /v1/facts", s.handleFacts)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	return s
+}
+
+// Handler returns the root handler (mountable under httptest or any
+// http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Subscribers reports the number of live subscription streams.
+func (s *Server) Subscribers() int { return int(s.subscribers.Load()) }
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeErr writes one JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"epoch":  s.b.View().Epoch(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	v := s.b.View()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":     v.Epoch(),
+		"relations": v.Relations(),
+		"graph":     v.Stats(),
+		"queue":     s.b.QueueStats(),
+		"serving": map[string]any{
+			"subscribers":         s.subscribers.Load(),
+			"subscriptions_total": s.subsTotal.Load(),
+			"subscribers_dropped": s.subsDropped.Load(),
+			"reads":               s.reads.Load(),
+			"updates_accepted":    s.updates.Load(),
+		},
+	})
+}
+
+func (s *Server) handleAutopilot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":     s.b.View().Epoch(),
+		"autopilot": s.b.Autopilot(),
+	})
+}
+
+// handleMarginal is the wire point read: one fact's probability off the
+// current snapshot. The whole request path is lock-free on the KB side —
+// an atomic snapshot load plus a map lookup.
+func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	s.reads.Add(1)
+	q := r.URL.Query()
+	rel := q.Get("relation")
+	tuple := q["tuple"]
+	if rel == "" || len(tuple) == 0 {
+		writeErr(w, http.StatusBadRequest, "relation and at least one tuple parameter required")
+		return
+	}
+	v := s.b.View()
+	p, ok := v.Marginal(rel, tuple)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"relation": rel, "tuple": tuple, "known": false, "epoch": v.Epoch(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"relation": rel, "tuple": tuple, "probability": p, "known": true, "epoch": v.Epoch(),
+	})
+}
+
+// handleFacts is the bulk read: one relation's fact table, optionally
+// thresholded (facts with Known && Probability >= threshold, plus
+// supervised-true evidence).
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	s.reads.Add(1)
+	q := r.URL.Query()
+	rel := q.Get("relation")
+	if rel == "" {
+		writeErr(w, http.StatusBadRequest, "relation parameter required")
+		return
+	}
+	v := s.b.View()
+	facts := v.Facts(rel)
+	if ts := q.Get("threshold"); ts != "" {
+		th, err := strconv.ParseFloat(ts, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad threshold %q", ts)
+			return
+		}
+		kept := facts[:0:0]
+		for _, f := range facts {
+			if f.Known && f.Probability > th {
+				kept = append(kept, f)
+			}
+		}
+		facts = kept
+	}
+	if facts == nil {
+		facts = []Fact{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"relation": rel, "epoch": v.Epoch(), "facts": facts,
+	})
+}
+
+// handleUpdate feeds one update into the KB's coalescing queue. The
+// request body is the JSON Update; with ?wait=1 the response carries the
+// applied batch's UpdateResult (epoch, coalesced width, strategy), and
+// the wait runs under the request context — a disconnected client
+// retracts a still-pending update per the queue's SubmitCtx contract.
+// Without wait, a 202 acknowledges enqueueing only; apply errors surface
+// through /v1/stats and waiting submitters.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var u Update
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&u); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad update body: %v", err)
+		return
+	}
+	if u.Empty() {
+		writeErr(w, http.StatusBadRequest, "empty update: provide rule_source, inserts, or deletes")
+		return
+	}
+	for rel, ts := range u.Inserts {
+		for _, t := range ts {
+			if len(t) == 0 {
+				writeErr(w, http.StatusBadRequest, "empty tuple in inserts[%q]", rel)
+				return
+			}
+		}
+	}
+	for rel, ts := range u.Deletes {
+		for _, t := range ts {
+			if len(t) == 0 {
+				writeErr(w, http.StatusBadRequest, "empty tuple in deletes[%q]", rel)
+				return
+			}
+		}
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	res, err := s.b.Submit(r.Context(), u, wait)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client went away mid-wait; nothing useful to write.
+			return
+		}
+		writeErr(w, http.StatusConflict, "update failed: %v", err)
+		return
+	}
+	s.updates.Add(1)
+	if !wait {
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "queued"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

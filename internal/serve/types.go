@@ -1,0 +1,121 @@
+// Package serve is the KB's network serving tier: an HTTP/JSON front
+// end over the snapshot-isolated read API, the coalescing update queue,
+// and a streaming subscription endpoint that pushes per-fact marginal
+// deltas on every snapshot publication.
+//
+// The package is deliberately decoupled from the root deepdive package
+// through the Backend interface (deepdive.KB.Serve supplies the adapter)
+// so the HTTP layer stays testable against a fake KB and the root
+// package stays free of net/http.
+//
+// # Endpoints
+//
+//	GET  /v1/health                   liveness + current epoch
+//	GET  /v1/stats                    graph + queue + serving statistics
+//	GET  /v1/autopilot                quality-autopilot state (snapshot-frozen)
+//	GET  /v1/marginal?relation=R&tuple=a&tuple=b
+//	                                  one fact's probability (lock-free point read)
+//	GET  /v1/facts?relation=R[&threshold=0.9]
+//	                                  bulk fact table of one relation
+//	POST /v1/update[?wait=1]          submit an update through the queue;
+//	                                  wait=1 blocks for the batch's UpdateResult
+//	GET  /v1/subscribe?...            SSE stream of per-fact marginal deltas
+//
+// Every read endpoint serves straight off the current snapshot — an
+// atomic pointer load on the Backend side — and never touches a KB
+// write lock. See the package's handler documentation and the README
+// "Network serving" section for the subscription semantics.
+package serve
+
+import "context"
+
+// Fact is one fact of a snapshot relation on the wire.
+type Fact struct {
+	Tuple []string `json:"tuple"`
+	// Probability is the fact's marginal (evidence facts report their
+	// supervised 0/1 value). Meaningless when Known is false.
+	Probability float64 `json:"probability"`
+	// Known is false when no inference run has covered the fact yet —
+	// e.g. on a partial-progress snapshot published between a batch's
+	// graph commit and its inference.
+	Known    bool `json:"known"`
+	Evidence bool `json:"evidence,omitempty"`
+}
+
+// Update is the wire form of one KB update: rule source and/or inserted
+// and deleted tuples per relation.
+type Update struct {
+	RuleSource string                `json:"rule_source,omitempty"`
+	Inserts    map[string][][]string `json:"inserts,omitempty"`
+	Deletes    map[string][][]string `json:"deletes,omitempty"`
+}
+
+// Empty reports whether the update carries no work.
+func (u *Update) Empty() bool {
+	return u.RuleSource == "" && len(u.Inserts) == 0 && len(u.Deletes) == 0
+}
+
+// UpdateResult is the wire form of a batch's application report.
+type UpdateResult struct {
+	Epoch uint64 `json:"epoch"`
+	// IntermediateEpoch is the partial-progress snapshot published after
+	// the batch's graph commit (0 when none was).
+	IntermediateEpoch uint64  `json:"intermediate_epoch,omitempty"`
+	Coalesced         int     `json:"coalesced"`
+	Strategy          string  `json:"strategy"`
+	Acceptance        float64 `json:"acceptance"`
+	Probe             float64 `json:"probe"`
+	ProbeReused       bool    `json:"probe_reused,omitempty"`
+	NewVars           int     `json:"new_vars"`
+	NewFactors        int     `json:"new_factors"`
+	GroundMillis      float64 `json:"ground_ms"`
+	LearnMillis       float64 `json:"learn_ms"`
+	InferMillis       float64 `json:"infer_ms"`
+}
+
+// QueueStats is the wire form of the update queue's counters.
+type QueueStats struct {
+	Pending int    `json:"pending"`
+	Batches uint64 `json:"batches"`
+	Applied uint64 `json:"applied"`
+	Closed  bool   `json:"closed,omitempty"`
+}
+
+// View is one immutable snapshot of the KB as the HTTP layer consumes
+// it. Implementations must be safe for concurrent use and must never
+// block on KB writers (the deepdive adapter wraps an immutable
+// Snapshot).
+type View interface {
+	// Epoch is the snapshot's publication generation (monotone).
+	Epoch() uint64
+	// Relations lists the relations with live facts, sorted.
+	Relations() []string
+	// Facts enumerates one relation's facts in stable order.
+	Facts(relation string) []Fact
+	// Marginal is the point read behind /v1/marginal.
+	Marginal(relation string, tuple []string) (float64, bool)
+	// Stats returns the JSON-marshalable graph statistics blob.
+	Stats() any
+}
+
+// Backend is the narrow surface the HTTP layer needs from a KB. All
+// methods must be safe for concurrent use; View and Published must not
+// block on writers.
+type Backend interface {
+	// View returns the current snapshot (an atomic load on the KB side).
+	View() View
+	// Published returns a channel closed at the next snapshot
+	// publication. Subscribers acquire the channel before reading the
+	// view so no publication is missed (see deepdive.KB.Published).
+	Published() <-chan struct{}
+	// Submit routes an update into the KB's coalescing queue under ctx.
+	// With wait, it blocks until the update's batch is applied (or ctx
+	// is cancelled) and returns the batch result; without, it returns
+	// (nil, nil) as soon as the update is enqueued.
+	Submit(ctx context.Context, u Update, wait bool) (*UpdateResult, error)
+	// Autopilot returns the JSON-marshalable autopilot state frozen into
+	// the latest snapshot (nil before materialization).
+	Autopilot() any
+	// QueueStats reports the update queue's counters.
+	QueueStats() QueueStats
+}

@@ -129,6 +129,13 @@ type KB struct {
 	epoch atomic.Uint64
 	snap  atomic.Pointer[Snapshot]
 
+	// Publication broadcast for subscribers (see Published): pubCh is
+	// closed by every snapshot publication and lazily re-armed by the next
+	// Published call. Nil when nobody is waiting — publishing then costs
+	// one mutex acquisition and no allocation.
+	pubMu sync.Mutex
+	pubCh chan struct{}
+
 	queueOnce sync.Once
 	queue     *UpdateQueue
 }
@@ -244,6 +251,47 @@ func (kb *KB) lockExclusive() func() {
 // of goroutines concurrently with writers. The returned Snapshot is
 // immutable; hold it for as many queries as need one consistent view.
 func (kb *KB) Snapshot() *Snapshot { return kb.snap.Load() }
+
+// Published returns a channel closed at the next snapshot publication —
+// the epoch-notification hook push subscribers are built on. The
+// intended loop acquires the channel *before* reading the snapshot, so a
+// publication landing between the two is never missed:
+//
+//	for {
+//		ch := kb.Published()
+//		snap := kb.Snapshot()
+//		... diff snap against the last view served ...
+//		select {
+//		case <-ch: // a newer snapshot exists; loop
+//		case <-ctx.Done():
+//			return
+//		}
+//	}
+//
+// Waiters only ever block on the returned channel, never inside the
+// publish path: publishing closes the armed channel under a dedicated
+// mutex and carries on, so a stalled subscriber can never delay a
+// publication.
+func (kb *KB) Published() <-chan struct{} {
+	kb.pubMu.Lock()
+	defer kb.pubMu.Unlock()
+	if kb.pubCh == nil {
+		kb.pubCh = make(chan struct{})
+	}
+	return kb.pubCh
+}
+
+// notifyPublish wakes every Published waiter. Called after the snapshot
+// pointer swap, so a woken waiter always observes the new (or an even
+// newer) snapshot.
+func (kb *KB) notifyPublish() {
+	kb.pubMu.Lock()
+	if kb.pubCh != nil {
+		close(kb.pubCh)
+		kb.pubCh = nil
+	}
+	kb.pubMu.Unlock()
+}
 
 // Load inserts base tuples into a base relation. Call before Init; use
 // Apply (or the update queue) for changes afterwards.
@@ -524,6 +572,19 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 	// silently dropping their energy from the acceptance test.
 	kb.pending = kb.pending.Merge(inc.FromDelta(delta))
 	st.frozen = kb.frozen(st.graph)
+	// Partial-progress publication: when this batch's grounding stage
+	// already ran longer than the configured threshold, its learning and
+	// inference will hold the final publication back for at least as long
+	// again — publish an intermediate snapshot right after the commit so
+	// readers and subscribers see the new structure (fresh candidates,
+	// evidence values, deletions) immediately instead of a minutes-stale
+	// view. The intermediate carries the previous marginals; facts grounded
+	// by this batch report "no marginal yet" until the final publication
+	// re-scores everything. Suppressed during WAL replay (replay timing is
+	// not the original run's) — recovery re-publishes only final states.
+	if d := kb.opts.ProgressPublish; d > 0 && !kb.replaying && time.Since(start) >= d {
+		st.res.IntermediateEpoch = kb.publishStaged(kb.buildSkeleton(st.graph)).Epoch()
+	}
 	st.skel = kb.buildSkeleton(st.graph)
 	kb.stateMu.Unlock()
 
@@ -705,6 +766,7 @@ func (kb *KB) publishStaged(s *Snapshot) *Snapshot {
 	}
 	s.epoch = kb.epoch.Add(1)
 	kb.snap.Store(s)
+	kb.notifyPublish()
 	return s
 }
 

@@ -56,7 +56,10 @@ import (
 // kbSnapMagic is "DDKBSNP1" little-endian.
 const kbSnapMagic uint64 = 0x31504e53424b4444
 
-const kbSnapVersion = 1
+// kbSnapVersion is bumped on any incompatible snapshot-layout change
+// (v2 appended the probe-skip counter to the autopilot section); Open
+// rejects snapshots from other versions rather than guessing.
+const kbSnapVersion = 2
 
 // Snapshot section kinds.
 const (
@@ -350,6 +353,7 @@ func (kb *KB) encodeSnapshotLocked(walGen uint64) []byte {
 	}
 	auto.F64(kb.auto.lastAccept)
 	auto.F64(kb.auto.lastProbe)
+	auto.U64(kb.auto.probeSkips)
 	auto.U64(kb.remats.Load())
 	auto.U64(kb.rematLost.Load())
 	auto.U64(kb.rematForced.Load())
@@ -549,6 +553,7 @@ func restoreKB(source string, o Options, gen uint64) (*KB, error) {
 	}
 	kb.auto.lastAccept = ard.F64("auto lastAccept")
 	kb.auto.lastProbe = ard.F64("auto lastProbe")
+	kb.auto.probeSkips = ard.U64("auto probeSkips")
 	kb.remats.Store(ard.U64("auto remats"))
 	kb.rematLost.Store(ard.U64("auto rematLost"))
 	kb.rematForced.Store(ard.U64("auto rematForced"))

@@ -252,6 +252,33 @@ func (q *UpdateQueue) CloseNow() {
 	q.Close()
 }
 
+// QueueStats is a point-in-time summary of the update queue, as reported
+// by Stats (and served over the network by the /v1/stats endpoint).
+type QueueStats struct {
+	// Pending is how many submitted updates await application.
+	Pending int
+	// Batches is how many coalesced batches have been applied.
+	Batches uint64
+	// Applied is how many submitted updates have been resolved.
+	Applied uint64
+	// Closed reports that the queue no longer accepts updates.
+	Closed bool
+}
+
+// Stats reports the queue's counters in one consistent-enough read (the
+// counters are sampled individually; only Pending/Closed share a lock).
+func (q *UpdateQueue) Stats() QueueStats {
+	q.mu.Lock()
+	pending, closed := len(q.pending), q.closed
+	q.mu.Unlock()
+	return QueueStats{
+		Pending: pending,
+		Batches: q.batches.Load(),
+		Applied: q.applied.Load(),
+		Closed:  closed,
+	}
+}
+
 // Batches returns how many coalesced batches have been applied.
 func (q *UpdateQueue) Batches() uint64 { return q.batches.Load() }
 

@@ -1,0 +1,209 @@
+package deepdive
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"deepdive/internal/serve"
+)
+
+// ServeOptions configure KB.Serve's HTTP front end.
+type ServeOptions struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port;
+	// KBServer.Addr reports the bound address).
+	Addr string
+	// MinDelta is the default minimum |Δ probability| a subscription
+	// pushes (per-request ?min_delta overrides). 0 pushes every change.
+	MinDelta float64
+	// WriteTimeout bounds one subscriber event write; a client stalled
+	// past it is dropped with resync-on-reconnect semantics. Default 30s.
+	WriteTimeout time.Duration
+	// Heartbeat is the idle keep-alive interval on subscription streams.
+	// Default 15s.
+	Heartbeat time.Duration
+	// MaxSubscribers caps concurrent subscription streams (0 = unbounded).
+	MaxSubscribers int
+}
+
+// KBServer is a running HTTP serving tier over one KB (see KB.Serve).
+type KBServer struct {
+	inner *serve.Server
+	http  *http.Server
+	ln    net.Listener
+	done  chan struct{}
+	err   error
+}
+
+// Addr returns the server's bound listen address.
+func (s *KBServer) Addr() string { return s.ln.Addr().String() }
+
+// Handler returns the server's root handler (useful for tests mounting
+// it under a custom http.Server).
+func (s *KBServer) Handler() http.Handler { return s.inner.Handler() }
+
+// Subscribers reports the number of live subscription streams.
+func (s *KBServer) Subscribers() int { return s.inner.Subscribers() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests get until ctx to finish (subscription streams are severed).
+// The KB itself is not closed.
+func (s *KBServer) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	<-s.done
+	if err == nil && s.err != http.ErrServerClosed {
+		err = s.err
+	}
+	return err
+}
+
+// Serve starts the KB's network serving tier: an HTTP/JSON API over the
+// snapshot read path (lock-free point and bulk reads), the coalescing
+// update queue (POST /v1/update, optionally blocking for the batch's
+// UpdateResult), and streaming marginal-delta subscriptions (GET
+// /v1/subscribe, Server-Sent Events pushed on every snapshot
+// publication). See the internal/serve package documentation for the
+// endpoint table and subscription semantics.
+//
+// Serve binds the listener synchronously — on return the server is
+// accepting and Addr is valid — and serves until ctx is cancelled or
+// Shutdown is called. Cancelling ctx severs subscription streams and
+// stops the listener; pending updates already in the queue still apply.
+func (kb *KB) Serve(ctx context.Context, o ServeOptions) (*KBServer, error) {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("deepdive: serve: %w", err)
+	}
+	inner := serve.New(kbBackend{kb}, serve.Options{
+		MinDelta:       o.MinDelta,
+		WriteTimeout:   o.WriteTimeout,
+		Heartbeat:      o.Heartbeat,
+		MaxSubscribers: o.MaxSubscribers,
+	})
+	srv := &KBServer{
+		inner: inner,
+		ln:    ln,
+		done:  make(chan struct{}),
+	}
+	srv.http = &http.Server{
+		Handler:           inner.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	go func() {
+		srv.err = srv.http.Serve(ln)
+		close(srv.done)
+	}()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = srv.http.Shutdown(sctx)
+			case <-srv.done:
+			}
+		}()
+	}
+	return srv, nil
+}
+
+// kbBackend adapts a *KB to the internal/serve Backend interface. The
+// adapter is the seam that keeps net/http out of the KB proper and the
+// HTTP layer testable against a fake: every read goes through the
+// current Snapshot (an atomic load), never a KB write lock.
+type kbBackend struct{ kb *KB }
+
+func (b kbBackend) View() serve.View             { return kbView{b.kb.Snapshot()} }
+func (b kbBackend) Published() <-chan struct{}   { return b.kb.Published() }
+func (b kbBackend) QueueStats() serve.QueueStats { return serve.QueueStats(b.kb.Updates().Stats()) }
+
+// Autopilot returns the autopilot state frozen into the latest snapshot
+// (taking KB.Autopilot's live state would mean acquiring stateMu, which
+// a slow writer could hold for a whole inference run).
+func (b kbBackend) Autopilot() any {
+	return b.kb.Snapshot().Stats().Autopilot
+}
+
+func (b kbBackend) Submit(ctx context.Context, u serve.Update, wait bool) (*serve.UpdateResult, error) {
+	du := Update{RuleSource: u.RuleSource}
+	if len(u.Inserts) > 0 {
+		du.Inserts = make(map[string][]Tuple, len(u.Inserts))
+		for rel, ts := range u.Inserts {
+			du.Inserts[rel] = wireTuples(ts)
+		}
+	}
+	if len(u.Deletes) > 0 {
+		du.Deletes = make(map[string][]Tuple, len(u.Deletes))
+		for rel, ts := range u.Deletes {
+			du.Deletes[rel] = wireTuples(ts)
+		}
+	}
+	t, err := b.kb.Updates().SubmitCtx(ctx, du)
+	if err != nil {
+		return nil, err
+	}
+	if !wait {
+		return nil, nil
+	}
+	res, err := t.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return wireResult(res), nil
+}
+
+func wireTuples(ts [][]string) []Tuple {
+	out := make([]Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = Tuple(t)
+	}
+	return out
+}
+
+func wireResult(r *UpdateResult) *serve.UpdateResult {
+	return &serve.UpdateResult{
+		Epoch:             r.Epoch,
+		IntermediateEpoch: r.IntermediateEpoch,
+		Coalesced:         r.Coalesced,
+		Strategy:          r.Strategy.String(),
+		Acceptance:        r.Acceptance,
+		Probe:             r.Probe,
+		ProbeReused:       r.ProbeReused,
+		NewVars:           r.NewVars,
+		NewFactors:        r.NewFactors,
+		GroundMillis:      float64(r.GroundTime) / float64(time.Millisecond),
+		LearnMillis:       float64(r.LearnTime) / float64(time.Millisecond),
+		InferMillis:       float64(r.InferTime) / float64(time.Millisecond),
+	}
+}
+
+// kbView adapts one immutable Snapshot to the serve.View interface.
+type kbView struct{ s *Snapshot }
+
+func (v kbView) Epoch() uint64       { return v.s.Epoch() }
+func (v kbView) Relations() []string { return v.s.Relations() }
+func (v kbView) Stats() any          { return v.s.Stats() }
+
+func (v kbView) Marginal(relation string, tuple []string) (float64, bool) {
+	return v.s.Marginal(relation, Tuple(tuple))
+}
+
+func (v kbView) Facts(relation string) []serve.Fact {
+	facts := v.s.Facts(relation)
+	out := make([]serve.Fact, len(facts))
+	for i, f := range facts {
+		out[i] = serve.Fact{
+			Tuple:       []string(f.Tuple),
+			Probability: f.Probability,
+			Known:       f.Known,
+			Evidence:    f.Evidence,
+		}
+	}
+	return out
+}

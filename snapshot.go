@@ -1,5 +1,7 @@
 package deepdive
 
+import "sort"
+
 // Snapshot is an immutable, point-in-time view of the knowledge base: the
 // marginal probability and extraction state of every live candidate fact,
 // pinned to one grounding version and one factor-graph epoch. Snapshots
@@ -108,6 +110,55 @@ func (s *Snapshot) Extractions(relation string, threshold float64) []Extraction 
 			out = append(out, Extraction{Tuple: f.tuple, Probability: s.marg[f.v]})
 		}
 	}
+	return out
+}
+
+// Fact is one live candidate fact enumerated by Snapshot.Facts: its
+// tuple, its probability, and how that probability is determined.
+// Evidence facts report their supervised value (0 or 1); query facts
+// report their inferred marginal, with Known false when no inference has
+// covered the variable yet (e.g. on a partial-progress snapshot
+// published before the batch that grounded the fact finished inferring).
+type Fact struct {
+	Tuple       Tuple
+	Probability float64
+	Known       bool
+	Evidence    bool
+}
+
+// Facts enumerates every live fact of a relation with its probability,
+// in stable (variable-id) order — the bulk form of Marginal, built for
+// consumers that diff successive snapshots (e.g. streaming subscribers).
+func (s *Snapshot) Facts(relation string) []Fact {
+	rv := s.rels[relation]
+	if rv == nil {
+		return nil
+	}
+	out := make([]Fact, len(rv.facts))
+	for i := range rv.facts {
+		f := &rv.facts[i]
+		out[i] = Fact{Tuple: f.tuple}
+		switch {
+		case f.evidence:
+			out[i].Evidence, out[i].Known = true, true
+			if f.evValue {
+				out[i].Probability = 1
+			}
+		case s.marg != nil && int(f.v) < len(s.marg):
+			out[i].Probability, out[i].Known = s.marg[f.v], true
+		}
+	}
+	return out
+}
+
+// Relations lists the relations with live facts in this snapshot, in
+// sorted order.
+func (s *Snapshot) Relations() []string {
+	out := make([]string, 0, len(s.rels))
+	for name := range s.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
 	return out
 }
 

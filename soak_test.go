@@ -62,11 +62,13 @@ func soakUpdates(t *testing.T) int {
 }
 
 // soakCheckpoint is one oracle comparison: after `after` applied
-// updates, `drift` is the max |served − oracle| over the tracked facts.
+// updates, `drift` is the max and `meanDrift` the mean |served − oracle|
+// over the tracked facts.
 type soakCheckpoint struct {
-	after int
-	drift float64
-	auto  deepdive.AutopilotStats
+	after     int
+	drift     float64
+	meanDrift float64
+	auto      deepdive.AutopilotStats
 }
 
 // runSoak streams n document updates through the queue one ticket at a
@@ -130,35 +132,46 @@ func runSoak(t *testing.T, n int, opts ...deepdive.Option) []soakCheckpoint {
 				t.Fatalf("oracle inference after update %d: %v", i, err)
 			}
 			oracle := kb.Snapshot()
-			drift := 0.0
+			drift, sum := 0.0, 0.0
 			for _, p := range pairs {
 				got, okG := served.Marginal("HasSpouse", p)
 				want, okO := oracle.Marginal("HasSpouse", p)
 				if !okG || !okO {
 					t.Fatalf("checkpoint %d: tracked pair %v missing (served=%v oracle=%v)", i+1, p, okG, okO)
 				}
-				if d := math.Abs(got - want); d > drift {
+				d := math.Abs(got - want)
+				sum += d
+				if d > drift {
 					drift = d
 				}
 			}
-			t.Logf("checkpoint %3d updates: drift %.3f (autopilot: %d sampling / %d variational / %d remat / %d preempted, store %d/%d)",
-				i+1, drift, auto.SamplingRuns, auto.VariationalRuns,
+			mean := sum / float64(len(pairs))
+			t.Logf("checkpoint %3d updates: drift max %.3f mean %.3f (autopilot: %d sampling / %d variational / %d remat / %d preempted, store %d/%d)",
+				i+1, drift, mean, auto.SamplingRuns, auto.VariationalRuns,
 				auto.Rematerializations, auto.RematPreempted, auto.StoreRemaining, auto.StoreLen)
 			if len(cps) > 0 && cps[len(cps)-1].after == i+1 {
 				continue // i == n-1 coincided with a regular checkpoint
 			}
-			cps = append(cps, soakCheckpoint{after: i + 1, drift: drift, auto: auto})
+			cps = append(cps, soakCheckpoint{after: i + 1, drift: drift, meanDrift: mean, auto: auto})
 		}
 	}
 	return cps
 }
 
-// soakTolerance is the drift bound the autopilot modes must satisfy at
-// every checkpoint and the lesion must violate: it absorbs the sampling
-// noise of the 100-world estimates on both sides, while a tracked fact
-// the approximation forgot sits at the uninformed ~0.5 — several times
-// this far from the exact marginal.
+// soakTolerance is the per-fact drift bound the autopilot modes must
+// satisfy at every checkpoint: it absorbs the sampling noise of the
+// 100-world estimates on both sides, while a tracked fact the
+// approximation forgot sits at the uninformed ~0.5 — several times this
+// far from the exact marginal.
 const soakTolerance = 0.25
+
+// soakMeanTolerance bounds the mean drift across the tracked facts. The
+// per-fact bound must stay loose against worst-case noise of a single
+// 100-world estimate, but noise is independent across facts and averages
+// out, while real forgetting hits every early fact at once — so the mean
+// separates the two regimes much more sharply (healthy runs sit near
+// 0.03–0.06; the static lesion's mean exceeds 0.25).
+const soakMeanTolerance = 0.12
 
 // TestSoakAutopilot is the acceptance soak: the full autopilot stack
 // must track the exact-inference oracle at every checkpoint, keep
@@ -170,6 +183,9 @@ func TestSoakAutopilot(t *testing.T) {
 	for _, cp := range cps {
 		if cp.drift > soakTolerance {
 			t.Errorf("checkpoint %d: drift %.3f exceeds %.2f", cp.after, cp.drift, soakTolerance)
+		}
+		if cp.meanDrift > soakMeanTolerance {
+			t.Errorf("checkpoint %d: mean drift %.3f exceeds %.2f", cp.after, cp.meanDrift, soakMeanTolerance)
 		}
 	}
 	final := cps[len(cps)-1].auto
@@ -191,6 +207,9 @@ func TestSoakCumulativeOnly(t *testing.T) {
 		if cp.drift > soakTolerance {
 			t.Errorf("checkpoint %d: drift %.3f exceeds %.2f", cp.after, cp.drift, soakTolerance)
 		}
+		if cp.meanDrift > soakMeanTolerance {
+			t.Errorf("checkpoint %d: mean drift %.3f exceeds %.2f", cp.after, cp.meanDrift, soakMeanTolerance)
+		}
 	}
 	final := cps[len(cps)-1].auto
 	if final.Rematerializations != 0 {
@@ -203,17 +222,25 @@ func TestSoakCumulativeOnly(t *testing.T) {
 
 // TestSoakStaticLesionDrifts proves the harness detects the regression:
 // the pre-autopilot configuration (static rules, per-update change sets,
-// no re-materialization) must violate the drift bound once the store is
-// gone and the variational graph forgets earlier updates' groups.
+// no re-materialization) must violate both drift bounds once the store
+// is gone and the variational graph forgets earlier updates' groups —
+// the mean bound in particular, since forgetting is systematic across
+// the tracked facts rather than noise on one of them.
 func TestSoakStaticLesionDrifts(t *testing.T) {
 	cps := runSoak(t, soakUpdates(t), deepdive.WithStaticOptimizer(true))
-	worst := 0.0
+	worst, worstMean := 0.0, 0.0
 	for _, cp := range cps {
 		if cp.drift > worst {
 			worst = cp.drift
 		}
+		if cp.meanDrift > worstMean {
+			worstMean = cp.meanDrift
+		}
 	}
 	if worst <= soakTolerance {
 		t.Fatalf("static lesion stayed within %.2f (worst drift %.3f) — the soak would not catch the drift regression", soakTolerance, worst)
+	}
+	if worstMean <= soakMeanTolerance {
+		t.Fatalf("static lesion mean drift stayed within %.2f (worst %.3f) — the tightened bound would not catch the drift regression", soakMeanTolerance, worstMean)
 	}
 }
