@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-serving race-serve race-pipeline race-persist soak fuzz-smoke serve-demo bench bench-incupdate bench-replicas bench-serving bench-serve-http bench-serve-http-smoke bench-hotpath bench-pipeline bench-pipeline-full bench-persist profile
+.PHONY: check fmt vet build test race race-serving race-serve race-pipeline race-persist soak chaos chaos-smoke fuzz-smoke serve-demo bench bench-incupdate bench-replicas bench-serving bench-serve-http bench-serve-http-smoke bench-hotpath bench-pipeline bench-pipeline-full bench-persist profile
 
 # Everything CI runs. (go test ./... includes the short soak; the full
 # acceptance-length soak is `make soak`.)
-check: fmt vet build test race race-serving race-serve fuzz-smoke
+check: fmt vet build test race race-serving race-serve chaos-smoke fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -38,7 +38,8 @@ race-serving:
 # The HTTP serving tier's concurrency proof: concurrent wire readers and
 # SSE subscribers against the live pipelined writer (epoch monotonicity
 # per subscriber, a deliberately stalled client cannot delay a publish),
-# plus the internal/serve handler and hub suite.
+# plus the internal/serve handler and hub suite (overload shedding,
+# typed refusals, drain, Last-Event-ID resume).
 race-serve:
 	$(GO) test -race -count=1 -run 'TestServeHTTP|TestProgressPublish' .
 	$(GO) test -race -count=1 ./internal/serve/
@@ -68,9 +69,27 @@ race-pipeline:
 
 # The durability proof under the race detector: checkpoint/restart,
 # every crash kill point vs the never-crashed oracle, WAL replay
-# determinism per worker count.
+# determinism per worker count, plus the degraded-mode state machine
+# (fault-injected WAL breaks, background auto-repair, read-only
+# escalation, the wedged no-repair lesion) and the persist-layer
+# container/WAL/fault-injector unit suite.
 race-persist:
-	$(GO) test -race -count=1 -run 'TestCheckpoint|TestCrash|TestWALRe' .
+	$(GO) test -race -count=1 -run 'TestCheckpoint|TestCrash|TestWALRe|TestAutoRepair|TestReadOnly' .
+	$(GO) test -race -count=1 ./internal/persist/
+
+# Randomized degraded-mode soak under -race: a seeded schedule of seven
+# fault classes (WAL append EIO/ENOSPC, sticky WAL-rotation failure,
+# snapshot EIO, fsync stalls, queue bursts, stalled subscribers) against
+# the full HTTP serving stack, asserting zero acked-update loss, zero
+# read/health-probe unavailability, typed-only refusals, auto-repair
+# with no operator action, a bit-identical crash-restart coda, and the
+# wedged auto-repair lesion. `chaos` runs a 10s window and records
+# BENCH_chaos.json; `chaos-smoke` runs the short default window.
+chaos:
+	CHAOS_SECONDS=10 CHAOS_JSON=BENCH_chaos.json $(GO) test -race -count=1 -run 'TestChaosSoak' -v -timeout 20m .
+
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSoak' .
 
 # Short native-fuzz pass over the datalog parser (no-panic + String
 # round-trip); extend -fuzztime for a real hunt.

@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -113,6 +115,62 @@ type phaseResult struct {
 	FinalEpoch   uint64  `json:"final_epoch"`
 	SubsDropped  float64 `json:"subscribers_dropped"`
 	UpdateErrors uint64  `json:"update_errors"`
+	// SubReconnects / SubResumes count subscriber stream re-dials and how
+	// many of them the server resumed from a Last-Event-ID token instead
+	// of a full snapshot resync.
+	SubReconnects uint64 `json:"sub_reconnects"`
+	SubResumes    uint64 `json:"sub_resumes"`
+	// AckedUpdates is the number of 200-acknowledged waited updates;
+	// AckedLost counts acked documents whose facts were missing from the
+	// final fact table (any non-zero value fails the run — an ack that
+	// does not survive is the one lie a load harness must not tolerate).
+	AckedUpdates int `json:"acked_updates"`
+	AckedLost    int `json:"acked_lost"`
+	// ErrorClasses histograms every refusal by wire class: "conn" for
+	// transport failures, "http_<status>_<code>" for typed JSON refusals
+	// (queue_saturated, durability_suspended, ...), "http_<status>" for
+	// untyped ones.
+	ErrorClasses map[string]uint64 `json:"error_classes,omitempty"`
+}
+
+// errHist is the shared error-class histogram.
+type errHist struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func newErrHist() *errHist { return &errHist{m: make(map[string]uint64)} }
+
+func (h *errHist) add(class string) {
+	h.mu.Lock()
+	h.m[class]++
+	h.mu.Unlock()
+}
+
+func (h *errHist) snapshot() map[string]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(h.m))
+	for k, v := range h.m {
+		out[k] = v
+	}
+	return out
+}
+
+// classifyHTTPError buckets one non-200 response: typed refusals (the
+// serving tier's coded JSON errors) get their own class so a chaos run
+// can tell shedding from suspension from drain.
+func classifyHTTPError(status int, body []byte) string {
+	var typed struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &typed) == nil && typed.Code != "" {
+		return fmt.Sprintf("http_%d_%s", status, typed.Code)
+	}
+	return fmt.Sprintf("http_%d", status)
 }
 
 // docID numbers the inserted documents across all phases so repeated
@@ -154,6 +212,130 @@ func run(ctx context.Context, cfg config) (*benchDoc, error) {
 	return doc, nil
 }
 
+// recvMap records the first arrival time of each epoch on one
+// subscriber's stream.
+type recvMap struct {
+	sync.Mutex
+	m map[uint64]time.Time
+}
+
+// subscriber is one reconnecting SSE client: it follows the stream's id
+// lines, and on any disconnect re-dials with jittered exponential
+// backoff and a Last-Event-ID header so the server can resume it with a
+// catch-up delta instead of a full resync.
+type subscriber struct {
+	base       string
+	rm         *recvMap
+	deltas     *atomic.Uint64
+	resumes    *atomic.Uint64
+	reconnects *atomic.Uint64
+	hist       *errHist
+	ready      chan<- error
+	rng        *rand.Rand
+
+	lastID    string
+	readySent bool
+}
+
+func (s *subscriber) markReady() {
+	if !s.readySent {
+		s.readySent = true
+		s.ready <- nil
+	}
+}
+
+func (s *subscriber) run(ctx context.Context) {
+	const backoffBase, backoffMax = 50 * time.Millisecond, 2 * time.Second
+	backoff := backoffBase
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			s.reconnects.Add(1)
+			// Full jitter over [backoff/2, backoff]: concurrent clients cut
+			// off by one drain must not re-dial in lockstep.
+			d := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff/2)+1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+		}
+		first = false
+		req, err := http.NewRequestWithContext(ctx, "GET", s.base+"/v1/subscribe?relation=HasSpouse", nil)
+		if err != nil {
+			return
+		}
+		if s.lastID != "" {
+			req.Header.Set("Last-Event-ID", s.lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				s.hist.add("conn")
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			s.hist.add(classifyHTTPError(resp.StatusCode, body))
+			continue
+		}
+		healthy := s.consume(resp.Body)
+		resp.Body.Close()
+		if healthy {
+			backoff = backoffBase
+		}
+	}
+}
+
+// consume reads one connected stream until it ends, reporting whether
+// any event arrived (a healthy connection resets the backoff).
+func (s *subscriber) consume(body io.Reader) bool {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	event, sawEvent := "", false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			s.lastID = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			now := time.Now()
+			sawEvent = true
+			switch event {
+			case "snapshot":
+				s.markReady()
+			case "resumed":
+				s.resumes.Add(1)
+				s.markReady()
+			case "delta":
+				var payload struct {
+					Epoch uint64 `json:"epoch"`
+				}
+				if json.Unmarshal([]byte(line[len("data: "):]), &payload) == nil {
+					s.deltas.Add(1)
+					s.rm.Lock()
+					if _, seen := s.rm.m[payload.Epoch]; !seen {
+						s.rm.m[payload.Epoch] = now
+					}
+					s.rm.Unlock()
+				}
+			case "drain":
+				// The server is going away gracefully; the run loop
+				// reconnects (to it or a successor).
+				return sawEvent
+			}
+		}
+	}
+	return sawEvent
+}
+
 // runPhase drives one measurement window: `clients` readers, the
 // configured writers and subscribers, all against `base`, for cfg.dur.
 func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseResult, error) {
@@ -168,64 +350,30 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 	var ackMu sync.Mutex
 	acks := make(map[uint64]time.Time)
 
-	// Subscribers connect first so every writer epoch is observable.
-	type recvMap struct {
-		sync.Mutex
-		m map[uint64]time.Time
-	}
+	// Subscribers connect first so every writer epoch is observable. Each
+	// is a reconnecting client: a severed (or drained) stream re-dials
+	// with jittered exponential backoff and the last SSE id it saw, so a
+	// server with the epoch still in its resume window replays a catch-up
+	// delta instead of a full snapshot.
 	recvs := make([]*recvMap, cfg.subscribers)
+	subCtx, subCancel := context.WithCancel(ctx)
+	defer subCancel()
 	subReady := make(chan error, cfg.subscribers)
-	subBodies := make([]func() error, 0, cfg.subscribers)
-	var deltas atomic.Uint64
+	var deltas, resumes, reconnects atomic.Uint64
+	hist := newErrHist()
 	for s := 0; s < cfg.subscribers; s++ {
-		resp, err := http.Get(base + "/v1/subscribe?relation=HasSpouse")
-		if err != nil {
-			return pr, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return pr, fmt.Errorf("subscribe: %s", resp.Status)
-		}
-		subBodies = append(subBodies, resp.Body.Close)
 		rm := &recvMap{m: make(map[uint64]time.Time)}
 		recvs[s] = rm
+		sub := &subscriber{
+			base: base, rm: rm,
+			deltas: &deltas, resumes: &resumes, reconnects: &reconnects,
+			hist: hist, ready: subReady,
+			rng: rand.New(rand.NewSource(cfg.seed + int64(s))),
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := bufio.NewScanner(resp.Body)
-			sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-			event, ready := "", false
-			for sc.Scan() {
-				line := sc.Text()
-				switch {
-				case strings.HasPrefix(line, "event: "):
-					event = line[len("event: "):]
-				case strings.HasPrefix(line, "data: "):
-					now := time.Now()
-					switch event {
-					case "snapshot":
-						if !ready {
-							ready = true
-							subReady <- nil
-						}
-					case "delta":
-						var payload struct {
-							Epoch uint64 `json:"epoch"`
-						}
-						if json.Unmarshal([]byte(line[len("data: "):]), &payload) == nil {
-							deltas.Add(1)
-							rm.Lock()
-							if _, seen := rm.m[payload.Epoch]; !seen {
-								rm.m[payload.Epoch] = now
-							}
-							rm.Unlock()
-						}
-					}
-				}
-			}
-			if !ready {
-				subReady <- fmt.Errorf("subscriber stream ended before snapshot event")
-			}
+			sub.run(subCtx)
 		}()
 	}
 	for s := 0; s < cfg.subscribers; s++ {
@@ -263,12 +411,14 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 				resp, err := http.Get(urls[i%2])
 				if err != nil {
 					readErrs.Add(1)
+					hist.add("conn")
 					continue
 				}
 				_, _ = bufio.NewReader(resp.Body).WriteTo(noopWriter{})
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					readErrs.Add(1)
+					hist.add(classifyHTTPError(resp.StatusCode, nil))
 					continue
 				}
 				lats[r] = append(lats[r], time.Since(t0))
@@ -277,12 +427,16 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 		}()
 	}
 
-	// Writers: sustained waited update POSTs, one new document each.
+	// Writers: sustained waited update POSTs, one new document each. A
+	// 200 ack records the document for post-phase verification — the
+	// harness fails outright if an acked document's facts are missing
+	// from the final table.
 	var updates, updateErrs atomic.Uint64
 	var updateLats struct {
 		sync.Mutex
 		d []time.Duration
 	}
+	ackedDocs := make(map[int]bool)
 	var finalEpoch atomic.Uint64
 	for w := 0; w < cfg.writers; w++ {
 		wg.Add(1)
@@ -294,20 +448,27 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 					return
 				default:
 				}
-				body := updateBody(int(docID.Add(1)))
+				doc := int(docID.Add(1))
 				t0 := time.Now()
-				resp, err := http.Post(base+"/v1/update?wait=1", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(base+"/v1/update?wait=1", "application/json", bytes.NewReader(updateBody(doc)))
 				if err != nil {
 					updateErrs.Add(1)
+					hist.add("conn")
+					continue
+				}
+				rbody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					updateErrs.Add(1)
+					hist.add(classifyHTTPError(resp.StatusCode, rbody))
 					continue
 				}
 				var res struct {
 					Epoch uint64 `json:"epoch"`
 				}
-				decErr := json.NewDecoder(resp.Body).Decode(&res)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK || decErr != nil {
+				if json.Unmarshal(rbody, &res) != nil {
 					updateErrs.Add(1)
+					hist.add("bad_body")
 					continue
 				}
 				ack := time.Now()
@@ -317,6 +478,7 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 				updateLats.Unlock()
 				ackMu.Lock()
 				acks[res.Epoch] = ack
+				ackedDocs[doc] = true
 				ackMu.Unlock()
 				for {
 					cur := finalEpoch.Load()
@@ -333,12 +495,10 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 	case <-ctx.Done():
 	}
 	close(stop)
-	// Give in-flight deltas a moment to land, then cut the SSE streams so
-	// the subscriber goroutines unblock.
+	// Give in-flight deltas a moment to land, then cancel the SSE
+	// contexts so the subscriber goroutines unblock.
 	time.Sleep(200 * time.Millisecond)
-	for _, closeBody := range subBodies {
-		closeBody()
-	}
+	subCancel()
 	wg.Wait()
 
 	// Fan-out lag: delta arrival relative to the writer's ack, per
@@ -377,13 +537,70 @@ func runPhase(ctx context.Context, base string, clients int, cfg config) (phaseR
 	pr.FanoutP99us = us(percentile(fanout, 0.99))
 	pr.FanoutMaxUS = us(percentile(fanout, 1.0))
 	pr.FinalEpoch = finalEpoch.Load()
+	pr.SubReconnects = reconnects.Load()
+	pr.SubResumes = resumes.Load()
+	pr.ErrorClasses = hist.snapshot()
 	if pr.Updates == 0 {
 		return pr, fmt.Errorf("clients=%d: no update succeeded (%d errors)", clients, pr.UpdateErrors)
 	}
 	if pr.Reads == 0 {
 		return pr, fmt.Errorf("clients=%d: no read succeeded (%d errors)", clients, pr.ReadErrors)
 	}
+
+	// Acked-write verification: every 200-acknowledged document must
+	// have its HasSpouse candidate in the final fact table. An ack that
+	// vanished means the serving tier lied about durability of the apply
+	// — the one failure a load report must not average away.
+	pr.AckedUpdates = len(ackedDocs)
+	lost, err := verifyAcked(base, ackedDocs)
+	if err != nil {
+		return pr, fmt.Errorf("clients=%d: acked-write verification: %w", clients, err)
+	}
+	pr.AckedLost = len(lost)
+	if len(lost) > 0 {
+		return pr, fmt.Errorf("clients=%d: %d acked update(s) missing from the final fact table (first: doc %d)",
+			clients, len(lost), lost[0])
+	}
 	return pr, nil
+}
+
+// verifyAcked fetches the final HasSpouse table and returns the acked
+// documents whose candidate fact is missing.
+func verifyAcked(base string, ackedDocs map[int]bool) ([]int, error) {
+	if len(ackedDocs) == 0 {
+		return nil, nil
+	}
+	resp, err := http.Get(base + "/v1/facts?relation=HasSpouse")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("final facts read: %s", resp.Status)
+	}
+	var table struct {
+		Facts []struct {
+			Tuple []string `json:"tuple"`
+		} `json:"facts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		return nil, err
+	}
+	present := make(map[string]bool, len(table.Facts))
+	for _, f := range table.Facts {
+		present[strings.Join(f.Tuple, "\x00")] = true
+	}
+	var lost []int
+	for doc := range ackedDocs {
+		// updateBody(doc) inserts mentions p<doc>a / p<doc>b in one
+		// sentence; the grounded candidate is their ordered pair.
+		key := fmt.Sprintf("p%da\x00p%db", doc, doc)
+		if !present[key] {
+			lost = append(lost, doc)
+		}
+	}
+	sort.Ints(lost)
+	return lost, nil
 }
 
 type noopWriter struct{}

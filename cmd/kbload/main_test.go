@@ -35,4 +35,10 @@ func TestLoadHarnessSmoke(t *testing.T) {
 	if pr.FinalEpoch == 0 {
 		t.Fatal("writer never learned an epoch")
 	}
+	if pr.AckedUpdates == 0 {
+		t.Fatal("no acked updates recorded for verification")
+	}
+	if pr.AckedLost != 0 {
+		t.Fatalf("acked updates lost: %d", pr.AckedLost)
+	}
 }

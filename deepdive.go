@@ -52,6 +52,7 @@ import (
 	"deepdive/internal/factor"
 	"deepdive/internal/ground"
 	"deepdive/internal/inc"
+	"deepdive/internal/persist"
 )
 
 // Tuple is one relational row (all values are strings).
@@ -80,6 +81,36 @@ const (
 	StrategyVariational = inc.StrategyVariational
 	StrategyRerun       = inc.StrategyRerun
 )
+
+// I/O fault injection. Unlike the crash-point FaultHook (which simulates
+// a process kill), an injected I/O fault *returns*: the write path sees
+// ENOSPC/EIO-style errors or added latency and must degrade gracefully.
+// IOFaultPlan is the concrete injector — arm one-shot, sticky, or
+// probabilistic errors and per-op latency, then pass it via WithIOFaults.
+type (
+	IOInjector  = persist.Injector
+	IOFaultOp   = persist.Op
+	IOFaultPlan = persist.FaultPlan
+)
+
+// Injectable I/O operations of the durability layer.
+const (
+	IOWALAppend = persist.OpWALAppend // WAL record write
+	IOWALSync   = persist.OpWALSync   // WAL fsync (the durability point)
+	IOWALCreate = persist.OpWALCreate // WAL segment creation (checkpoint rotation)
+	IOSnapWrite = persist.OpSnapWrite // snapshot temp-file write
+	IOSnapSync  = persist.OpSnapSync  // snapshot fsync before rename
+)
+
+// Canonical injected-error classes, for errors.Is assertions.
+var (
+	ErrInjectedNoSpace = persist.ErrInjectedNoSpace
+	ErrInjectedIO      = persist.ErrInjectedIO
+)
+
+// NewIOFaultPlan returns an empty injection plan; seed fixes the
+// probabilistic arm's RNG so chaos schedules are reproducible.
+func NewIOFaultPlan(seed int64) *IOFaultPlan { return persist.NewFaultPlan(seed) }
 
 // Options configure a KB (or the deprecated Engine wrapper).
 type Options struct {
@@ -184,6 +215,36 @@ type Options struct {
 	// aborts the operation at exactly that point — simulating a crash whose
 	// on-disk state recovery must handle. Nil in production.
 	PersistFault FaultHook
+
+	// IOFaults injects returned I/O errors and latency into the durability
+	// layer's write paths — WAL append, WAL fsync, segment creation,
+	// snapshot write, snapshot fsync (see the IO* operation constants).
+	// The degraded-mode counterpart of the crash-point PersistFault hook:
+	// the KB must survive these, not just recover from them. Nil in
+	// production.
+	IOFaults IOInjector
+
+	// DisableAutoRepair turns the background WAL repair loop off: after a
+	// failed append the KB stays DurabilityDegraded (refusing updates)
+	// until a manual Checkpoint. This is the pre-self-healing behavior and
+	// the chaos harness's lesion configuration. Off by default — a broken
+	// durable chain repairs itself.
+	DisableAutoRepair bool
+
+	// RepairBackoff and RepairBackoffMax schedule the background repair
+	// loop: the delay before each attempt is jittered over [b/2, b], with
+	// b doubling from RepairBackoff and capped at RepairBackoffMax.
+	// Defaults: 200ms and 10s.
+	RepairBackoff    time.Duration
+	RepairBackoffMax time.Duration
+
+	// ReadOnlyAfter escalates DurabilityDegraded to ReadOnly after this
+	// many consecutive failed auto-repair attempts. The repair loop keeps
+	// retrying either way — the escalation changes the refusal error
+	// (ErrReadOnly, serve-tier code "read_only") so clients stop
+	// hot-retrying a KB whose disk is probably gone. 0 (the default)
+	// never escalates.
+	ReadOnlyAfter int
 
 	// StaticOptimizer is the quality-autopilot lesion switch: the
 	// pre-autopilot behavior of the §3.3 static strategy rules, per-update
@@ -313,6 +374,26 @@ func WithDataDir(dir string) Option { return func(o *Options) { o.DataDir = dir 
 // testing (see Options.PersistFault).
 func WithPersistFaultHook(h FaultHook) Option { return func(o *Options) { o.PersistFault = h } }
 
+// WithIOFaults installs an I/O fault injector on the durability layer's
+// write paths (see Options.IOFaults). Build one with NewIOFaultPlan.
+func WithIOFaults(inj IOInjector) Option { return func(o *Options) { o.IOFaults = inj } }
+
+// WithAutoRepair toggles the background WAL repair loop (see
+// Options.DisableAutoRepair). On by default; WithAutoRepair(false) is
+// the manual-Checkpoint lesion configuration.
+func WithAutoRepair(on bool) Option { return func(o *Options) { o.DisableAutoRepair = !on } }
+
+// WithRepairBackoff overrides the repair loop's backoff schedule (see
+// Options.RepairBackoff). Non-positive values keep the defaults.
+func WithRepairBackoff(base, max time.Duration) Option {
+	return func(o *Options) { o.RepairBackoff = base; o.RepairBackoffMax = max }
+}
+
+// WithReadOnlyAfter escalates to the ReadOnly health state after n
+// consecutive failed auto-repair attempts (see Options.ReadOnlyAfter).
+// n <= 0 (the default) never escalates.
+func WithReadOnlyAfter(n int) Option { return func(o *Options) { o.ReadOnlyAfter = n } }
+
 // WithStaticOptimizer selects the quality-autopilot lesion configuration:
 // static §3.3 strategy rules, per-update change sets, and no background
 // re-materialization (see Options.StaticOptimizer).
@@ -345,6 +426,12 @@ func (o *Options) fill() {
 	}
 	if o.Lambda <= 0 {
 		o.Lambda = 0.01
+	}
+	if o.RepairBackoff <= 0 {
+		o.RepairBackoff = 200 * time.Millisecond
+	}
+	if o.RepairBackoffMax <= 0 {
+		o.RepairBackoffMax = 10 * time.Second
 	}
 }
 

@@ -419,16 +419,34 @@ func FindSection(secs []Section, kind uint32) []byte {
 // WriteFileAtomic writes data to path crash-consistently: a temp file
 // in the same directory, fsync, rename into place, fsync the directory.
 // Readers therefore see either the old file or the complete new one.
-func WriteFileAtomic(path string, data []byte) error {
+// An optional Injector (at most one) is consulted at OpSnapWrite before
+// the data write and OpSnapSync before the fsync; an injected error
+// aborts the write with the temp file removed, leaving the old file
+// untouched.
+func WriteFileAtomic(path string, data []byte, injs ...Injector) error {
+	var inj Injector
+	if len(injs) > 0 {
+		inj = injs[0]
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err == nil {
+	if err := inject(inj, OpSnapWrite); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = inject(inj, OpSnapSync)
+	}
+	if err == nil {
 		err = tmp.Sync()
-	} else {
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err

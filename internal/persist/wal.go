@@ -18,7 +18,13 @@ const walRecMagic = 0x31524457 // "WDR1" little-endian
 type WAL struct {
 	f    *os.File
 	path string
+	inj  Injector
 }
+
+// SetInjector installs an I/O fault injector consulted at OpWALAppend
+// (before the record write) and OpWALSync (before the fsync). Nil
+// disables injection. Not safe to call concurrently with Append.
+func (w *WAL) SetInjector(inj Injector) { w.inj = inj }
 
 // CreateWAL creates (or truncates) a WAL segment. The caller should
 // SyncDir the parent directory if the segment's existence must be
@@ -61,6 +67,9 @@ func (w *WAL) Path() string { return w.path }
 // record is durable; on error the segment may hold a torn tail, which
 // the next recovery truncates.
 func (w *WAL) Append(ticket uint64, payload []byte) error {
+	if err := inject(w.inj, OpWALAppend); err != nil {
+		return err
+	}
 	var b Buf
 	b.U32(walRecMagic)
 	b.U32(uint32(len(payload)))
@@ -73,11 +82,16 @@ func (w *WAL) Append(ticket uint64, payload []byte) error {
 	if _, err := w.f.Write(b.Bytes()); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	return w.Sync()
 }
 
 // Sync fsyncs the segment.
-func (w *WAL) Sync() error { return w.f.Sync() }
+func (w *WAL) Sync() error {
+	if err := inject(w.inj, OpWALSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
 
 // Close closes the segment file.
 func (w *WAL) Close() error { return w.f.Close() }

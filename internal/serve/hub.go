@@ -8,8 +8,54 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
+
+// resumeRing holds the last Options.ResumeWindow published views, keyed
+// by epoch, so a subscriber reconnecting with a Last-Event-ID still in
+// the window can resume with one catch-up delta instead of a full
+// snapshot resync. Views are immutable, so holding them costs only the
+// memory of the snapshots themselves (which share structure with the
+// live one). Filled by the subscription handlers as they observe
+// publications; an epoch that was never observed by any subscriber ages
+// out naturally and resumption falls back to the full resync.
+type resumeRing struct {
+	cap   int
+	mu    sync.Mutex
+	views []View // ascending epoch order; at most cap entries
+}
+
+// add records a published view (deduplicating by epoch).
+func (r *resumeRing) add(v View) {
+	if r.cap <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.views); n > 0 && r.views[n-1].Epoch() >= v.Epoch() {
+		return
+	}
+	r.views = append(r.views, v)
+	if len(r.views) > r.cap {
+		r.views = append(r.views[:0:0], r.views[len(r.views)-r.cap:]...)
+	}
+}
+
+// at returns the held view of one epoch, or nil when it aged out.
+func (r *resumeRing) at(epoch uint64) View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.views) - 1; i >= 0; i-- {
+		switch {
+		case r.views[i].Epoch() == epoch:
+			return r.views[i]
+		case r.views[i].Epoch() < epoch:
+			return nil
+		}
+	}
+	return nil
+}
 
 // Change is one per-fact delta pushed on a subscription stream.
 type Change struct {
@@ -82,12 +128,27 @@ func factKey(tuple []string) string { return strings.Join(tuple, "\x00") }
 // A write is bounded by Options.WriteTimeout; a client stalled past it
 // is dropped and must reconnect for a fresh snapshot+resync.
 //
+// Reconnection: every snapshot/delta event carries an SSE id line (the
+// epoch it brought the subscriber to). A client reconnecting with a
+// Last-Event-ID whose epoch is still in the server's resume window gets
+// a "resumed" event plus one catch-up delta from that epoch instead of
+// the full snapshot; an aged-out epoch falls back to the ordinary full
+// resync. On drain the stream ends with a "drain" event after the
+// in-flight write, so clients know to reconnect elsewhere.
+//
 // Query parameters: relation (repeatable; default all), tuple
 // (repeatable components naming one fact; requires exactly one
 // relation), min_delta (default Options.MinDelta).
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeStatusErr(w, &StatusError{Status: http.StatusServiceUnavailable,
+			Code: "shutting_down", Msg: "server is draining"})
+		return
+	}
 	if max := s.opts.MaxSubscribers; max > 0 && s.subscribers.Load() >= int64(max) {
-		writeErr(w, http.StatusServiceUnavailable, "subscriber limit (%d) reached", max)
+		writeStatusErr(w, &StatusError{Status: http.StatusServiceUnavailable,
+			Code: "subscriber_limit", RetryAfter: 1,
+			Msg: fmt.Sprintf("subscriber limit (%d) reached", max)})
 		return
 	}
 	q := r.URL.Query()
@@ -124,7 +185,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	defer s.subscribers.Add(-1)
 
 	rc := http.NewResponseController(w)
-	writeEvent := func(name string, v any) error {
+	// Every event carries an id line — the epoch it brings the subscriber
+	// to — which SSE clients echo back as Last-Event-ID on reconnect.
+	writeEvent := func(name string, id uint64, v any) error {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return err
@@ -133,7 +196,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			!errors.Is(err, http.ErrNotSupported) {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, name, data); err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				s.subsDropped.Add(1)
 			}
@@ -150,29 +213,61 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// against last-sent state and so never misses it.
 	pub := s.b.Published()
 	v := s.b.View()
+	s.ring.add(v)
 	sent := make(map[string]map[string]sentFact)
 	lastEpoch := v.Epoch()
 
-	init := snapshotEvent{Epoch: v.Epoch(), Facts: map[string][]Fact{}}
-	for _, rel := range v.Relations() {
-		if !filter.wantRel(rel) {
-			continue
+	// Last-Event-ID resumption: rebuild the subscriber's last-sent state
+	// from the held view of the epoch it already has, so the catch-up is
+	// one delta instead of the full fact table.
+	resumed := false
+	if tok := r.Header.Get("Last-Event-ID"); tok != "" && s.opts.ResumeWindow > 0 {
+		if ep, err := strconv.ParseUint(tok, 10, 64); err == nil && ep <= lastEpoch {
+			if held := s.ring.at(ep); held != nil {
+				collectSent(held, &filter, sent)
+				lastEpoch = ep
+				resumed = true
+				s.subsResumed.Add(1)
+			}
 		}
-		m := make(map[string]sentFact)
-		var kept []Fact
-		for _, f := range v.Facts(rel) {
-			k := factKey(f.Tuple)
-			if filter.tupleKey != "" && k != filter.tupleKey {
+	}
+	if resumed {
+		if err := writeEvent("resumed", lastEpoch, map[string]uint64{"epoch": lastEpoch}); err != nil {
+			return
+		}
+		// Catch-up delta from the resumed epoch to the current view. Same
+		// min_delta bookkeeping as the loop: an all-filtered diff keeps
+		// lastEpoch stale so the skipped count stays honest later.
+		if v.Epoch() != lastEpoch {
+			ev := s.diff(v, &filter, sent)
+			if len(ev.Changes) > 0 {
+				ev.Skipped = v.Epoch() - lastEpoch - 1
+				lastEpoch = v.Epoch()
+				if err := writeEvent("delta", ev.Epoch, ev); err != nil {
+					return
+				}
+			}
+		}
+	} else {
+		init := snapshotEvent{Epoch: v.Epoch(), Facts: map[string][]Fact{}}
+		for _, rel := range v.Relations() {
+			if !filter.wantRel(rel) {
 				continue
 			}
-			m[k] = sentFact{p: f.Probability, known: f.Known, evidence: f.Evidence}
-			kept = append(kept, f)
+			var kept []Fact
+			for _, f := range v.Facts(rel) {
+				k := factKey(f.Tuple)
+				if filter.tupleKey != "" && k != filter.tupleKey {
+					continue
+				}
+				kept = append(kept, f)
+			}
+			init.Facts[rel] = kept
 		}
-		sent[rel] = m
-		init.Facts[rel] = kept
-	}
-	if err := writeEvent("snapshot", init); err != nil {
-		return
+		collectSent(v, &filter, sent)
+		if err := writeEvent("snapshot", init.Epoch, init); err != nil {
+			return
+		}
 	}
 
 	heartbeat := time.NewTicker(s.opts.Heartbeat)
@@ -180,6 +275,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			// Graceful drain: tell the client this stream is over (it
+			// should reconnect to another instance) and end the handler so
+			// the server's shutdown is not held hostage by idle streams.
+			_ = writeEvent("drain", lastEpoch, map[string]uint64{"epoch": lastEpoch})
 			return
 		case <-heartbeat.C:
 			if err := rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil &&
@@ -201,6 +302,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		// and the next select wakes the loop immediately.
 		pub = s.b.Published()
 		v = s.b.View()
+		s.ring.add(v)
 		if v.Epoch() == lastEpoch {
 			continue
 		}
@@ -212,8 +314,30 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 		ev.Skipped = v.Epoch() - lastEpoch - 1
 		lastEpoch = v.Epoch()
-		if err := writeEvent("delta", ev); err != nil {
+		if err := writeEvent("delta", ev.Epoch, ev); err != nil {
 			return
+		}
+	}
+}
+
+// collectSent seeds a subscriber's sent-state map with the filtered
+// facts of one view (the state the client is assumed to already hold).
+func collectSent(v View, filter *subFilter, sent map[string]map[string]sentFact) {
+	for _, rel := range v.Relations() {
+		if !filter.wantRel(rel) {
+			continue
+		}
+		m := sent[rel]
+		if m == nil {
+			m = make(map[string]sentFact)
+			sent[rel] = m
+		}
+		for _, f := range v.Facts(rel) {
+			k := factKey(f.Tuple)
+			if filter.tupleKey != "" && k != filter.tupleKey {
+				continue
+			}
+			m[k] = sentFact{p: f.Probability, known: f.Known, evidence: f.Evidence}
 		}
 	}
 }

@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +29,24 @@ type Options struct {
 	// MaxSubscribers caps concurrent subscription streams (503 beyond).
 	// 0 means unbounded.
 	MaxSubscribers int
+	// ReadTimeout bounds one read-endpoint request (stats, autopilot,
+	// marginal, facts). Reads are lock-free on the KB side, so this is a
+	// safety net against pathological response sizes, not a queue-wait
+	// bound. 0 (the default) means unbounded. /v1/health is exempt:
+	// liveness must answer even when everything else is drowning.
+	ReadTimeout time.Duration
+	// UpdateTimeout bounds one POST /v1/update request, including the
+	// ?wait=1 wait for the batch result. On expiry the handler responds
+	// 503 update_timeout — the update may still apply if its batch was
+	// already taken (a still-pending update is retracted). 0 (the
+	// default) waits as long as the client does.
+	UpdateTimeout time.Duration
+	// ResumeWindow is how many recently published views the server holds
+	// for SSE Last-Event-ID resumption: a subscriber reconnecting with an
+	// epoch still in the window gets one catch-up delta instead of a full
+	// snapshot resync. 0 selects the default (32); negative disables
+	// resumption.
+	ResumeWindow int
 }
 
 func (o Options) fill() Options {
@@ -33,6 +55,9 @@ func (o Options) fill() Options {
 	}
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = 15 * time.Second
+	}
+	if o.ResumeWindow == 0 {
+		o.ResumeWindow = 32
 	}
 	return o
 }
@@ -48,21 +73,47 @@ type Server struct {
 	subscribers atomic.Int64 // live subscription streams
 	subsTotal   atomic.Uint64
 	subsDropped atomic.Uint64 // streams dropped for stalling past WriteTimeout
+	subsResumed atomic.Uint64 // streams resumed from a Last-Event-ID token
 	reads       atomic.Uint64 // read-endpoint requests served
 	updates     atomic.Uint64 // update POSTs accepted
+	shed        atomic.Uint64 // updates refused 429 at the admission gate
+
+	// ring holds recently published views for Last-Event-ID resumption
+	// (see hub.go).
+	ring resumeRing
+
+	// Drain state: StartDrain flips draining (readiness fails, new
+	// updates and subscriptions are refused 503 shutting_down) and closes
+	// drainCh, which tells every live subscription loop to finish its
+	// current event and end the stream. Reads keep serving until the
+	// listener actually closes.
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds the serving tier over b.
 func New(b Backend, opts Options) *Server {
-	s := &Server{b: b, opts: opts.fill(), mux: http.NewServeMux()}
+	s := &Server{b: b, opts: opts.fill(), mux: http.NewServeMux(), drainCh: make(chan struct{})}
+	s.ring.cap = s.opts.ResumeWindow
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/autopilot", s.handleAutopilot)
-	s.mux.HandleFunc("GET /v1/marginal", s.handleMarginal)
-	s.mux.HandleFunc("GET /v1/facts", s.handleFacts)
+	s.mux.Handle("GET /v1/stats", s.read(s.handleStats))
+	s.mux.Handle("GET /v1/autopilot", s.read(s.handleAutopilot))
+	s.mux.Handle("GET /v1/marginal", s.read(s.handleMarginal))
+	s.mux.Handle("GET /v1/facts", s.read(s.handleFacts))
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	return s
+}
+
+// read wraps a read handler in the per-endpoint ReadTimeout (no-op when
+// unset). Subscriptions and health are never wrapped: one is long-lived
+// by design, the other is the liveness probe.
+func (s *Server) read(h http.HandlerFunc) http.Handler {
+	if s.opts.ReadTimeout <= 0 {
+		return h
+	}
+	return http.TimeoutHandler(h, s.opts.ReadTimeout, `{"error":"read timeout","code":"read_timeout"}`)
 }
 
 // Handler returns the root handler (mountable under httptest or any
@@ -71,6 +122,39 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Subscribers reports the number of live subscription streams.
 func (s *Server) Subscribers() int { return int(s.subscribers.Load()) }
+
+// StartDrain begins a graceful drain: readiness (GET /v1/health?ready=1)
+// starts failing 503 so load balancers stop routing here, new updates
+// and new subscriptions are refused with code shutting_down, and every
+// live subscription stream ends after its in-flight event. Point reads
+// keep serving until the listener closes — a draining server is still
+// alive. Idempotent.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// retryAfterSeconds derives the Retry-After hint from queue pressure:
+// the estimated time to drain the current backlog (pending updates ×
+// the EWMA batch wall time), clamped to [1s, 60s].
+func retryAfterSeconds(qs QueueStats) int {
+	if qs.AvgBatchMillis <= 0 {
+		return 1
+	}
+	sec := int(math.Ceil(float64(qs.Pending) * qs.AvgBatchMillis / 1000))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
 
 // writeJSON writes one JSON response body.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -85,11 +169,36 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealth serves both probe semantics over one endpoint:
+//
+//   - Liveness (default): 200 whenever the process can answer — through
+//     DurabilityDegraded, ReadOnly, and a drain alike, because reads
+//     keep serving off the snapshot pointer in every one of those
+//     states. Restarting a degraded-but-serving KB would only lose its
+//     repair progress.
+//   - Readiness (?ready=1): 503 once the server is draining — stop
+//     routing new work here. A degraded KB is still ready: it serves
+//     reads and sheds updates with precise 503s of their own.
+//
+// The body always carries the full degraded-mode picture: health state
+// machine, WAL status, repair counters, and queue depth.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"epoch":  s.b.View().Epoch(),
-	})
+	h := s.b.Health()
+	draining := s.draining.Load()
+	body := map[string]any{
+		"status":   "ok",
+		"epoch":    s.b.View().Epoch(),
+		"state":    h.State,
+		"draining": draining,
+		"health":   h,
+		"queue":    s.b.QueueStats(),
+	}
+	if r.URL.Query().Get("ready") == "1" && draining {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -99,12 +208,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"relations": v.Relations(),
 		"graph":     v.Stats(),
 		"queue":     s.b.QueueStats(),
+		"health":    s.b.Health(),
 		"serving": map[string]any{
 			"subscribers":         s.subscribers.Load(),
 			"subscriptions_total": s.subsTotal.Load(),
 			"subscribers_dropped": s.subsDropped.Load(),
+			"subscribers_resumed": s.subsResumed.Load(),
 			"reads":               s.reads.Load(),
 			"updates_accepted":    s.updates.Load(),
+			"updates_shed":        s.shed.Load(),
+			"draining":            s.draining.Load(),
 		},
 	})
 }
@@ -176,6 +289,14 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeStatusErr writes one coded JSON error with its Retry-After hint.
+func writeStatusErr(w http.ResponseWriter, se *StatusError) {
+	if se.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+	}
+	writeJSON(w, se.Status, map[string]string{"error": se.Msg, "code": se.Code})
+}
+
 // handleUpdate feeds one update into the KB's coalescing queue. The
 // request body is the JSON Update; with ?wait=1 the response carries the
 // applied batch's UpdateResult (epoch, coalesced width, strategy), and
@@ -183,7 +304,35 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 // retracts a still-pending update per the queue's SubmitCtx contract.
 // Without wait, a 202 acknowledges enqueueing only; apply errors surface
 // through /v1/stats and waiting submitters.
+//
+// Refusals are typed, so clients can tell back-off from bad-request:
+//
+//	429 queue_saturated       pending ≥ capacity; Retry-After estimates
+//	                          the backlog drain time
+//	503 shutting_down         the server is draining (or the queue closed)
+//	503 durability_suspended  WAL broken, repair in flight; Retry-After
+//	                          hints at the repair backoff
+//	503 read_only             repair has failed repeatedly; stop retrying
+//	503 update_timeout        Options.UpdateTimeout expired mid-apply
+//	409 (generic)             the update itself failed (bad rules, apply
+//	                          error): do not retry unchanged
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeStatusErr(w, &StatusError{Status: http.StatusServiceUnavailable,
+			Code: "shutting_down", Msg: "server is draining"})
+		return
+	}
+	// Admission gate: shed before parsing the body — when the queue is at
+	// its backpressure bound, Submit would block the handler goroutine;
+	// refusing with a drain-time hint keeps the tier's memory bounded and
+	// pushes the wait to the client, which can back off or go elsewhere.
+	if qs := s.b.QueueStats(); qs.Capacity > 0 && qs.Pending >= qs.Capacity {
+		s.shed.Add(1)
+		writeStatusErr(w, &StatusError{Status: http.StatusTooManyRequests,
+			Code: "queue_saturated", RetryAfter: retryAfterSeconds(qs),
+			Msg: fmt.Sprintf("update queue saturated (%d pending / %d capacity)", qs.Pending, qs.Capacity)})
+		return
+	}
 	var u Update
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
@@ -212,10 +361,30 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	wait := r.URL.Query().Get("wait") == "1"
-	res, err := s.b.Submit(r.Context(), u, wait)
+	ctx := r.Context()
+	if d := s.opts.UpdateTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	res, err := s.b.Submit(ctx, u, wait)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client went away mid-wait; nothing useful to write.
+			return
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			writeStatusErr(w, se)
+			return
+		}
+		if ctx.Err() != nil {
+			// The per-endpoint UpdateTimeout expired (the client is still
+			// here). The update may still apply if its batch was already
+			// taken; a still-pending one was retracted.
+			writeStatusErr(w, &StatusError{Status: http.StatusServiceUnavailable,
+				Code: "update_timeout", RetryAfter: retryAfterSeconds(s.b.QueueStats()),
+				Msg: fmt.Sprintf("update timed out after %s", s.opts.UpdateTimeout)})
 			return
 		}
 		writeErr(w, http.StatusConflict, "update failed: %v", err)

@@ -48,6 +48,8 @@ type fakeBackend struct {
 	view   *fakeView
 	pubCh  chan struct{}
 	submit func(ctx context.Context, u Update, wait bool) (*UpdateResult, error)
+	stats  QueueStats // zero value reported as the defaults below
+	health HealthInfo // zero value reported as a healthy non-durable KB
 }
 
 func newFakeBackend(v *fakeView) *fakeBackend { return &fakeBackend{view: v} }
@@ -91,8 +93,25 @@ func (b *fakeBackend) Submit(ctx context.Context, u Update, wait bool) (*UpdateR
 	return &UpdateResult{Epoch: b.View().Epoch() + 1, Coalesced: 1, Strategy: "sampling"}, nil
 }
 
-func (b *fakeBackend) Autopilot() any         { return map[string]int{"sampling_runs": 2} }
-func (b *fakeBackend) QueueStats() QueueStats { return QueueStats{Pending: 0, Batches: 3, Applied: 3} }
+func (b *fakeBackend) Autopilot() any { return map[string]int{"sampling_runs": 2} }
+
+func (b *fakeBackend) QueueStats() QueueStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stats == (QueueStats{}) {
+		return QueueStats{Pending: 0, Batches: 3, Applied: 3}
+	}
+	return b.stats
+}
+
+func (b *fakeBackend) Health() HealthInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.health == (HealthInfo{}) {
+		return HealthInfo{State: "healthy"}
+	}
+	return b.health
+}
 
 func baseView() *fakeView {
 	return &fakeView{

@@ -73,13 +73,52 @@ type UpdateResult struct {
 	InferMillis       float64 `json:"infer_ms"`
 }
 
-// QueueStats is the wire form of the update queue's counters.
+// QueueStats is the wire form of the update queue's counters. The
+// field set and order mirror deepdive.QueueStats exactly — the adapter
+// converts by struct conversion.
 type QueueStats struct {
-	Pending int    `json:"pending"`
-	Batches uint64 `json:"batches"`
-	Applied uint64 `json:"applied"`
-	Closed  bool   `json:"closed,omitempty"`
+	Pending int `json:"pending"`
+	// Capacity is the queue's backpressure bound (0 = unbounded).
+	Capacity int    `json:"capacity,omitempty"`
+	Batches  uint64 `json:"batches"`
+	Applied  uint64 `json:"applied"`
+	// AvgBatchMillis is the EWMA of recent batch apply wall times; the
+	// Retry-After hint under saturation is Pending × AvgBatchMillis.
+	AvgBatchMillis float64 `json:"avg_batch_ms,omitempty"`
+	Closed         bool    `json:"closed,omitempty"`
 }
+
+// HealthInfo is the backend's degraded-mode report behind /v1/health:
+// the KB health state machine, WAL status, and self-repair counters.
+type HealthInfo struct {
+	// State is the KB health state: "healthy", "durability-degraded", or
+	// "read-only". Non-durable KBs are always "healthy".
+	State string `json:"state"`
+	// Durable reports whether a data directory is configured at all.
+	Durable bool `json:"durable"`
+	// WALBroken reports an incomplete durable chain (updates refused).
+	WALBroken bool `json:"wal_broken,omitempty"`
+	// AutoRepair / Repairing report the background repair loop's
+	// configuration and liveness; the counters its history.
+	AutoRepair     bool   `json:"auto_repair"`
+	Repairing      bool   `json:"repairing,omitempty"`
+	RepairAttempts uint64 `json:"repair_attempts,omitempty"`
+	RepairFailures uint64 `json:"repair_failures,omitempty"`
+	AutoRepairs    uint64 `json:"auto_repairs,omitempty"`
+}
+
+// StatusError is a backend refusal with a concrete HTTP mapping: the
+// status code, a machine-readable error code for the JSON body, and an
+// optional Retry-After hint in seconds. The update handler unwraps it
+// with errors.As; refusals without one fall back to 409.
+type StatusError struct {
+	Status     int
+	Code       string
+	RetryAfter int // seconds; 0 omits the header
+	Msg        string
+}
+
+func (e *StatusError) Error() string { return e.Msg }
 
 // View is one immutable snapshot of the KB as the HTTP layer consumes
 // it. Implementations must be safe for concurrent use and must never
@@ -118,4 +157,7 @@ type Backend interface {
 	Autopilot() any
 	// QueueStats reports the update queue's counters.
 	QueueStats() QueueStats
+	// Health reports the KB's degraded-mode state (never blocks on
+	// writers; liveness must stay observable through any fault).
+	Health() HealthInfo
 }

@@ -126,6 +126,21 @@ type KB struct {
 	recovered    bool
 	engineSeed   int64
 
+	// Degraded-mode health machine + background WAL repair; see
+	// health.go. health holds a HealthState; the repair* fields
+	// coordinate the self-healing checkpoint loop (repairMu guards
+	// repairActive/repairCancel/repairClosed; the counters are
+	// read lock-free by Health()).
+	health         atomic.Int32
+	repairMu       sync.Mutex
+	repairActive   bool
+	repairClosed   bool
+	repairCancel   context.CancelFunc
+	repairWG       sync.WaitGroup
+	repairAttempts atomic.Uint64
+	repairFailures atomic.Uint64
+	autoRepairs    atomic.Uint64
+
 	epoch atomic.Uint64
 	snap  atomic.Pointer[Snapshot]
 
@@ -489,6 +504,16 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 	if kb.engine == nil {
 		return nil, fmt.Errorf("deepdive: Apply before Materialize")
 	}
+	// Fail fast while the durable chain is broken — before delta
+	// evaluation, so a refused update leaves no unacknowledged mutation
+	// in the grounder tables (the mid-append failure below has no such
+	// luxury: by then evaluation has already run).
+	if kb.wal != nil && !kb.replaying && kb.walBroken.Load() {
+		if HealthState(kb.health.Load()) == ReadOnly {
+			return nil, ErrReadOnly
+		}
+		return nil, ErrDurabilitySuspended
+	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -539,7 +564,10 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 	// complete segment.
 	if kb.wal != nil && !kb.replaying {
 		if kb.walBroken.Load() {
-			st.walErr = errWALSuspended
+			// Latched between this update's fast-path check and its append
+			// (only possible for the update that broke the chain itself in
+			// a pipelined race); refuse like any other suspended update.
+			st.walErr = ErrDurabilitySuspended
 		} else {
 			payload := encodeUpdate(&u)
 			if h := kb.opts.PersistFault; h != nil {
@@ -549,7 +577,11 @@ func (kb *KB) applyGround(ctx context.Context, u Update) (*stagedApply, error) {
 				st.walErr = kb.wal.Append(kb.commitTicket+1, payload)
 			}
 			if st.walErr != nil {
-				kb.walBroken.Store(true)
+				kb.noteWALBroken()
+				// Wrap so the triggering update's error matches the
+				// suspended-durability class too (errors.Is compatible),
+				// while keeping the underlying append failure visible.
+				st.walErr = fmt.Errorf("%w: %w", ErrDurabilitySuspended, st.walErr)
 			} else {
 				kb.commitTicket++
 				if h := kb.opts.PersistFault; h != nil {
@@ -677,6 +709,7 @@ func (kb *KB) Updates() *UpdateQueue {
 func (kb *KB) Close() error {
 	kb.Updates().Close()
 	kb.shutdownRemat()
+	kb.shutdownRepair()
 	return kb.closeWAL()
 }
 
@@ -701,6 +734,7 @@ func (kb *KB) closeWAL() error {
 func (kb *KB) CloseNow() error {
 	kb.Updates().CloseNow()
 	kb.shutdownRemat()
+	kb.shutdownRepair()
 	return kb.closeWAL()
 }
 

@@ -99,9 +99,20 @@ const (
 	FaultSnapWritten = "snap-written"
 )
 
-// errWALSuspended is reported by every update between a failed WAL
-// append and the checkpoint that repairs the durable chain.
-var errWALSuspended = fmt.Errorf("deepdive: WAL append failed; durability suspended until the next Checkpoint")
+// ErrDurabilitySuspended is reported by every update between a failed
+// WAL append and the checkpoint that repairs the durable chain (with
+// auto-repair enabled, the background loop issues that checkpoint; see
+// health.go). Match with errors.Is — the reported error usually wraps
+// this sentinel together with the append failure that latched it.
+var ErrDurabilitySuspended = fmt.Errorf("deepdive: WAL append failed; durability suspended until the chain is repaired")
+
+// persistInject consults the optional I/O fault injector (nil-safe).
+func persistInject(inj IOInjector, op IOFaultOp) error {
+	if inj == nil {
+		return nil
+	}
+	return inj.Fault(op)
+}
 
 func snapPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%08d.ddkb", gen))
@@ -255,10 +266,14 @@ func (kb *KB) Checkpoint(ctx context.Context) error {
 	// Rotate the WAL before releasing the locks: records committed from
 	// now on land in the new generation's segment, whose existence must
 	// be durable before its first append.
+	if err := persistInject(kb.opts.IOFaults, persist.OpWALCreate); err != nil {
+		return err
+	}
 	w, err := persist.CreateWAL(walPath(kb.opts.DataDir, newGen))
 	if err != nil {
 		return err
 	}
+	w.SetInjector(kb.opts.IOFaults)
 	if err := persist.SyncDir(kb.opts.DataDir); err != nil {
 		w.Close()
 		return err
@@ -283,10 +298,11 @@ func (kb *KB) Checkpoint(ctx context.Context) error {
 			return err
 		}
 	}
-	if err := persist.WriteFileAtomic(snapPath(kb.opts.DataDir, newGen), data); err != nil {
+	if err := persist.WriteFileAtomic(snapPath(kb.opts.DataDir, newGen), data, kb.opts.IOFaults); err != nil {
 		return err
 	}
 	kb.walBroken.Store(false)
+	kb.noteChainRepaired()
 	if h := kb.opts.PersistFault; h != nil {
 		if err := h(FaultSnapWritten); err != nil {
 			return err
@@ -586,6 +602,7 @@ func restoreKB(source string, o Options, gen uint64) (*KB, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetInjector(o.IOFaults)
 	if err := persist.SyncDir(o.DataDir); err != nil {
 		w.Close()
 		return nil, err

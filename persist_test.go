@@ -283,8 +283,10 @@ func TestCrashWALAppendLost(t *testing.T) {
 
 	dir := t.TempDir()
 	arm := &faultArm{}
+	// Auto-repair off: this test pins the latched-broken behavior itself
+	// (the self-healing loop has its own tests in health_test.go).
 	victim := persistSpouseKB(t, deepdive.WithDataDir(dir),
-		deepdive.WithPersistFaultHook(arm.hook))
+		deepdive.WithPersistFaultHook(arm.hook), deepdive.WithAutoRepair(false))
 	bmust(t, victim.Checkpoint(ctx))
 	for i := 0; i < 2; i++ {
 		if _, err := victim.Apply(ctx, docUpdate(i)); err != nil {
@@ -292,15 +294,15 @@ func TestCrashWALAppendLost(t *testing.T) {
 		}
 	}
 	arm.arm(deepdive.FaultWALAppend)
-	if _, err := victim.Apply(ctx, docUpdate(2)); err == nil {
-		t.Fatal("update with lost WAL record was acknowledged")
+	if _, err := victim.Apply(ctx, docUpdate(2)); !errors.Is(err, deepdive.ErrDurabilitySuspended) {
+		t.Fatalf("update with lost WAL record: got %v, want ErrDurabilitySuspended", err)
 	}
 	if arm.firedCount() != 1 {
 		t.Fatal("fault hook did not fire")
 	}
 	// Durability is latched broken: later updates refuse too.
-	if _, err := victim.Apply(ctx, docUpdate(3)); err == nil {
-		t.Fatal("update accepted while durable chain is broken")
+	if _, err := victim.Apply(ctx, docUpdate(3)); !errors.Is(err, deepdive.ErrDurabilitySuspended) {
+		t.Fatalf("update on broken chain: got %v, want ErrDurabilitySuspended", err)
 	}
 
 	// Crash here: recovery sees only the two acknowledged updates.
@@ -320,7 +322,7 @@ func TestWALRepairCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	arm := &faultArm{}
 	kb := persistSpouseKB(t, deepdive.WithDataDir(dir),
-		deepdive.WithPersistFaultHook(arm.hook))
+		deepdive.WithPersistFaultHook(arm.hook), deepdive.WithAutoRepair(false))
 	bmust(t, kb.Checkpoint(ctx))
 	if _, err := kb.Apply(ctx, docUpdate(0)); err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueClosed is returned for updates submitted after Close.
@@ -50,7 +51,8 @@ type stagedBatch struct {
 	st      *stagedApply
 	tickets []*Ticket
 	ctx     context.Context
-	release func() // stops the batch-context watcher
+	release func()    // stops the batch-context watcher
+	start   time.Time // when the batch's grounding began, for the EWMA
 }
 
 // UpdateQueue accepts a stream of Updates and applies them to the KB
@@ -126,6 +128,10 @@ type UpdateQueue struct {
 
 	batches atomic.Uint64
 	applied atomic.Uint64
+	// batchNanos is an EWMA of recent batch wall times (ground through
+	// publish), the basis of the serve tier's Retry-After hint under
+	// queue saturation.
+	batchNanos atomic.Uint64
 }
 
 func newUpdateQueue(kb *KB) *UpdateQueue {
@@ -257,10 +263,17 @@ func (q *UpdateQueue) CloseNow() {
 type QueueStats struct {
 	// Pending is how many submitted updates await application.
 	Pending int
+	// Capacity is the WithMaxPending backpressure bound (0 = unbounded).
+	Capacity int
 	// Batches is how many coalesced batches have been applied.
 	Batches uint64
 	// Applied is how many submitted updates have been resolved.
 	Applied uint64
+	// AvgBatchMillis is an exponentially-weighted moving average of
+	// recent batch wall times (grounding through publication), in
+	// milliseconds; 0 until the first batch completes. The serve tier
+	// derives its Retry-After hint from Pending × AvgBatchMillis.
+	AvgBatchMillis float64
 	// Closed reports that the queue no longer accepts updates.
 	Closed bool
 }
@@ -272,10 +285,30 @@ func (q *UpdateQueue) Stats() QueueStats {
 	pending, closed := len(q.pending), q.closed
 	q.mu.Unlock()
 	return QueueStats{
-		Pending: pending,
-		Batches: q.batches.Load(),
-		Applied: q.applied.Load(),
-		Closed:  closed,
+		Pending:        pending,
+		Capacity:       q.kb.opts.MaxPending,
+		Batches:        q.batches.Load(),
+		Applied:        q.applied.Load(),
+		AvgBatchMillis: float64(q.batchNanos.Load()) / 1e6,
+		Closed:         closed,
+	}
+}
+
+// recordBatchDuration folds one successful batch's wall time into the
+// EWMA behind QueueStats.AvgBatchMillis (α = 0.2; the first sample
+// seeds it directly). Failed batches are excluded — refusals resolve in
+// microseconds and would talk the Retry-After hint down exactly when
+// the queue is in trouble.
+func (q *UpdateQueue) recordBatchDuration(d time.Duration) {
+	for {
+		old := q.batchNanos.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = uint64(0.8*float64(old) + 0.2*float64(d))
+		}
+		if q.batchNanos.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -331,6 +364,9 @@ func (q *UpdateQueue) runFinish(done chan struct{}) {
 	for b := range q.staged {
 		res, err := q.kb.applyFinish(b.ctx, b.st)
 		b.release()
+		if err == nil {
+			q.recordBatchDuration(time.Since(b.start))
+		}
 		q.resolveBatch(b.tickets, res, err)
 	}
 }
@@ -350,6 +386,7 @@ func (q *UpdateQueue) drain() {
 		if len(tickets) == 0 {
 			return
 		}
+		start := time.Now()
 		bctx, release := q.batchCtx(ctxs)
 		st, err := q.kb.applyGround(bctx, merged)
 		if err != nil {
@@ -360,10 +397,13 @@ func (q *UpdateQueue) drain() {
 		if q.kb.opts.SerializedUpdates {
 			res, ferr := q.kb.applyFinish(bctx, st)
 			release()
+			if ferr == nil {
+				q.recordBatchDuration(time.Since(start))
+			}
 			q.resolveBatch(tickets, res, ferr)
 			continue
 		}
-		q.staged <- stagedBatch{st: st, tickets: tickets, ctx: bctx, release: release}
+		q.staged <- stagedBatch{st: st, tickets: tickets, ctx: bctx, release: release, start: start}
 	}
 }
 

@@ -2,6 +2,7 @@ package deepdive
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -26,6 +27,15 @@ type ServeOptions struct {
 	Heartbeat time.Duration
 	// MaxSubscribers caps concurrent subscription streams (0 = unbounded).
 	MaxSubscribers int
+	// ReadTimeout bounds one read-endpoint request (0 = unbounded; health
+	// is exempt — liveness must always answer).
+	ReadTimeout time.Duration
+	// UpdateTimeout bounds one POST /v1/update including its ?wait=1 wait
+	// (503 update_timeout on expiry; 0 = unbounded).
+	UpdateTimeout time.Duration
+	// ResumeWindow is how many recently published views are held for SSE
+	// Last-Event-ID resumption (0 = default 32, negative disables).
+	ResumeWindow int
 }
 
 // KBServer is a running HTTP serving tier over one KB (see KB.Serve).
@@ -47,10 +57,19 @@ func (s *KBServer) Handler() http.Handler { return s.inner.Handler() }
 // Subscribers reports the number of live subscription streams.
 func (s *KBServer) Subscribers() int { return s.inner.Subscribers() }
 
-// Shutdown gracefully stops the server: no new connections, in-flight
-// requests get until ctx to finish (subscription streams are severed).
-// The KB itself is not closed.
+// StartDrain flips the server into draining mode without stopping it:
+// readiness probes fail 503, new updates and subscriptions are refused
+// with code shutting_down, and live subscription streams end with a
+// "drain" event. Reads keep serving. Use it to take an instance out of
+// rotation ahead of Shutdown.
+func (s *KBServer) StartDrain() { s.inner.StartDrain() }
+
+// Shutdown gracefully stops the server: the drain starts first (so
+// readiness fails, update/subscribe traffic is refused, and streams end
+// with a "drain" event instead of a severed connection), then in-flight
+// requests get until ctx to finish. The KB itself is not closed.
 func (s *KBServer) Shutdown(ctx context.Context) error {
+	s.inner.StartDrain()
 	err := s.http.Shutdown(ctx)
 	<-s.done
 	if err == nil && s.err != http.ErrServerClosed {
@@ -84,6 +103,9 @@ func (kb *KB) Serve(ctx context.Context, o ServeOptions) (*KBServer, error) {
 		WriteTimeout:   o.WriteTimeout,
 		Heartbeat:      o.Heartbeat,
 		MaxSubscribers: o.MaxSubscribers,
+		ReadTimeout:    o.ReadTimeout,
+		UpdateTimeout:  o.UpdateTimeout,
+		ResumeWindow:   o.ResumeWindow,
 	})
 	srv := &KBServer{
 		inner: inner,
@@ -123,6 +145,22 @@ func (b kbBackend) View() serve.View             { return kbView{b.kb.Snapshot()
 func (b kbBackend) Published() <-chan struct{}   { return b.kb.Published() }
 func (b kbBackend) QueueStats() serve.QueueStats { return serve.QueueStats(b.kb.Updates().Stats()) }
 
+// Health maps the KB's state machine onto the wire report. Lock-free on
+// the KB side, so the liveness probe answers through any fault.
+func (b kbBackend) Health() serve.HealthInfo {
+	h := b.kb.Health()
+	return serve.HealthInfo{
+		State:          h.State.String(),
+		Durable:        h.Durable,
+		WALBroken:      h.WALBroken,
+		AutoRepair:     h.AutoRepair,
+		Repairing:      h.Repairing,
+		RepairAttempts: h.RepairAttempts,
+		RepairFailures: h.RepairFailures,
+		AutoRepairs:    h.AutoRepairs,
+	}
+}
+
 // Autopilot returns the autopilot state frozen into the latest snapshot
 // (taking KB.Autopilot's live state would mean acquiring stateMu, which
 // a slow writer could hold for a whole inference run).
@@ -149,13 +187,47 @@ func (b kbBackend) Submit(ctx context.Context, u serve.Update, wait bool) (*serv
 		return nil, err
 	}
 	if !wait {
+		// A closed queue resolves the ticket immediately — surface that as
+		// a typed refusal instead of acknowledging an update that will
+		// never apply.
+		select {
+		case <-t.Done():
+			if _, err := t.Wait(nil); err != nil {
+				return nil, b.mapKBError(err)
+			}
+		default:
+		}
 		return nil, nil
 	}
 	res, err := t.Wait(ctx)
 	if err != nil {
-		return nil, err
+		return nil, b.mapKBError(err)
 	}
 	return wireResult(res), nil
+}
+
+// mapKBError attaches HTTP semantics to the KB's typed refusals so the
+// serve tier can tell "back off and retry" (503 + optional Retry-After)
+// from "bad request" (the generic 409 fallback).
+func (b kbBackend) mapKBError(err error) error {
+	switch {
+	case errors.Is(err, ErrReadOnly):
+		// Repair keeps failing; retrying soon is pointless — no hint.
+		return &serve.StatusError{Status: http.StatusServiceUnavailable,
+			Code: "read_only", Msg: err.Error()}
+	case errors.Is(err, ErrDurabilitySuspended):
+		// Repair is (normally) in flight; hint at its backoff scale.
+		ra := int(b.kb.opts.RepairBackoff / time.Second)
+		if ra < 1 {
+			ra = 1
+		}
+		return &serve.StatusError{Status: http.StatusServiceUnavailable,
+			Code: "durability_suspended", RetryAfter: ra, Msg: err.Error()}
+	case errors.Is(err, ErrQueueClosed):
+		return &serve.StatusError{Status: http.StatusServiceUnavailable,
+			Code: "shutting_down", Msg: err.Error()}
+	}
+	return err
 }
 
 func wireTuples(ts [][]string) []Tuple {
